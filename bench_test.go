@@ -1,0 +1,333 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8) at reduced scale, plus the ablation studies of
+// DESIGN.md and micro-benchmarks of the performance-critical substrates.
+// One benchmark iteration runs the full experiment; the reported metrics
+// carry the experiment's headline quantity where meaningful. Use
+// cmd/factcheck-bench for full-scale runs and readable tables.
+package factcheck_test
+
+import (
+	"testing"
+
+	"factcheck/internal/crf"
+	"factcheck/internal/em"
+	"factcheck/internal/experiments"
+	"factcheck/internal/factdb"
+	"factcheck/internal/gibbs"
+	"factcheck/internal/guidance"
+	"factcheck/internal/optimize"
+	"factcheck/internal/stats"
+	"factcheck/internal/stream"
+	"factcheck/internal/synth"
+)
+
+// benchCfg is the reduced scale used by `go test -bench`; claims controls
+// the per-dataset corpus size (DESIGN.md §5).
+func benchCfg(claims int) experiments.Config {
+	return experiments.Config{
+		TargetClaims:  claims,
+		Seed:          1,
+		Runs:          1,
+		Workers:       1,
+		CandidatePool: 8,
+	}
+}
+
+func BenchmarkFig2ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig2(benchCfg(40))
+		for _, row := range res.Rows {
+			if row.Dataset == "snopes" && row.Variant == experiments.VariantParallelPartition {
+				b.ReportMetric(row.AvgSeconds, "s/iter-snopes-pp")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3TimeVsEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(benchCfg(25))
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4ProbabilityHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig4(benchCfg(35))
+		b.ReportMetric(res.MeanCorrectProbability(2), "meanP@40%")
+	}
+}
+
+func BenchmarkFig5UncertaintyPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(benchCfg(35))
+		b.ReportMetric(res.Pearson, "pearson")
+	}
+}
+
+func BenchmarkFig6GuidanceStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(benchCfg(30))
+		for _, row := range res.Rows {
+			if row.Dataset == "snopes" && row.Strategy == "hybrid" {
+				b.ReportMetric(row.EffortTo90, "effort@0.9-hybrid")
+			}
+			if row.Dataset == "snopes" && row.Strategy == "random" {
+				b.ReportMetric(row.EffortTo90, "effort@0.9-random")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7ErroneousInput(b *testing.B) {
+	cfg := benchCfg(30)
+	cfg.Strategies = []string{"random", "hybrid"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable1MistakeDetection(b *testing.B) {
+	cfg := benchCfg(30)
+	cfg.Datasets = []string{"wiki"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(cfg)
+		sum := 0.0
+		for _, row := range res.Rows {
+			sum += row.Detected
+		}
+		b.ReportMetric(sum/float64(len(res.Rows)), "avg-detected")
+	}
+}
+
+func BenchmarkFig8SkippingEffects(b *testing.B) {
+	cfg := benchCfg(30)
+	cfg.Datasets = []string{"wiki"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig8(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig9EarlyTermination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(benchCfg(35))
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Precision, "final-precision")
+	}
+}
+
+func BenchmarkFig10StaticBatch(b *testing.B) {
+	cfg := benchCfg(30)
+	cfg.Datasets = []string{"wiki"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig10(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig11DynamicBatch(b *testing.B) {
+	cfg := benchCfg(20)
+	cfg.Datasets = []string{"wiki"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig11(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable2StreamingSequence(b *testing.B) {
+	cfg := benchCfg(30)
+	cfg.Datasets = []string{"wiki"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable2(cfg)
+		b.ReportMetric(res.Rows[len(res.Rows)-1].TauB, "tau@30%")
+	}
+}
+
+func BenchmarkStreamingUpdateTime(b *testing.B) {
+	cfg := benchCfg(60)
+	cfg.Datasets = []string{"snopes"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunStreamTime(cfg)
+		b.ReportMetric(res.Rows[0].AvgSeconds, "s/update")
+	}
+}
+
+func BenchmarkTable3ExpertsVsCrowd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable3(benchCfg(60))
+		for _, row := range res.Rows {
+			if row.Dataset == "snopes" && row.Population == "expert" {
+				b.ReportMetric(row.Accuracy, "expert-acc")
+			}
+		}
+	}
+}
+
+// Ablation benches (design choices called out in DESIGN.md).
+
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationWarmStart(benchCfg(30))
+		b.ReportMetric(res.Rows[1].AvgSeconds/res.Rows[0].AvgSeconds, "cold/warm-time")
+	}
+}
+
+func BenchmarkAblationTrustCoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationTrustCoupling(benchCfg(30))
+		b.ReportMetric(res.Rows[0].Precision-res.Rows[1].Precision, "trust-gain")
+	}
+}
+
+func BenchmarkAblationEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationEntropy(benchCfg(30))
+		b.ReportMetric(res.Rows[0].AvgSeconds/maxF(res.Rows[1].AvgSeconds, 1e-12), "exact/approx-time")
+	}
+}
+
+func BenchmarkAblationCandidatePool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationCandidatePool(benchCfg(30))
+		if len(res.Rows) != 3 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkAblationBatchGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblationBatchGreedy(benchCfg(30))
+		b.ReportMetric(res.Rows[0].Precision-res.Rows[1].Precision, "greedy-gain")
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Micro-benchmarks of the performance-critical substrates.
+
+func microCorpus(b *testing.B) *synth.Corpus {
+	b.Helper()
+	return synth.Generate(synth.Snopes.Scaled(0.02), 7)
+}
+
+func BenchmarkGibbsSweep(b *testing.B) {
+	corpus := microCorpus(b)
+	m := crf.New(corpus.DB)
+	ch := gibbs.NewChain(corpus.DB, stats.NewRNG(1))
+	ch.SetModel(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Sweep(nil)
+	}
+}
+
+func BenchmarkGibbsRunFull(b *testing.B) {
+	corpus := microCorpus(b)
+	m := crf.New(corpus.DB)
+	ch := gibbs.NewChain(corpus.DB, stats.NewRNG(1))
+	ch.SetModel(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ch.Run(5, 10)
+	}
+}
+
+func BenchmarkTRONMStep(b *testing.B) {
+	corpus := microCorpus(b)
+	m := crf.New(corpus.DB)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	for c := 0; c < corpus.DB.NumClaims/2; c++ {
+		state.SetLabel(c, corpus.Truth[c])
+	}
+	p := make([]float64, corpus.DB.NumClaims)
+	for c := range p {
+		p[c] = 0.5
+		if v, ok := state.Label(c); ok {
+			if v {
+				p[c] = 1
+			} else {
+				p[c] = 0
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob := m.MStepProblem(state, p, crf.MStepOptions{Lambda: 0.1, LabelWeight: 3})
+		_ = optimize.Minimize(prob, make([]float64, m.Dim()), optimize.Config{})
+	}
+}
+
+func BenchmarkIncrementalInference(b *testing.B) {
+	corpus := microCorpus(b)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	engine := em.NewEngine(corpus.DB, em.DefaultConfig(), 3)
+	engine.InferFull(state)
+	rng := stats.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := rng.Intn(corpus.DB.NumClaims)
+		state.SetLabel(c, corpus.Truth[c])
+		engine.InferIncremental(state)
+	}
+}
+
+func BenchmarkInformationGainSelection(b *testing.B) {
+	corpus := microCorpus(b)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	engine := em.NewEngine(corpus.DB, em.DefaultConfig(), 3)
+	engine.InferFull(state)
+	ctx := &guidance.Context{
+		DB: corpus.DB, State: state, Engine: engine,
+		Grounding: engine.Grounding(state), RNG: stats.NewRNG(7),
+		CandidatePool: 8, Workers: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = guidance.Select(guidance.InfoGain{}, ctx)
+	}
+}
+
+func BenchmarkGreedyBatchSelection(b *testing.B) {
+	rng := stats.NewRNG(9)
+	n := 64
+	claims := make([]int, n)
+	ig := make([]float64, n)
+	corr := guidance.NewCorrelation(microCorpus(b).DB, claims)
+	for i := range ig {
+		ig[i] = rng.Float64()
+	}
+	q := corr.Importance(ig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = guidance.GreedyBatch(corr, ig, q, 4, 10)
+	}
+}
+
+func BenchmarkStreamObserveClaim(b *testing.B) {
+	corpus := microCorpus(b)
+	m := crf.New(corpus.DB)
+	eng := stream.New(m.Dim(), stream.DefaultConfig())
+	rows, signs := stream.RowsForClaim(m, 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ObserveClaim(rows, signs, nil)
+	}
+}

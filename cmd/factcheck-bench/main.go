@@ -1,0 +1,140 @@
+// Command factcheck-bench regenerates the paper's tables and figures
+// (§8) from the reproduction harness. Each experiment prints an aligned
+// text table with the same rows/series the paper reports.
+//
+// Usage:
+//
+//	factcheck-bench -exp fig6 -claims 150 -runs 3
+//	factcheck-bench -exp all
+//	factcheck-bench -list
+//
+// Experiment ids: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// tab1 tab2 tab3 stream, plus the ablations ab-warm ab-trust ab-entropy
+// ab-pool ab-batch. The -claims flag scales every dataset to roughly that
+// many claims (DESIGN.md §5); -claims 0 runs the full published sizes
+// (slow: snopes alone has 4856 claims).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"factcheck/internal/experiments"
+)
+
+type runner struct {
+	desc string
+	run  func(experiments.Config) fmt.Stringer
+}
+
+func table(t experiments.Table) fmt.Stringer { return t }
+
+var registry = map[string]runner{
+	"fig2": {"avg response time per iteration (3 variants × 3 datasets)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig2(c).Table()) }},
+	"fig3": {"response time vs label effort (snopes)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig3(c).Table()) }},
+	"fig4": {"histogram of correct-value probabilities at 0/20/40% effort",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig4(c).Table()) }},
+	"fig5": {"uncertainty vs precision correlation",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig5(c).Table()) }},
+	"fig6": {"effectiveness of guiding (5 strategies × 3 datasets)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig6(c).Table()) }},
+	"fig7": {"guiding with erroneous user input (p=0.2)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig7(c).Table()) }},
+	"fig8": {"effects of missing user input (skipping)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig8(c).Table()) }},
+	"fig9": {"early termination indicators",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig9(c).Table()) }},
+	"fig10": {"static batch size trade-off",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig10(c).Table()) }},
+	"fig11": {"dynamic batch size trade-off",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunFig11(c).Table()) }},
+	"tab1": {"detected user mistakes",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunTable1(c).Table()) }},
+	"tab2": {"streaming validation-sequence preservation (Kendall τ_b)",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunTable2(c).Table()) }},
+	"tab3": {"experts vs crowd workers",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunTable3(c).Table()) }},
+	"stream": {"streaming model update time",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunStreamTime(c).Table()) }},
+	"ab-warm": {"ablation: warm vs cold inference",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunAblationWarmStart(c).Table()) }},
+	"ab-trust": {"ablation: trust coupling on/off",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunAblationTrustCoupling(c).Table()) }},
+	"ab-entropy": {"ablation: exact vs approximate entropy",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunAblationEntropy(c).Table()) }},
+	"ab-pool": {"ablation: candidate pool size",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunAblationCandidatePool(c).Table()) }},
+	"ab-batch": {"ablation: greedy vs random batch",
+		func(c experiments.Config) fmt.Stringer { return table(experiments.RunAblationBatchGreedy(c).Table()) }},
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id, or 'all'")
+		claims   = flag.Int("claims", 90, "scale each dataset to ~this many claims (0 = full published sizes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 1, "repetitions where the paper averages")
+		workers  = flag.Int("workers", 0, "parallel what-if workers (0 = GOMAXPROCS)")
+		pool     = flag.Int("pool", 16, "candidate pool for what-if scoring")
+		datasets = flag.String("datasets", "", "comma-separated subset of wiki,health,snopes")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range ids() {
+			fmt.Printf("%-10s %s\n", id, registry[id].desc)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "missing -exp; use -list to see available experiments")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		TargetClaims:  *claims,
+		Seed:          *seed,
+		Runs:          *runs,
+		Workers:       *workers,
+		CandidatePool: *pool,
+	}
+	if *claims == 0 {
+		cfg.TargetClaims = 1 << 30 // no shrinking
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var toRun []string
+	if *exp == "all" {
+		toRun = ids()
+	} else {
+		if _, ok := registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []string{*exp}
+	}
+	for _, id := range toRun {
+		start := time.Now()
+		result := registry[id].run(cfg)
+		fmt.Println(result)
+		fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,123 @@
+// Command factcheck-datagen materialises a synthetic corpus (§8.1 shaped)
+// as JSON for inspection or external tooling.
+//
+// Usage:
+//
+//	factcheck-datagen -profile wiki -scale 0.2 -seed 42 -out corpus.json
+//	factcheck-datagen -profile snopes -stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"factcheck/internal/synth"
+)
+
+// fileCorpus is the JSON schema written by this tool.
+type fileCorpus struct {
+	Profile   string       `json:"profile"`
+	Seed      int64        `json:"seed"`
+	Sources   []fileSource `json:"sources"`
+	Documents []fileDoc    `json:"documents"`
+	Claims    []fileClaim  `json:"claims"`
+}
+
+type fileSource struct {
+	ID       int       `json:"id"`
+	Features []float64 `json:"features"`
+	Trust    float64   `json:"latent_trust"`
+}
+
+type fileDoc struct {
+	ID       int       `json:"id"`
+	Source   int       `json:"source"`
+	Features []float64 `json:"features"`
+	Refs     []fileRef `json:"refs"`
+}
+
+type fileRef struct {
+	Claim  int    `json:"claim"`
+	Stance string `json:"stance"`
+}
+
+type fileClaim struct {
+	ID       int  `json:"id"`
+	Credible bool `json:"credible"`
+	Order    int  `json:"posting_order"`
+}
+
+func main() {
+	var (
+		profile   = flag.String("profile", "wiki", "corpus profile: wiki, health or snopes")
+		scale     = flag.Float64("scale", 1.0, "size scale factor")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+		statsOnly = flag.Bool("stats", false, "print corpus statistics instead of JSON")
+	)
+	flag.Parse()
+
+	prof, err := synth.ByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *scale != 1 {
+		prof = prof.Scaled(*scale)
+	}
+	corpus := synth.Generate(prof, *seed)
+
+	if *statsOnly {
+		fmt.Printf("%s (seed %d): %s\n", prof.Name, *seed, corpus.DB.Stats())
+		hard := 0
+		for _, v := range corpus.Truth {
+			if v {
+				hard++
+			}
+		}
+		fmt.Printf("credible claims: %d of %d\n", hard, len(corpus.Truth))
+		return
+	}
+
+	fc := fileCorpus{Profile: prof.Name, Seed: *seed}
+	for s, src := range corpus.DB.Sources {
+		fc.Sources = append(fc.Sources, fileSource{
+			ID: src.ID, Features: src.Features, Trust: corpus.SourceTrust[s],
+		})
+	}
+	for _, d := range corpus.DB.Documents {
+		fd := fileDoc{ID: d.ID, Source: d.Source, Features: d.Features}
+		for _, ref := range d.Refs {
+			fd.Refs = append(fd.Refs, fileRef{Claim: ref.Claim, Stance: ref.Stance.String()})
+		}
+		fc.Documents = append(fc.Documents, fd)
+	}
+	orderOf := make([]int, corpus.DB.NumClaims)
+	for pos, c := range corpus.ClaimOrder {
+		orderOf[c] = pos
+	}
+	for c := 0; c < corpus.DB.NumClaims; c++ {
+		fc.Claims = append(fc.Claims, fileClaim{
+			ID: c, Credible: corpus.Truth[c], Order: orderOf[c],
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

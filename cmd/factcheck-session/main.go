@@ -1,0 +1,134 @@
+// Command factcheck-session runs an interactive validation session on a
+// synthetic corpus: the framework selects the most beneficial claim, the
+// user answers y (credible), n (non-credible), s (skip) or q (quit), and
+// the model's inference and grounding update live. With -auto the
+// simulated ground-truth user answers instead, which makes the tool a
+// demonstration of the full Alg. 1 loop.
+//
+// Usage:
+//
+//	factcheck-session -profile wiki -scale 0.2 -goal 0.9
+//	factcheck-session -auto -profile snopes -scale 0.02
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"factcheck"
+	"factcheck/internal/synth"
+)
+
+// consoleUser prompts on stdin. It also reports the model's current
+// estimate, mirroring the paper's assumption that validators see the
+// inferred credibility (§5.2).
+type consoleUser struct {
+	session *factcheck.Session
+	corpus  *factcheck.Corpus
+	in      *bufio.Scanner
+	quit    bool
+}
+
+func (u *consoleUser) Validate(claim int) (bool, bool) {
+	if u.quit {
+		return false, false
+	}
+	db := u.corpus.DB
+	fmt.Printf("\nclaim #%d — model: P(credible) = %.2f\n", claim, u.session.State.P(claim))
+	fmt.Printf("  evidence: %d documents from %d sources\n",
+		len(db.ClaimCliques[claim]), len(db.ClaimSources[claim]))
+	sup, ref := 0, 0
+	for _, ci := range db.ClaimCliques[claim] {
+		if db.Cliques[ci].Stance == factcheck.Support {
+			sup++
+		} else {
+			ref++
+		}
+	}
+	fmt.Printf("  stances: %d support, %d refute\n", sup, ref)
+	for {
+		fmt.Print("credible? [y/n/s(kip)/q(uit)]: ")
+		if !u.in.Scan() {
+			u.quit = true
+			return false, false
+		}
+		switch strings.TrimSpace(strings.ToLower(u.in.Text())) {
+		case "y", "yes":
+			return true, true
+		case "n", "no":
+			return false, true
+		case "s", "skip":
+			return false, false
+		case "q", "quit":
+			u.quit = true
+			return false, false
+		}
+	}
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "wiki", "corpus profile: wiki, health or snopes")
+		scale   = flag.Float64("scale", 0.2, "corpus scale factor")
+		seed    = flag.Int64("seed", 42, "random seed")
+		goal    = flag.Float64("goal", 0.9, "precision goal (with -auto)")
+		auto    = flag.Bool("auto", false, "answer with the simulated ground-truth user")
+		budget  = flag.Int("budget", 0, "effort budget (0 = all claims)")
+	)
+	flag.Parse()
+
+	prof, err := synth.ByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	corpus := factcheck.GenerateCorpus(prof.Scaled(*scale), *seed)
+	fmt.Printf("corpus: %s\n", corpus.DB.Stats())
+
+	quit := false
+	opts := factcheck.Options{
+		Seed:   *seed + 1,
+		Budget: *budget,
+		Goal: func(s *factcheck.Session) bool {
+			if quit {
+				return true
+			}
+			return *auto && s.Precision(corpus.Truth) >= *goal
+		},
+	}
+	session := factcheck.NewSession(corpus.DB, opts)
+	fmt.Printf("initial automated precision: %.3f\n", session.Precision(corpus.Truth))
+
+	var user factcheck.User
+	if *auto {
+		user = &factcheck.Oracle{Truth: corpus.Truth}
+		session.Observer = func(s *factcheck.Session) {
+			fmt.Printf("iteration %3d: effort %5.1f%%  precision %.3f\n",
+				s.Iterations(), 100*s.Effort(), s.Precision(corpus.Truth))
+		}
+	} else {
+		cu := &consoleUser{session: session, corpus: corpus, in: bufio.NewScanner(os.Stdin)}
+		user = cu
+		session.Observer = func(s *factcheck.Session) {
+			last := s.History()[len(s.History())-1]
+			verdict := "non-credible"
+			if last.Verdict {
+				verdict = "credible"
+			}
+			truthStr := "correct"
+			if last.Verdict != corpus.Truth[last.Claim] {
+				truthStr = "WRONG (ground truth disagrees)"
+			}
+			fmt.Printf("recorded: claim #%d = %s (%s). effort %.1f%%, precision %.3f\n",
+				last.Claim, verdict, truthStr, 100*s.Effort(), s.Precision(corpus.Truth))
+			quit = quit || cu.quit
+		}
+	}
+
+	n := session.Run(user)
+	fmt.Printf("\nsession over: %d validations, %.1f%% effort, precision %.3f\n",
+		n, 100*session.Effort(), session.Precision(corpus.Truth))
+}

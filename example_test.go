@@ -1,0 +1,55 @@
+package factcheck_test
+
+import (
+	"fmt"
+
+	"factcheck"
+)
+
+// ExampleNewSession runs the guided validation loop to a precision goal.
+func ExampleNewSession() {
+	corpus := factcheck.GenerateCorpus(factcheck.Wikipedia.Scaled(0.2), 42)
+	session := factcheck.NewSession(corpus.DB, factcheck.Options{
+		Seed:          7,
+		CandidatePool: 8,
+		Workers:       1,
+		Goal: func(s *factcheck.Session) bool {
+			return s.Precision(corpus.Truth) >= 0.9
+		},
+	})
+	session.Run(&factcheck.Oracle{Truth: corpus.Truth})
+	fmt.Printf("reached >= 0.9 precision: %v\n", session.Precision(corpus.Truth) >= 0.9)
+	fmt.Printf("validated all claims: %v\n", session.Effort() >= 1)
+	// Output:
+	// reached >= 0.9 precision: true
+	// validated all claims: false
+}
+
+// ExampleGenerateCorpus shows corpus generation determinism.
+func ExampleGenerateCorpus() {
+	a := factcheck.GenerateCorpus(factcheck.Snopes.Scaled(0.003), 1)
+	b := factcheck.GenerateCorpus(factcheck.Snopes.Scaled(0.003), 1)
+	fmt.Println(a.DB.Stats() == b.DB.Stats())
+	// Output: true
+}
+
+// ExampleGrounding_Precision scores a trusted fact set against a known
+// assignment.
+func ExampleGrounding_Precision() {
+	g := factcheck.Grounding{true, false, true, true}
+	truth := []bool{true, false, false, true}
+	fmt.Println(g.Precision(truth))
+	// Output: 0.75
+}
+
+// ExampleNewTracker demonstrates an early-termination decision (§6.1).
+func ExampleNewTracker() {
+	tr := factcheck.NewTracker(5)
+	// Three iterations with almost no uncertainty reduction.
+	for _, h := range []float64{10, 9.95, 9.93, 9.92} {
+		tr.Observe(factcheck.Observation{Entropy: h, Claims: 100})
+	}
+	stop := tr.ShouldStop(factcheck.Thresholds{URRBelow: 0.05, Consecutive: 3})
+	fmt.Println(stop)
+	// Output: true
+}

@@ -1,0 +1,85 @@
+// Command healthforum mirrors the paper's healthcare scenario (§8.1): a
+// forum corpus of drug side-effect claims where misinformation is costly.
+// It compares guided validation against the random baseline and stops
+// early once the §6.1 convergence indicators fire, instead of exhausting
+// the effort budget.
+//
+// Run with:
+//
+//	go run ./examples/healthforum
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"factcheck"
+)
+
+func main() {
+	corpus := factcheck.GenerateCorpus(factcheck.Health.Scaled(0.15), 11)
+	fmt.Printf("healthboards-shaped corpus: %s\n\n", corpus.DB.Stats())
+
+	for _, strat := range []factcheck.Strategy{
+		factcheck.RandomStrategy{},
+		&factcheck.HybridStrategy{},
+	} {
+		effort, prec, stopped := runWithEarlyStop(corpus, strat)
+		how := "budget exhausted"
+		if stopped {
+			how = "early termination (URR+CNG converged)"
+		}
+		fmt.Printf("%-12s effort %5.1f%%  precision %.3f  [%s]\n",
+			strat.Name(), 100*effort, prec, how)
+	}
+}
+
+// runWithEarlyStop runs a session that stops when the uncertainty
+// reduction rate and the amount-of-changes indicator both report
+// convergence (§6.1).
+func runWithEarlyStop(corpus *factcheck.Corpus, strat factcheck.Strategy) (effort, precision float64, stopped bool) {
+	tracker := factcheck.NewTracker(5)
+	thresholds := factcheck.Thresholds{
+		URRBelow:    0.05,
+		CNGBelow:    0.05,
+		Consecutive: 5,
+	}
+	session := factcheck.NewSession(corpus.DB, factcheck.Options{
+		Strategy: strat,
+		Seed:     13,
+		Goal: func(s *factcheck.Session) bool {
+			// Give the model a minimum of evidence before trusting the
+			// convergence indicators.
+			return s.Effort() > 0.15 && tracker.ShouldStop(thresholds)
+		},
+	})
+	session.Observer = func(s *factcheck.Session) {
+		hist := s.History()
+		matched := false
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			matched = s.PrevGrounding()[last.Claim] == last.Verdict
+		}
+		tracker.Observe(factcheck.Observation{
+			Entropy:           entropyOf(s),
+			Changes:           s.Grounding().Diff(s.PrevGrounding()),
+			Claims:            s.DB.NumClaims,
+			PredictionMatched: matched,
+		})
+	}
+	session.Run(&factcheck.Oracle{Truth: corpus.Truth})
+	return session.Effort(), session.Precision(corpus.Truth),
+		tracker.ShouldStop(thresholds)
+}
+
+// entropyOf is the Eq. 13 uncertainty of the session state.
+func entropyOf(s *factcheck.Session) float64 {
+	h := 0.0
+	for c := 0; c < s.State.Len(); c++ {
+		p := s.State.P(c)
+		if p > 0 && p < 1 {
+			h += -p*math.Log(p) - (1-p)*math.Log(1-p)
+		}
+	}
+	return h
+}

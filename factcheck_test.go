@@ -1,0 +1,98 @@
+package factcheck_test
+
+import (
+	"testing"
+
+	"factcheck"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end
+// to end through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	corpus := factcheck.GenerateCorpus(factcheck.Wikipedia.Scaled(0.2), 1)
+	session := factcheck.NewSession(corpus.DB, factcheck.Options{
+		Seed:          2,
+		CandidatePool: 8,
+		Workers:       1,
+		Goal: func(s *factcheck.Session) bool {
+			return s.Precision(corpus.Truth) >= 0.9
+		},
+	})
+	n := session.Run(&factcheck.Oracle{Truth: corpus.Truth})
+	if session.Precision(corpus.Truth) < 0.9 {
+		t.Fatalf("goal not reached: precision %v after %d validations",
+			session.Precision(corpus.Truth), n)
+	}
+	if n == 0 || n > corpus.DB.NumClaims {
+		t.Fatalf("validations = %d", n)
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	corpus := factcheck.GenerateCorpus(factcheck.Snopes.Scaled(0.005), 3)
+	strategies := []factcheck.Strategy{
+		factcheck.RandomStrategy{},
+		factcheck.UncertaintyStrategy{},
+		factcheck.InfoGainStrategy{},
+		factcheck.SourceGainStrategy{},
+		&factcheck.HybridStrategy{},
+	}
+	for _, strat := range strategies {
+		s := factcheck.NewSession(corpus.DB, factcheck.Options{
+			Strategy: strat, Seed: 4, Budget: 2, CandidatePool: 5, Workers: 1,
+		})
+		if got := s.Run(&factcheck.Oracle{Truth: corpus.Truth}); got != 2 {
+			t.Fatalf("%s: ran %d validations, want 2", strat.Name(), got)
+		}
+	}
+}
+
+func TestPublicAPIStreaming(t *testing.T) {
+	corpus := factcheck.GenerateCorpus(factcheck.Health.Scaled(0.02), 5)
+	engine := factcheck.NewEngine(corpus.DB, factcheck.DefaultEngineConfig(), 6)
+	se := factcheck.NewStreamEngine(engine.Model().Dim(), factcheck.DefaultStreamConfig())
+	se.SetTheta(engine.Theta())
+	if se.T() != 0 {
+		t.Fatal("fresh stream engine observed claims")
+	}
+}
+
+func TestPublicAPITracker(t *testing.T) {
+	tr := factcheck.NewTracker(5)
+	tr.Observe(factcheck.Observation{Entropy: 10, Claims: 100})
+	tr.Observe(factcheck.Observation{Entropy: 9.99, Claims: 100})
+	if tr.ShouldStop(factcheck.Thresholds{URRBelow: 0.05, Consecutive: 10}) {
+		t.Fatal("should not stop after two iterations")
+	}
+}
+
+func TestPublicAPIUsers(t *testing.T) {
+	truth := []bool{true, false, true}
+	var u factcheck.User = &factcheck.Oracle{Truth: truth}
+	if v, ok := u.Validate(0); !ok || !v {
+		t.Fatal("oracle misbehaved")
+	}
+	u = factcheck.NewErroneous(truth, 0, 7)
+	if v, ok := u.Validate(1); !ok || v {
+		t.Fatal("erroneous(0) misbehaved")
+	}
+	u = factcheck.NewSkipper(&factcheck.Oracle{Truth: truth}, 1, 8)
+	if _, ok := u.Validate(2); ok {
+		t.Fatal("skipper should skip the first ask")
+	}
+}
+
+func TestPublicAPIStateAndGrounding(t *testing.T) {
+	st := factcheck.NewState(3)
+	st.SetLabel(0, true)
+	if st.NumLabeled() != 1 {
+		t.Fatal("state labels broken")
+	}
+	g := factcheck.Grounding{true, false, true}
+	if g.Precision([]bool{true, false, false}) != 2.0/3.0 {
+		t.Fatal("grounding precision broken")
+	}
+	if factcheck.Support.Sign() != 1 || factcheck.Refute.Sign() != -1 {
+		t.Fatal("stance broken")
+	}
+}

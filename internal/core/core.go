@@ -1,0 +1,323 @@
+// Package core implements the complete validation process of §5 (Alg. 1):
+// the iterative loop that selects claims by a guidance strategy, elicits
+// user input, infers its implications with iCRF, and instantiates a
+// grounding — plus the confirmation-check robustness mechanism of §5.2
+// and the batched variant of §6.2.
+package core
+
+import (
+	"fmt"
+
+	"factcheck/internal/em"
+	"factcheck/internal/factdb"
+	"factcheck/internal/guidance"
+	"factcheck/internal/stats"
+)
+
+// User elicits validation verdicts. Validate returns the user's verdict
+// for a claim; ok = false means the user skips this claim (§8.5, missing
+// user input), in which case the session falls back to the next-best
+// candidate.
+type User interface {
+	Validate(claim int) (verdict bool, ok bool)
+}
+
+// Options configures a validation session.
+type Options struct {
+	// Strategy selects claims; defaults to the hybrid strategy of §4.4.
+	Strategy guidance.Strategy
+	// Budget is the effort budget b (maximum number of validations);
+	// 0 means |C|.
+	Budget int
+	// Goal is the validation goal Δ, evaluated after each iteration; a
+	// nil goal never stops the loop early.
+	Goal func(*Session) bool
+	// BatchSize is the number of claims validated per iteration (§6.2);
+	// values below 2 disable batching.
+	BatchSize int
+	// BatchW is the balance weight w of Eq. 27 (default 4).
+	BatchW float64
+	// CandidatePool bounds what-if scoring (0 = all unlabelled claims).
+	CandidatePool int
+	// Workers bounds parallel what-if scoring (0 = GOMAXPROCS).
+	Workers int
+	// ConfirmEvery triggers the §5.2 confirmation check each time this
+	// fraction of |C| has been validated since the previous check
+	// (e.g. 0.01 per §8.5); 0 disables the check.
+	ConfirmEvery float64
+	// EM configures the inference engine.
+	EM em.Config
+	// Seed drives all session randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == nil {
+		o.Strategy = &guidance.Hybrid{}
+	}
+	if o.BatchW == 0 {
+		o.BatchW = 4
+	}
+	if o.EM == (em.Config{}) {
+		o.EM = em.DefaultConfig()
+	}
+	return o
+}
+
+// Validation records one elicited verdict.
+type Validation struct {
+	Claim    int
+	Verdict  bool
+	Iter     int
+	Repaired bool // set when a confirmation check replaced the verdict
+}
+
+// Session is a running validation process over one fact database.
+type Session struct {
+	DB     *factdb.DB
+	State  *factdb.State
+	Engine *em.Engine
+
+	opts      Options
+	rng       *stats.RNG
+	hybrid    *guidance.Hybrid // non-nil when the strategy is hybrid
+	grounding factdb.Grounding
+	prevGnd   factdb.Grounding
+	zScore    float64
+	iter      int
+	history   []Validation
+	lastCheck int // labels at the previous confirmation check
+	// prompted records the verdict a claim held the last time a
+	// confirmation check re-elicited it, bounding repeated re-elicitation
+	// of the same verdict.
+	prompted map[int]bool
+
+	// Observer, when set, runs after every iteration (used by the
+	// experiment harness to trace precision and indicator curves).
+	Observer func(*Session)
+}
+
+// NewSession builds a session and performs the initial inference and
+// grounding (Alg. 1 lines 1-4).
+func NewSession(db *factdb.DB, opts Options) *Session {
+	opts = opts.withDefaults()
+	s := &Session{
+		DB:       db,
+		State:    factdb.NewState(db.NumClaims),
+		Engine:   em.NewEngine(db, opts.EM, opts.Seed),
+		opts:     opts,
+		rng:      stats.NewRNG(opts.Seed + 1),
+		prompted: make(map[int]bool),
+	}
+	if h, ok := opts.Strategy.(*guidance.Hybrid); ok {
+		s.hybrid = h
+	}
+	s.Engine.InferFull(s.State)
+	s.grounding = s.Engine.Grounding(s.State)
+	s.prevGnd = s.grounding.Clone()
+	return s
+}
+
+// Grounding returns the current grounding g_i.
+func (s *Session) Grounding() factdb.Grounding { return s.grounding }
+
+// PrevGrounding returns g_{i−1}, for the amount-of-changes indicator.
+func (s *Session) PrevGrounding() factdb.Grounding { return s.prevGnd }
+
+// Iterations returns the number of completed iterations.
+func (s *Session) Iterations() int { return s.iter }
+
+// History returns the elicited validations in order.
+func (s *Session) History() []Validation { return s.history }
+
+// ZScore returns the current hybrid score z_i.
+func (s *Session) ZScore() float64 { return s.zScore }
+
+// Effort returns |C_L| / |C|.
+func (s *Session) Effort() float64 { return s.State.Effort() }
+
+// ctx assembles the guidance context for the current iteration.
+func (s *Session) ctx() *guidance.Context {
+	return &guidance.Context{
+		DB:            s.DB,
+		State:         s.State,
+		Engine:        s.Engine,
+		Grounding:     s.grounding,
+		RNG:           s.rng,
+		CandidatePool: s.opts.CandidatePool,
+		Workers:       s.opts.Workers,
+	}
+}
+
+// Step runs one iteration of Alg. 1 (lines 7-19); done reports that no
+// unlabelled claims remain afterwards. In single-claim mode the skipping
+// fallback of §8.5 applies: when the user skips the top-ranked claim, the
+// second-best candidate is validated instead. In batch mode (§6.2) a
+// greedy top-k batch is elicited and inference runs once for the whole
+// batch.
+func (s *Session) Step(user User) (done bool) {
+	if s.hybrid != nil {
+		s.hybrid.Z = s.zScore
+	}
+	type pick struct {
+		c int
+		v bool
+	}
+	var picks []pick
+	if s.opts.BatchSize >= 2 {
+		b := &guidance.BatchSelector{W: s.opts.BatchW, K: s.opts.BatchSize}
+		for _, c := range b.SelectBatch(s.ctx(), s.opts.BatchSize) {
+			v, ok := user.Validate(c)
+			if !ok {
+				v = s.State.P(c) >= 0.5 // a skip inside a batch accepts the model value
+			}
+			picks = append(picks, pick{c, v})
+		}
+	} else {
+		ranked := s.opts.Strategy.Rank(s.ctx(), 2)
+		if len(ranked) == 0 {
+			return true
+		}
+		c := ranked[0]
+		v, ok := user.Validate(c)
+		if !ok && len(ranked) > 1 {
+			// User skipped: validate the second-best candidate (§8.5).
+			c = ranked[1]
+			v, ok = user.Validate(c)
+		}
+		if !ok {
+			v = s.State.P(c) >= 0.5 // a repeated skip accepts the model value
+		}
+		picks = append(picks, pick{c, v})
+	}
+	if len(picks) == 0 {
+		return true
+	}
+
+	// (2) Record input and compute the error rate ε_i (lines 10-13).
+	var eps float64
+	for _, p := range picks {
+		eps = guidance.ErrorRate(s.State.P(p.c), s.grounding[p.c])
+		s.State.SetLabel(p.c, p.v)
+		s.history = append(s.history, Validation{Claim: p.c, Verdict: p.v, Iter: s.iter})
+	}
+
+	// (3) Infer implications (line 15).
+	s.Engine.InferIncremental(s.State)
+
+	// (4) Decide on the grounding (line 16).
+	s.prevGnd = s.grounding
+	s.grounding = s.Engine.Grounding(s.State)
+
+	// Lines 17-18: unreliable-source ratio and hybrid score.
+	r := guidance.UnreliableRatio(s.DB, s.grounding)
+	h := float64(s.State.NumLabeled()) / float64(s.DB.NumClaims)
+	s.zScore = guidance.HybridScore(eps, r, h)
+	s.iter++
+
+	// Periodic confirmation check (§5.2).
+	if s.opts.ConfirmEvery > 0 {
+		period := int(s.opts.ConfirmEvery * float64(s.DB.NumClaims))
+		if period < 1 {
+			period = 1
+		}
+		if s.State.NumLabeled()-s.lastCheck >= period {
+			s.ConfirmationCheck(user)
+			s.lastCheck = s.State.NumLabeled()
+		}
+	}
+
+	if s.Observer != nil {
+		s.Observer(s)
+	}
+	return s.State.NumLabeled() >= s.DB.NumClaims
+}
+
+// Run iterates until the goal Δ holds, the budget b is exhausted, or no
+// claims remain (Alg. 1 line 6); it returns the number of validations
+// elicited, repairs included.
+func (s *Session) Run(user User) int {
+	budget := s.opts.Budget
+	if budget <= 0 {
+		budget = s.DB.NumClaims
+	}
+	for s.State.NumLabeled() < budget {
+		if s.opts.Goal != nil && s.opts.Goal(s) {
+			break
+		}
+		if s.Step(user) {
+			break
+		}
+	}
+	return len(s.history)
+}
+
+// CheckResult reports a §5.2 confirmation check.
+type CheckResult struct {
+	// Flagged lists the validated claims whose leave-one-out grounding
+	// disagrees with the user input.
+	Flagged []int
+	// Repaired counts flagged claims whose re-elicited verdict differed
+	// from the stored label (the label was updated).
+	Repaired int
+}
+
+// ConfirmationCheck performs the robustness check of §5.2: for every
+// validated claim c it constructs the grounding g_i~c from all
+// information except c's validation, flags disagreements as potential
+// mistakes, and re-elicits the user's verdict for flagged claims. Each
+// re-elicitation is appended to History (extra effort). A claim flagged
+// with the same verdict it was already re-elicited for is not prompted
+// again — a verdict is binary, so every claim costs at most two repair
+// prompts over the whole session, keeping the label+repair effort of
+// Fig. 7 bounded.
+func (s *Session) ConfirmationCheck(user User) CheckResult {
+	labeled := s.State.LabeledClaims()
+	if len(labeled) == 0 {
+		return CheckResult{}
+	}
+	marg := s.Engine.HoldoutMarginals(s.State, labeled)
+	var res CheckResult
+	changed := false
+	for i, c := range labeled {
+		v, _ := s.State.Label(c)
+		loo := marg[i] >= 0.5
+		if loo == v {
+			continue
+		}
+		res.Flagged = append(res.Flagged, c)
+		if last, ok := s.prompted[c]; ok && last == v {
+			continue // this verdict was already re-confirmed once
+		}
+		s.prompted[c] = v
+		v2, ok := user.Validate(c)
+		if !ok {
+			continue
+		}
+		s.history = append(s.history, Validation{Claim: c, Verdict: v2, Iter: s.iter, Repaired: true})
+		if v2 != v {
+			s.State.SetLabel(c, v2)
+			res.Repaired++
+			changed = true
+		}
+	}
+	if changed {
+		s.Engine.InferIncremental(s.State)
+		s.prevGnd = s.grounding
+		s.grounding = s.Engine.Grounding(s.State)
+	}
+	return res
+}
+
+// Precision returns the grounding precision against a known truth; a
+// convenience for experiments (the paper simulates users from ground
+// truth, §8.1).
+func (s *Session) Precision(truth []bool) float64 {
+	return s.grounding.Precision(truth)
+}
+
+// String implements fmt.Stringer.
+func (s *Session) String() string {
+	return fmt.Sprintf("session{iter=%d labels=%d/%d z=%.3f}",
+		s.iter, s.State.NumLabeled(), s.DB.NumClaims, s.zScore)
+}

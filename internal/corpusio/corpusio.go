@@ -1,0 +1,197 @@
+// Package corpusio serialises fact-checking corpora to and from JSON, so
+// generated datasets can be inspected, shipped to external tooling, and
+// reloaded byte-identically. cmd/factcheck-datagen writes this format;
+// cmd/factcheck-bench and cmd/factcheck-session can replay it.
+//
+// The format is a single JSON document with sources, documents (with
+// stance-tagged claim references), claims (with ground truth and posting
+// order), and the latent variables needed to resume experiments.
+package corpusio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"factcheck/internal/factdb"
+	"factcheck/internal/synth"
+)
+
+// FormatVersion identifies the serialisation schema.
+const FormatVersion = 1
+
+// File is the on-disk schema.
+type File struct {
+	Version   int        `json:"version"`
+	Profile   string     `json:"profile"`
+	Seed      int64      `json:"seed,omitempty"`
+	Sources   []Source   `json:"sources"`
+	Documents []Document `json:"documents"`
+	Claims    []Claim    `json:"claims"`
+}
+
+// Source mirrors factdb.Source plus the latent trust used by simulators.
+type Source struct {
+	ID       int       `json:"id"`
+	Features []float64 `json:"features"`
+	Trust    float64   `json:"latent_trust,omitempty"`
+}
+
+// Document mirrors factdb.Document.
+type Document struct {
+	ID       int       `json:"id"`
+	Source   int       `json:"source"`
+	Features []float64 `json:"features"`
+	Refs     []Ref     `json:"refs"`
+}
+
+// Ref is a stance-tagged claim reference.
+type Ref struct {
+	Claim  int    `json:"claim"`
+	Stance string `json:"stance"`
+}
+
+// Claim carries the ground truth and streaming order.
+type Claim struct {
+	ID       int  `json:"id"`
+	Credible bool `json:"credible"`
+	Order    int  `json:"posting_order"`
+}
+
+// FromCorpus converts a generated corpus into the file schema.
+func FromCorpus(c *synth.Corpus) *File {
+	f := &File{Version: FormatVersion, Profile: c.Profile.Name}
+	for s, src := range c.DB.Sources {
+		fs := Source{ID: src.ID, Features: src.Features}
+		if s < len(c.SourceTrust) {
+			fs.Trust = c.SourceTrust[s]
+		}
+		f.Sources = append(f.Sources, fs)
+	}
+	for _, d := range c.DB.Documents {
+		fd := Document{ID: d.ID, Source: d.Source, Features: d.Features}
+		for _, ref := range d.Refs {
+			fd.Refs = append(fd.Refs, Ref{Claim: ref.Claim, Stance: ref.Stance.String()})
+		}
+		f.Documents = append(f.Documents, fd)
+	}
+	orderOf := make([]int, c.DB.NumClaims)
+	for pos, cl := range c.ClaimOrder {
+		orderOf[cl] = pos
+	}
+	for cl := 0; cl < c.DB.NumClaims; cl++ {
+		f.Claims = append(f.Claims, Claim{ID: cl, Credible: c.Truth[cl], Order: orderOf[cl]})
+	}
+	return f
+}
+
+// ToCorpus rebuilds a corpus from the file schema; the database is
+// finalised and validated.
+func (f *File) ToCorpus() (*synth.Corpus, error) {
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("corpusio: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	if len(f.Claims) == 0 {
+		return nil, fmt.Errorf("corpusio: no claims")
+	}
+	db := &factdb.DB{NumClaims: len(f.Claims)}
+	trust := make([]float64, len(f.Sources))
+	for i, s := range f.Sources {
+		if s.ID != i {
+			return nil, fmt.Errorf("corpusio: source ids must be dense (got %d at %d)", s.ID, i)
+		}
+		db.Sources = append(db.Sources, factdb.Source{ID: s.ID, Features: s.Features})
+		trust[i] = s.Trust
+	}
+	for i, d := range f.Documents {
+		if d.ID != i {
+			return nil, fmt.Errorf("corpusio: document ids must be dense (got %d at %d)", d.ID, i)
+		}
+		doc := factdb.Document{ID: d.ID, Source: d.Source, Features: d.Features}
+		for _, ref := range d.Refs {
+			st, err := parseStance(ref.Stance)
+			if err != nil {
+				return nil, err
+			}
+			doc.Refs = append(doc.Refs, factdb.ClaimRef{Claim: ref.Claim, Stance: st})
+		}
+		db.Documents = append(db.Documents, doc)
+	}
+	if err := db.Finalize(); err != nil {
+		return nil, fmt.Errorf("corpusio: invalid database: %w", err)
+	}
+	truth := make([]bool, len(f.Claims))
+	order := make([]int, len(f.Claims))
+	seen := make([]bool, len(f.Claims))
+	for _, cl := range f.Claims {
+		if cl.ID < 0 || cl.ID >= len(f.Claims) {
+			return nil, fmt.Errorf("corpusio: claim id %d out of range", cl.ID)
+		}
+		truth[cl.ID] = cl.Credible
+		if cl.Order < 0 || cl.Order >= len(f.Claims) || seen[cl.Order] {
+			return nil, fmt.Errorf("corpusio: posting orders must form a permutation")
+		}
+		seen[cl.Order] = true
+		order[cl.Order] = cl.ID
+	}
+	prof, err := synth.ByName(f.Profile)
+	if err != nil {
+		// Unknown profiles are allowed in files; keep the name only.
+		prof = synth.Profile{Name: f.Profile}
+	}
+	return &synth.Corpus{
+		Profile:     prof,
+		DB:          db,
+		Truth:       truth,
+		SourceTrust: trust,
+		ClaimOrder:  order,
+	}, nil
+}
+
+func parseStance(s string) (factdb.Stance, error) {
+	switch s {
+	case "support":
+		return factdb.Support, nil
+	case "refute":
+		return factdb.Refute, nil
+	}
+	return 0, fmt.Errorf("corpusio: unknown stance %q", s)
+}
+
+// Write serialises the corpus as indented JSON.
+func Write(w io.Writer, c *synth.Corpus) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromCorpus(c))
+}
+
+// Read parses a corpus from JSON.
+func Read(r io.Reader) (*synth.Corpus, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("corpusio: %w", err)
+	}
+	return f.ToCorpus()
+}
+
+// Save writes the corpus to a file path.
+func Save(path string, c *synth.Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, c)
+}
+
+// Load reads a corpus from a file path.
+func Load(path string) (*synth.Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,146 @@
+package corpusio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"factcheck/internal/synth"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := synth.Generate(synth.Wikipedia.Scaled(0.15), 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DB.Stats() != orig.DB.Stats() {
+		t.Fatalf("stats changed: %v vs %v", got.DB.Stats(), orig.DB.Stats())
+	}
+	for c := range orig.Truth {
+		if got.Truth[c] != orig.Truth[c] {
+			t.Fatalf("truth[%d] changed", c)
+		}
+	}
+	for i := range orig.ClaimOrder {
+		if got.ClaimOrder[i] != orig.ClaimOrder[i] {
+			t.Fatalf("order[%d] changed", i)
+		}
+	}
+	for s := range orig.SourceTrust {
+		if got.SourceTrust[s] != orig.SourceTrust[s] {
+			t.Fatalf("trust[%d] changed", s)
+		}
+	}
+	for d := range orig.DB.Documents {
+		od, gd := orig.DB.Documents[d], got.DB.Documents[d]
+		if od.Source != gd.Source || len(od.Refs) != len(gd.Refs) {
+			t.Fatalf("document %d changed", d)
+		}
+		for r := range od.Refs {
+			if od.Refs[r] != gd.Refs[r] {
+				t.Fatalf("document %d ref %d changed", d, r)
+			}
+		}
+		for j := range od.Features {
+			if od.Features[j] != gd.Features[j] {
+				t.Fatalf("document %d feature %d changed", d, j)
+			}
+		}
+	}
+	if got.Profile.Name == "" {
+		t.Fatal("profile name lost")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	orig := synth.Generate(synth.Health.Scaled(0.01), 9)
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := Save(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DB.Stats() != orig.DB.Stats() {
+		t.Fatalf("stats changed: %v vs %v", got.DB.Stats(), orig.DB.Stats())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version": 99, "claims": [{"id":0}]}`,
+		"no claims":   `{"version": 1}`,
+		"bad stance": `{"version":1,"sources":[{"id":0}],
+			"documents":[{"id":0,"source":0,"refs":[{"claim":0,"stance":"maybe"}]}],
+			"claims":[{"id":0,"credible":true,"posting_order":0}]}`,
+		"sparse sources": `{"version":1,"sources":[{"id":5}],
+			"documents":[{"id":0,"source":0,"refs":[{"claim":0,"stance":"support"}]}],
+			"claims":[{"id":0,"credible":true,"posting_order":0}]}`,
+		"order not permutation": `{"version":1,"sources":[{"id":0}],
+			"documents":[{"id":0,"source":0,"refs":[{"claim":0,"stance":"support"}]},
+			             {"id":1,"source":0,"refs":[{"claim":1,"stance":"support"}]}],
+			"claims":[{"id":0,"credible":true,"posting_order":0},
+			          {"id":1,"credible":false,"posting_order":0}]}`,
+		"orphan claim": `{"version":1,"sources":[{"id":0}],
+			"documents":[{"id":0,"source":0,"refs":[{"claim":0,"stance":"support"}]}],
+			"claims":[{"id":0,"credible":true,"posting_order":0},
+			          {"id":1,"credible":false,"posting_order":1}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := Read(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestUnknownProfileNamePreserved(t *testing.T) {
+	orig := synth.Generate(synth.Wikipedia.Scaled(0.1), 11)
+	f := FromCorpus(orig)
+	f.Profile = "custom-dataset"
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with the custom name.
+	got, err := f.ToCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile.Name != "custom-dataset" {
+		t.Fatalf("profile name = %q", got.Profile.Name)
+	}
+}
+
+func TestLoadedCorpusIsUsable(t *testing.T) {
+	orig := synth.Generate(synth.Wikipedia.Scaled(0.1), 13)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded database must support the derived indexes.
+	if got.DB.NumComponents() != orig.DB.NumComponents() {
+		t.Fatalf("components changed: %d vs %d",
+			got.DB.NumComponents(), orig.DB.NumComponents())
+	}
+	if got.DB.SharedSources(0, 0) == 0 {
+		t.Fatal("claim 0 should share sources with itself")
+	}
+}

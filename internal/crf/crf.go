@@ -1,0 +1,275 @@
+// Package crf implements the Conditional Random Field of §3.1: the
+// log-linear clique potentials of Eq. 2 over (claim, document, source)
+// relation factors, with tied parameters and the stance encoding of the
+// opposing variables ¬c (Eq. 3).
+//
+// Parameterisation. The paper assigns each clique π a weight set
+// W_π = {w_π,0, w_π,1, w^D_π,t, w^S_π,t}; as is standard for CRFs the
+// weights are tied across cliques (learning per-clique weights from at
+// most one label per claim is statistically void — see DESIGN.md). In a
+// binary model only the difference of the two per-configuration weight
+// vectors is identifiable, so the model stores a single parameter vector
+// θ and defines the clique's contribution to the log-odds of its claim as
+//
+//	score(π) = Stance(π).Sign() · θ·x(π)
+//	x(π) = [1, f^D(d), f^S(s), trust(s)]
+//
+// where trust(s) ∈ [−1, 1] is the mutual-reinforcement feature: the
+// stance-weighted agreement of the source's other claims under the
+// current configuration (§3.2, "we weight the influence of causal
+// interactions by the credibility of their contained claims"). A refuting
+// document attaches to the opposing variable ¬c, which the Sign() factor
+// realises; Pr(c = ¬c) = 0 holds by construction.
+package crf
+
+import (
+	"fmt"
+
+	"factcheck/internal/factdb"
+	"factcheck/internal/optimize"
+)
+
+// OddsGain scales a claim's averaged clique score into its credibility
+// log-odds: LogOdds(c) = OddsGain · mean_π(Stance·θ·x(π)). Averaging
+// (instead of summing) keeps a claim's evidence bounded regardless of its
+// document count — otherwise the bias term times the stance balance grows
+// with popularity and saturates every well-covered claim — while the gain
+// restores enough dynamic range for unanimous evidence to be decisive.
+const OddsGain = 4.0
+
+// Model is the tied-parameter CRF over a fact database.
+type Model struct {
+	DB    *factdb.DB
+	Theta []float64 // layout: [bias, doc features..., source features..., trust]
+}
+
+// New creates a model with zero weights, which realises the maximum
+// entropy initialisation of §8.1: every clique potential is uniform and
+// all credibility probabilities start at 0.5.
+func New(db *factdb.DB) *Model {
+	return &Model{DB: db, Theta: make([]float64, 2+db.DocFeatureDim()+db.SourceFeatureDim())}
+}
+
+// Dim returns the parameter dimensionality: 1 (bias) + mD + mS + 1 (trust).
+func (m *Model) Dim() int { return 2 + m.DB.DocFeatureDim() + m.DB.SourceFeatureDim() }
+
+// TrustWeight returns θ_trust, the coupling strength of the
+// mutual-reinforcement feature.
+func (m *Model) TrustWeight() float64 { return m.Theta[len(m.Theta)-1] }
+
+// SetTheta replaces the parameters; the slice is copied.
+func (m *Model) SetTheta(theta []float64) {
+	if len(theta) != len(m.Theta) {
+		panic(fmt.Sprintf("crf: theta dimension %d, want %d", len(theta), len(m.Theta)))
+	}
+	copy(m.Theta, theta)
+}
+
+// CliqueFeatures writes the feature vector x(π) of clique ci into buf
+// (which must have length Dim()) using the supplied trust value for the
+// clique's source.
+func (m *Model) CliqueFeatures(ci int, trust float64, buf []float64) {
+	c := m.DB.Cliques[ci]
+	buf[0] = 1
+	k := 1
+	for _, f := range m.DB.Documents[c.Doc].Features {
+		buf[k] = f
+		k++
+	}
+	for _, f := range m.DB.Sources[c.Source].Features {
+		buf[k] = f
+		k++
+	}
+	buf[k] = trust
+}
+
+// BaseScore returns θ·x(π) with the trust feature zeroed — the static part
+// of the clique score, cached by the Gibbs sampler and refreshed whenever
+// θ changes.
+func (m *Model) BaseScore(ci int) float64 {
+	c := m.DB.Cliques[ci]
+	s := m.Theta[0]
+	k := 1
+	for _, f := range m.DB.Documents[c.Doc].Features {
+		s += m.Theta[k] * f
+		k++
+	}
+	for _, f := range m.DB.Sources[c.Source].Features {
+		s += m.Theta[k] * f
+		k++
+	}
+	return s
+}
+
+// BaseScores computes BaseScore for every clique into a fresh slice.
+func (m *Model) BaseScores() []float64 {
+	out := make([]float64, len(m.DB.Cliques))
+	for ci := range m.DB.Cliques {
+		out[ci] = m.BaseScore(ci)
+	}
+	return out
+}
+
+// ExpectedSourceTrust returns, per source, the expected stance agreement
+// under claim probabilities p, smoothed toward an honesty prior of 2/3
+// and mapped to [−1, 1]: a clique with a supporting stance agrees with
+// probability p(c), a refuting one with 1−p(c). The smoothing matches
+// the Gibbs sampler's coupling (see gibbs package) so the M-step's trust
+// feature and the E-step's conditional agree. This is the soft analogue
+// of Eq. 17 used to build the trust feature for the M-step.
+func ExpectedSourceTrust(db *factdb.DB, p []float64) []float64 {
+	const (
+		priorAgree    = 2.0
+		priorDisagree = 1.0
+	)
+	agree := make([]float64, len(db.Sources))
+	total := make([]float64, len(db.Sources))
+	for _, cl := range db.Cliques {
+		pc := p[cl.Claim]
+		a := pc
+		if cl.Stance == factdb.Refute {
+			a = 1 - pc
+		}
+		agree[cl.Source] += a
+		total[cl.Source]++
+	}
+	out := make([]float64, len(db.Sources))
+	for s := range out {
+		out[s] = 2*(agree[s]+priorAgree)/(total[s]+priorAgree+priorDisagree) - 1
+	}
+	return out
+}
+
+// SourceTrustFromGrounding returns Pr(s) per Eq. 17: the fraction of the
+// source's claims deemed credible by grounding g. Note Eq. 17 counts
+// claim credibility directly (not stance agreement); this is the quantity
+// driving the source-driven guidance strategy and the unreliable-source
+// ratio r_i of Alg. 1.
+func SourceTrustFromGrounding(db *factdb.DB, g factdb.Grounding) []float64 {
+	out := make([]float64, len(db.Sources))
+	for s, claims := range db.SourceClaims {
+		if len(claims) == 0 {
+			out[s] = 0.5
+			continue
+		}
+		n := 0
+		for _, c := range claims {
+			if g[c] {
+				n++
+			}
+		}
+		out[s] = float64(n) / float64(len(claims))
+	}
+	return out
+}
+
+// MStepOptions tunes the construction of the Eq. 8 objective.
+type MStepOptions struct {
+	// Lambda is the L2 regularisation strength.
+	Lambda float64
+	// LabelWeight is the example weight of cliques whose claim carries
+	// user input — user input as a first-class citizen (§3.2).
+	LabelWeight float64
+	// UnlabeledWeight is the example weight of cliques of unlabelled
+	// claims; non-positive values drop those cliques from the objective
+	// entirely (a purely supervised M-step). Down-weighting keeps
+	// unsupervised self-training from bootstrapping an arbitrary ±truth
+	// direction before user input anchors the model (see DESIGN.md).
+	UnlabeledWeight float64
+	// TargetShrink pulls unlabelled soft targets toward 0.5:
+	// y = 0.5 + TargetShrink·(p − 0.5). 1 disables shrinkage.
+	TargetShrink float64
+}
+
+// PerCliqueTrust returns, for every clique π = (c, d, s), the smoothed
+// expected stance agreement of source s computed over s's cliques
+// *excluding those of claim c*. The self-exclusion mirrors the Gibbs
+// conditional (gibbs.Chain.LogOdds) and is essential in the M-step: a
+// claim's own expected agreement is a function of its target, so an
+// inclusive trust feature leaks the label into the design matrix and the
+// optimizer rides it instead of learning the real features.
+func PerCliqueTrust(db *factdb.DB, p []float64) []float64 {
+	const (
+		priorAgree    = 2.0
+		priorDisagree = 1.0
+	)
+	agree := make([]float64, len(db.Sources))
+	total := make([]float64, len(db.Sources))
+	expAgree := func(cl factdb.Clique) float64 {
+		a := p[cl.Claim]
+		if cl.Stance == factdb.Refute {
+			a = 1 - a
+		}
+		return a
+	}
+	for _, cl := range db.Cliques {
+		agree[cl.Source] += expAgree(cl)
+		total[cl.Source]++
+	}
+	out := make([]float64, len(db.Cliques))
+	// Per claim, subtract the claim's own contribution per source.
+	ownAgree := map[int32]float64{}
+	ownCount := map[int32]float64{}
+	for c := 0; c < db.NumClaims; c++ {
+		for k := range ownAgree {
+			delete(ownAgree, k)
+		}
+		for k := range ownCount {
+			delete(ownCount, k)
+		}
+		for _, ci := range db.ClaimCliques[c] {
+			cl := db.Cliques[ci]
+			ownAgree[cl.Source] += expAgree(cl)
+			ownCount[cl.Source]++
+		}
+		for _, ci := range db.ClaimCliques[c] {
+			cl := db.Cliques[ci]
+			a := agree[cl.Source] - ownAgree[cl.Source]
+			t := total[cl.Source] - ownCount[cl.Source]
+			out[ci] = 2*(a+priorAgree)/(t+priorAgree+priorDisagree) - 1
+		}
+	}
+	return out
+}
+
+// MStepProblem assembles the weighted logistic objective of Eq. 8: one
+// example per clique with features x(π) (using self-excluded expected
+// source trust from p, see PerCliqueTrust) and soft target q = p(c) for
+// supporting cliques and 1−p(c) for refuting ones, weighted per
+// MStepOptions.
+func (m *Model) MStepProblem(state *factdb.State, p []float64, opts MStepOptions) *optimize.Logistic {
+	if opts.LabelWeight <= 0 {
+		opts.LabelWeight = 1
+	}
+	if opts.TargetShrink <= 0 {
+		opts.TargetShrink = 1
+	}
+	db := m.DB
+	trust := PerCliqueTrust(db, p)
+	dim := m.Dim()
+	var x [][]float64
+	var y, c []float64
+	buf := make([]float64, dim)
+	for ci, cl := range db.Cliques {
+		labeled := state.Labeled(int(cl.Claim))
+		w := opts.LabelWeight
+		if !labeled {
+			w = opts.UnlabeledWeight
+			if w <= 0 {
+				continue
+			}
+		}
+		m.CliqueFeatures(ci, trust[ci], buf)
+		x = append(x, append([]float64(nil), buf...))
+		target := p[cl.Claim]
+		if !labeled {
+			target = 0.5 + opts.TargetShrink*(target-0.5)
+		}
+		if cl.Stance == factdb.Refute {
+			target = 1 - target
+		}
+		y = append(y, target)
+		c = append(c, w)
+	}
+	return optimize.NewLogistic(x, y, c, opts.Lambda)
+}

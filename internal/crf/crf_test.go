@@ -1,0 +1,294 @@
+package crf
+
+import (
+	"math"
+	"testing"
+
+	"factcheck/internal/factdb"
+	"factcheck/internal/optimize"
+)
+
+// testDB: two sources, three docs, two claims.
+//
+//	source 0 (feature 0.9): doc 0 supports claim 0, doc 1 refutes claim 1
+//	source 1 (feature 0.1): doc 2 supports claim 1
+func testDB(t *testing.T) *factdb.DB {
+	t.Helper()
+	db := &factdb.DB{
+		Sources: []factdb.Source{
+			{ID: 0, Features: []float64{0.9}},
+			{ID: 1, Features: []float64{0.1}},
+		},
+		Documents: []factdb.Document{
+			{ID: 0, Source: 0, Features: []float64{0.5, 1}, Refs: []factdb.ClaimRef{{Claim: 0, Stance: factdb.Support}}},
+			{ID: 1, Source: 0, Features: []float64{0.2, 0}, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Refute}}},
+			{ID: 2, Source: 1, Features: []float64{0.8, 1}, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Support}}},
+		},
+		NumClaims: 2,
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewModelDimensions(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	// 1 bias + 2 doc features + 1 source feature + 1 trust = 5.
+	if m.Dim() != 5 {
+		t.Fatalf("Dim = %d, want 5", m.Dim())
+	}
+	if len(m.Theta) != 5 {
+		t.Fatalf("len(Theta) = %d", len(m.Theta))
+	}
+	for _, w := range m.Theta {
+		if w != 0 {
+			t.Fatal("initial weights must be zero (max entropy)")
+		}
+	}
+}
+
+func TestCliqueFeaturesLayout(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	buf := make([]float64, m.Dim())
+	m.CliqueFeatures(0, 0.3, buf)
+	want := []float64{1, 0.5, 1, 0.9, 0.3}
+	for i := range want {
+		if math.Abs(buf[i]-want[i]) > 1e-12 {
+			t.Fatalf("feature[%d] = %v, want %v (full %v)", i, buf[i], want[i], buf)
+		}
+	}
+}
+
+func TestBaseScoreMatchesFeatures(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	theta := []float64{0.5, 1, -1, 2, 3}
+	m.SetTheta(theta)
+	buf := make([]float64, m.Dim())
+	for ci := range db.Cliques {
+		m.CliqueFeatures(ci, 0, buf)
+		want := 0.0
+		for i := range buf {
+			want += theta[i] * buf[i]
+		}
+		if got := m.BaseScore(ci); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("BaseScore(%d) = %v, want %v", ci, got, want)
+		}
+	}
+	scores := m.BaseScores()
+	if len(scores) != len(db.Cliques) {
+		t.Fatal("BaseScores length mismatch")
+	}
+}
+
+func TestTrustWeight(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	m.SetTheta([]float64{0, 0, 0, 0, 7})
+	if m.TrustWeight() != 7 {
+		t.Fatalf("TrustWeight = %v", m.TrustWeight())
+	}
+}
+
+func TestSetThetaValidates(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTheta with wrong dim did not panic")
+		}
+	}()
+	m.SetTheta([]float64{1})
+}
+
+func TestSetThetaCopies(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 1
+	m.SetTheta(theta)
+	theta[0] = 99
+	if m.Theta[0] != 1 {
+		t.Fatal("SetTheta aliases caller slice")
+	}
+}
+
+func TestExpectedSourceTrust(t *testing.T) {
+	db := testDB(t)
+	// Smoothing pseudo-counts: +2 agree, +1 disagree (honesty prior 2/3).
+	// p(c0)=1, p(c1)=0: source 0's support of c0 agrees and its
+	// refutation of c1 agrees: raw 2/2, smoothed (2+2)/(2+3) -> 0.6.
+	// Source 1 supports c1: raw 0/1, smoothed 2/4 -> 0.
+	trust := ExpectedSourceTrust(db, []float64{1, 0})
+	if math.Abs(trust[0]-0.6) > 1e-12 {
+		t.Fatalf("trust[0] = %v, want 0.6", trust[0])
+	}
+	if math.Abs(trust[1]-0) > 1e-12 {
+		t.Fatalf("trust[1] = %v, want 0", trust[1])
+	}
+	// Uniform p = 0.5: expected agreement 0.5 per clique, smoothed
+	// slightly toward honesty.
+	trust = ExpectedSourceTrust(db, []float64{0.5, 0.5})
+	want0 := 2*(1+2.0)/(2+3.0) - 1   // source 0: 2 cliques
+	want1 := 2*(0.5+2.0)/(1+3.0) - 1 // source 1: 1 clique
+	if math.Abs(trust[0]-want0) > 1e-12 || math.Abs(trust[1]-want1) > 1e-12 {
+		t.Fatalf("uniform trust = %v, want [%v %v]", trust, want0, want1)
+	}
+	// The ordering property that matters: agreeing sources above
+	// disagreeing ones.
+	hi := ExpectedSourceTrust(db, []float64{1, 0})
+	lo := ExpectedSourceTrust(db, []float64{0, 1})
+	if hi[0] <= lo[0] {
+		t.Fatalf("agreement must raise trust: %v vs %v", hi[0], lo[0])
+	}
+}
+
+func TestPerCliqueTrustExcludesSelf(t *testing.T) {
+	db := testDB(t)
+	// With p(c0)=1, p(c1)=0: source 0 has cliques for claims 0 and 1.
+	// The trust feature of claim 0's clique must exclude claim 0's own
+	// agreement: remaining evidence is the c1 refutation (agree=1 of 1),
+	// smoothed (1+2)/(1+3) -> 0.5.
+	trust := PerCliqueTrust(db, []float64{1, 0})
+	var c0Clique int = -1
+	for ci, cl := range db.Cliques {
+		if cl.Claim == 0 && cl.Source == 0 {
+			c0Clique = ci
+			break
+		}
+	}
+	if c0Clique < 0 {
+		t.Fatal("no clique for claim 0 / source 0")
+	}
+	want := 2*(1+2.0)/(1+3.0) - 1
+	if math.Abs(trust[c0Clique]-want) > 1e-12 {
+		t.Fatalf("self-excluded trust = %v, want %v", trust[c0Clique], want)
+	}
+	// A claim must not see its own label through the trust feature: flip
+	// p(c0) and claim 0's own trust feature must stay unchanged.
+	flipped := PerCliqueTrust(db, []float64{0, 0})
+	if math.Abs(flipped[c0Clique]-trust[c0Clique]) > 1e-12 {
+		t.Fatalf("trust feature leaked the claim's own value: %v vs %v",
+			flipped[c0Clique], trust[c0Clique])
+	}
+}
+
+func TestExpectedSourceTrustBounds(t *testing.T) {
+	db := testDB(t)
+	for _, p := range [][]float64{{0, 1}, {1, 1}, {0.3, 0.7}} {
+		for s, v := range ExpectedSourceTrust(db, p) {
+			if v < -1-1e-12 || v > 1+1e-12 {
+				t.Fatalf("trust[%d] = %v out of [-1,1] for p=%v", s, v, p)
+			}
+		}
+	}
+}
+
+func TestSourceTrustFromGrounding(t *testing.T) {
+	db := testDB(t)
+	g := factdb.Grounding{true, false}
+	trust := SourceTrustFromGrounding(db, g)
+	// Source 0 links claims 0 (credible) and 1 (not): 1/2.
+	if math.Abs(trust[0]-0.5) > 1e-12 {
+		t.Fatalf("trust[0] = %v, want 0.5", trust[0])
+	}
+	// Source 1 links claim 1 only: 0.
+	if trust[1] != 0 {
+		t.Fatalf("trust[1] = %v, want 0", trust[1])
+	}
+}
+
+func TestMStepProblemShapes(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	state := factdb.NewState(2)
+	state.SetLabel(0, true)
+	p := []float64{1, 0.3}
+	prob := m.MStepProblem(state, p, MStepOptions{Lambda: 0.1, LabelWeight: 3, UnlabeledWeight: 1, TargetShrink: 1})
+	if len(prob.X) != len(db.Cliques) {
+		t.Fatalf("examples = %d, want %d", len(prob.X), len(db.Cliques))
+	}
+	for ci, cl := range db.Cliques {
+		wantY := p[cl.Claim]
+		if cl.Stance == factdb.Refute {
+			wantY = 1 - wantY
+		}
+		if math.Abs(prob.Y[ci]-wantY) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", ci, prob.Y[ci], wantY)
+		}
+		wantC := 1.0
+		if state.Labeled(int(cl.Claim)) {
+			wantC = 3
+		}
+		if prob.C[ci] != wantC {
+			t.Fatalf("c[%d] = %v, want %v", ci, prob.C[ci], wantC)
+		}
+	}
+}
+
+func TestMStepShrinkAndWeights(t *testing.T) {
+	db := testDB(t)
+	m := New(db)
+	state := factdb.NewState(2)
+	state.SetLabel(0, true)
+	p := []float64{1, 0.9}
+	prob := m.MStepProblem(state, p, MStepOptions{Lambda: 0.1, LabelWeight: 4, UnlabeledWeight: 0.25, TargetShrink: 0.5})
+	for ci, cl := range db.Cliques {
+		if state.Labeled(int(cl.Claim)) {
+			if prob.C[ci] != 4 {
+				t.Fatalf("labeled weight = %v", prob.C[ci])
+			}
+			continue
+		}
+		if prob.C[ci] != 0.25 {
+			t.Fatalf("unlabeled weight = %v", prob.C[ci])
+		}
+		// Unlabelled target shrunk: 0.5 + 0.5·(0.9−0.5) = 0.7 (stance
+		// support) or 0.3 (refute).
+		want := 0.7
+		if cl.Stance == factdb.Refute {
+			want = 0.3
+		}
+		if math.Abs(prob.Y[ci]-want) > 1e-12 {
+			t.Fatalf("shrunk y[%d] = %v, want %v", ci, prob.Y[ci], want)
+		}
+	}
+}
+
+func TestMStepLearnsInformativeFeature(t *testing.T) {
+	// Construct a DB where doc feature 0 perfectly predicts the
+	// (stance-adjusted) target and check the learned weight is positive.
+	var docs []factdb.Document
+	for i := 0; i < 40; i++ {
+		claim := i % 2 // claim 0 credible, claim 1 not
+		f := 0.0
+		if claim == 0 {
+			f = 1.0
+		}
+		docs = append(docs, factdb.Document{
+			ID: i, Source: 0, Features: []float64{f},
+			Refs: []factdb.ClaimRef{{Claim: claim, Stance: factdb.Support}},
+		})
+	}
+	db := &factdb.DB{
+		Sources:   []factdb.Source{{ID: 0, Features: []float64{}}},
+		Documents: docs,
+		NumClaims: 2,
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(db)
+	state := factdb.NewState(2)
+	state.SetLabel(0, true)
+	state.SetLabel(1, false)
+	prob := m.MStepProblem(state, []float64{1, 0}, MStepOptions{Lambda: 0.01})
+	res := optimize.Minimize(prob, make([]float64, m.Dim()), optimize.Config{})
+	// Feature index 1 is the document feature.
+	if res.W[1] <= 0.5 {
+		t.Fatalf("doc feature weight = %v, want strongly positive", res.W[1])
+	}
+}

@@ -1,0 +1,289 @@
+// Package em implements iCRF, the incremental inference algorithm of
+// §3.2: Expectation-Maximization over the CRF where the E-step estimates
+// claim marginals by constrained Gibbs sampling (Eq. 6-7) and the M-step
+// fits the log-linear weights with the L2-regularised Trust Region Newton
+// Method (Eq. 8). The engine keeps the Gibbs chain and the weights warm
+// across validation iterations — the view-maintenance principle that
+// avoids re-computation when new user input arrives — and exposes the
+// component-restricted what-if inference used by the guidance strategies.
+package em
+
+import (
+	"factcheck/internal/crf"
+	"factcheck/internal/factdb"
+	"factcheck/internal/gibbs"
+	"factcheck/internal/optimize"
+	"factcheck/internal/stats"
+)
+
+// Config controls the inference budgets; see DESIGN.md §6 for the
+// rationale behind the defaults.
+type Config struct {
+	// BurnIn/Samples are the Gibbs budgets of a full (cold) inference.
+	BurnIn, Samples int
+	// IncBurnIn/IncSamples are the budgets of an incremental inference
+	// after one new label; warm chains need far less mixing.
+	IncBurnIn, IncSamples int
+	// EMIters is the number of E/M alternations per inference call.
+	EMIters int
+	// HypoBurn/HypoSamples are the budgets of a component-restricted
+	// what-if run behind information gain.
+	HypoBurn, HypoSamples int
+	// Lambda is the L2 regularisation of the M-step.
+	Lambda float64
+	// LabelWeight is the example weight of cliques whose claim carries
+	// user input (user input as a first-class citizen).
+	LabelWeight float64
+	// UnlabeledWeight down-weights cliques of unlabelled claims in the
+	// M-step, damping unsupervised self-training (see crf.MStepOptions).
+	UnlabeledWeight float64
+	// TargetShrink pulls unlabelled M-step targets toward 0.5.
+	TargetShrink float64
+	// TrustCap bounds |θ_trust|; the self-reinforcing trust feature
+	// would otherwise run away in the absence of labels.
+	TrustCap float64
+	// AnchorPrior controls how quickly self-training and trust coupling
+	// ramp up with user input: both TargetShrink and TrustCap are scaled
+	// by n_labels / (n_labels + AnchorPrior). With zero labels the model
+	// therefore stays at maximum entropy — unsupervised EM on a
+	// symmetric objective would otherwise bootstrap an arbitrary ±truth
+	// direction (see DESIGN.md). This realises the pay-as-you-go
+	// principle: inference strength grows with the input that justifies
+	// it (§3.2, "mutual reinforcing relations ... further justified
+	// based on user input").
+	AnchorPrior float64
+	// Tron configures the M-step solver.
+	Tron optimize.Config
+	// DisableTrust zeroes the trust-coupling weight after every M-step,
+	// removing the mutual-reinforcement channel. This is an ablation
+	// knob (DESIGN.md), not part of the paper's model.
+	DisableTrust bool
+}
+
+// DefaultConfig returns the budgets used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		BurnIn:          20,
+		Samples:         60,
+		IncBurnIn:       5,
+		IncSamples:      30,
+		EMIters:         2,
+		HypoBurn:        4,
+		HypoSamples:     8,
+		Lambda:          0.1,
+		LabelWeight:     3,
+		UnlabeledWeight: 0, // purely supervised M-step (see crf.MStepOptions)
+		TargetShrink:    0.8,
+		TrustCap:        0.3,
+		AnchorPrior:     3,
+		Tron:            optimize.Config{MaxIter: 25, CGMaxIter: 20, Tol: 1e-4},
+	}
+}
+
+// Engine is an iCRF inference engine bound to one fact database.
+type Engine struct {
+	db    *factdb.DB
+	model *crf.Model
+	chain *gibbs.Chain
+	cfg   Config
+
+	samples *gibbs.SampleSet // Ω* of the most recent E-step
+	inited  bool
+}
+
+// NewEngine creates an engine with maximum-entropy initial parameters.
+func NewEngine(db *factdb.DB, cfg Config, seed int64) *Engine {
+	rng := stats.NewRNG(seed)
+	e := &Engine{
+		db:    db,
+		model: crf.New(db),
+		chain: gibbs.NewChain(db, rng),
+		cfg:   cfg,
+	}
+	e.chain.SetModel(e.model)
+	return e
+}
+
+// DB returns the underlying fact database.
+func (e *Engine) DB() *factdb.DB { return e.db }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Model returns the CRF model (shared, not a copy).
+func (e *Engine) Model() *crf.Model { return e.model }
+
+// Theta returns a copy of the current parameters; used by the streaming
+// engine to exchange parameters with Alg. 1 (§7).
+func (e *Engine) Theta() []float64 {
+	return append([]float64(nil), e.model.Theta...)
+}
+
+// SetTheta installs externally provided parameters (streaming reuse).
+func (e *Engine) SetTheta(theta []float64) {
+	e.model.SetTheta(theta)
+	e.chain.SetModel(e.model)
+}
+
+// LastSamples returns Ω*, the Gibbs samples of the most recent E-step
+// (nil before the first inference).
+func (e *Engine) LastSamples() *gibbs.SampleSet { return e.samples }
+
+// InferFull performs the initial inference (line 2 of Alg. 1) with the
+// full Gibbs budget, updating state probabilities in place.
+func (e *Engine) InferFull(state *factdb.State) {
+	e.chain.InitFromState(state)
+	e.infer(state, e.cfg.BurnIn, e.cfg.Samples)
+	e.inited = true
+}
+
+// InferIncremental incorporates new user input (line 15 of Alg. 1) using
+// the warm chain and reduced budgets; it falls back to InferFull when the
+// engine has not been initialised.
+func (e *Engine) InferIncremental(state *factdb.State) {
+	if !e.inited {
+		e.InferFull(state)
+		return
+	}
+	e.chain.SyncLabels(state)
+	e.infer(state, e.cfg.IncBurnIn, e.cfg.IncSamples)
+}
+
+// infer alternates E and M steps (Eq. 6-8).
+func (e *Engine) infer(state *factdb.State, burn, samples int) {
+	iters := e.cfg.EMIters
+	if iters <= 0 {
+		iters = 1
+	}
+	// Anchor factor: how much user input justifies self-training and
+	// mutual reinforcement.
+	anchor := 1.0
+	if e.cfg.AnchorPrior > 0 {
+		n := float64(state.NumLabeled())
+		anchor = n / (n + e.cfg.AnchorPrior)
+	}
+	eStep := func() {
+		e.chain.SetModel(e.model)
+		e.chain.SyncLabels(state)
+		ss := e.chain.Run(burn, samples)
+		e.samples = ss
+		for c := 0; c < e.db.NumClaims; c++ {
+			if !state.Labeled(c) {
+				state.SetP(c, ss.Marginal(c))
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		// E-step: Gibbs under current θ.
+		eStep()
+		// M-step: TRON on the expected complete-data likelihood, warm
+		// started from the current parameters. Targets use the E-step
+		// marginals; the trust *features* are anchored to user input
+		// only (unlabelled claims enter neutrally) — otherwise the
+		// mirror solution (all weights and all marginals flipped) fits
+		// the labelled cliques equally well and the alternation can
+		// oscillate between the two.
+		p := make([]float64, e.db.NumClaims)
+		for c := range p {
+			if v, ok := state.Label(c); ok {
+				if v {
+					p[c] = 1
+				}
+			} else {
+				p[c] = 0.5
+			}
+		}
+		shrink := e.cfg.TargetShrink
+		if shrink <= 0 {
+			shrink = 1
+		}
+		shrink *= anchor
+		if shrink <= 0 {
+			shrink = 1e-9 // exactly-0.5 targets; avoids the "disabled" sentinel
+		}
+		prob := e.model.MStepProblem(state, p, crf.MStepOptions{
+			Lambda:          e.cfg.Lambda,
+			LabelWeight:     e.cfg.LabelWeight,
+			UnlabeledWeight: e.cfg.UnlabeledWeight,
+			TargetShrink:    shrink,
+		})
+		if len(prob.X) == 0 {
+			continue // no training signal yet (no labels, supervised M-step)
+		}
+		res := optimize.Minimize(prob, e.model.Theta, e.cfg.Tron)
+		ti := len(res.W) - 1
+		if tc := e.cfg.TrustCap * anchor; e.cfg.TrustCap > 0 {
+			if res.W[ti] > tc {
+				res.W[ti] = tc
+			} else if res.W[ti] < -tc {
+				res.W[ti] = -tc
+			}
+		}
+		if e.cfg.DisableTrust {
+			res.W[ti] = 0
+		}
+		e.model.SetTheta(res.W)
+	}
+	// Final E-step: the reported probabilities and Ω* must reflect the
+	// final parameters, not the penultimate ones — early in a session θ
+	// can still move substantially per M-step.
+	eStep()
+}
+
+// Grounding instantiates the grounding from the latest samples (Eq. 10).
+func (e *Engine) Grounding(state *factdb.State) factdb.Grounding {
+	return gibbs.Decide(e.db, state, e.samples)
+}
+
+// NewWorkerChain returns an independent chain clone for parallel what-if
+// evaluation; each worker goroutine must own its clone.
+func (e *Engine) NewWorkerChain() *gibbs.Chain { return e.chain.Clone() }
+
+// Hypothetical runs the component-restricted what-if inference of §4.2 on
+// the supplied chain (the engine's own chain, or a worker clone): claim c
+// is clamped to v, the chain mixes within c's component, and the
+// resulting component marginals are returned. The chain is rolled back
+// before returning.
+func (e *Engine) Hypothetical(ch *gibbs.Chain, c int, v bool) gibbs.ComponentResult {
+	comp := e.db.ComponentOf(c)
+	snap := ch.SnapshotComponent(comp)
+	ch.Freeze(c, v)
+	res := ch.RunComponent(comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
+	ch.Restore(snap)
+	return res
+}
+
+// Chain exposes the engine's own chain for sequential what-if use.
+func (e *Engine) Chain() *gibbs.Chain { return e.chain }
+
+// HoldoutMarginals computes, for each claim in holdout, the credibility
+// marginal the model would infer if that claim's user input were removed
+// — with all other labels kept. Claims are grouped by connected
+// component; each component is snapshotted, its holdout claims released,
+// the chain mixed with the what-if budget, and the state rolled back.
+// This backs the leave-one-out confirmation check of §5.2 (singleton
+// holdouts) and the k-fold cross-validation precision estimate of §6.1.
+func (e *Engine) HoldoutMarginals(state *factdb.State, holdout []int) []float64 {
+	out := make([]float64, len(holdout))
+	// Group holdout indices by component.
+	byComp := make(map[int][]int)
+	for i, c := range holdout {
+		byComp[e.db.ComponentOf(c)] = append(byComp[e.db.ComponentOf(c)], i)
+	}
+	for comp, idxs := range byComp {
+		snap := e.chain.SnapshotComponent(comp)
+		for _, i := range idxs {
+			e.chain.Unfreeze(holdout[i])
+		}
+		res := e.chain.RunComponent(comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
+		pos := make(map[int32]int, len(res.Members))
+		for j, m := range res.Members {
+			pos[m] = j
+		}
+		for _, i := range idxs {
+			out[i] = res.Marginals[pos[int32(holdout[i])]]
+		}
+		e.chain.Restore(snap)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+)
+
+// featureDB builds a database where a single document feature carries the
+// ground truth signal: docs of true claims have feature ≈ +1, docs of
+// false claims ≈ −1, with Gaussian noise. Claims alternate true/false.
+func featureDB(t *testing.T, nClaims, docsPerClaim int, noise float64, seed int64) (*factdb.DB, []bool) {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	truth := make([]bool, nClaims)
+	for i := range truth {
+		truth[i] = i%2 == 0
+	}
+	db := &factdb.DB{NumClaims: nClaims}
+	nSrc := 4
+	for s := 0; s < nSrc; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s, Features: []float64{0}})
+	}
+	docID := 0
+	for c := 0; c < nClaims; c++ {
+		for k := 0; k < docsPerClaim; k++ {
+			f := -1.0
+			if truth[c] {
+				f = 1.0
+			}
+			f += noise * r.NormFloat64()
+			db.Documents = append(db.Documents, factdb.Document{
+				ID: docID, Source: (c + k) % nSrc, Features: []float64{f},
+				Refs: []factdb.ClaimRef{{Claim: c, Stance: factdb.Support}},
+			})
+			docID++
+		}
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db, truth
+}
+
+func TestInferFullLearnsFromLabels(t *testing.T) {
+	db, truth := featureDB(t, 60, 3, 0.4, 1)
+	state := factdb.NewState(db.NumClaims)
+	// Label the first 20 claims with ground truth.
+	for c := 0; c < 20; c++ {
+		state.SetLabel(c, truth[c])
+	}
+	e := NewEngine(db, DefaultConfig(), 7)
+	e.InferFull(state)
+	g := e.Grounding(state)
+	// Precision on the unlabeled claims must beat chance comfortably.
+	correct, total := 0, 0
+	for c := 20; c < db.NumClaims; c++ {
+		total++
+		if g[c] == truth[c] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Fatalf("unlabeled precision = %v, want >= 0.8", acc)
+	}
+}
+
+func TestInferWithoutLabelsStaysNearUniform(t *testing.T) {
+	db, _ := featureDB(t, 30, 2, 0.4, 2)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 3)
+	e.InferFull(state)
+	// With no labels, the M-step targets are the E-step marginals of a
+	// zero model (~0.5), so probabilities must remain moderate.
+	for c := 0; c < db.NumClaims; c++ {
+		if p := state.P(c); p < 0.05 || p > 0.95 {
+			t.Fatalf("P(%d) = %v drifted to certainty without any labels", c, p)
+		}
+	}
+}
+
+func TestLabelsArePinnedThroughInference(t *testing.T) {
+	db, truth := featureDB(t, 20, 2, 0.4, 3)
+	state := factdb.NewState(db.NumClaims)
+	state.SetLabel(0, !truth[0]) // adversarial label; must stay pinned
+	e := NewEngine(db, DefaultConfig(), 5)
+	e.InferFull(state)
+	if p := state.P(0); p != 0 && p != 1 {
+		t.Fatalf("labelled claim P = %v, want pinned", p)
+	}
+	if v, ok := state.Label(0); !ok || v == truth[0] {
+		t.Fatal("label content changed")
+	}
+	g := e.Grounding(state)
+	if g[0] == truth[0] {
+		t.Fatal("grounding must honour the (adversarial) label")
+	}
+}
+
+func TestInferIncrementalImproves(t *testing.T) {
+	db, truth := featureDB(t, 40, 3, 0.5, 4)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 11)
+	e.InferFull(state)
+	g0 := e.Grounding(state)
+	p0 := g0.Precision(truth)
+	// Feed 15 labels one at a time through the incremental path.
+	for c := 0; c < 15; c++ {
+		state.SetLabel(c, truth[c])
+		e.InferIncremental(state)
+	}
+	g1 := e.Grounding(state)
+	p1 := g1.Precision(truth)
+	if p1 <= p0 {
+		t.Fatalf("incremental inference did not improve precision: %v -> %v", p0, p1)
+	}
+	if p1 < 0.7 {
+		t.Fatalf("precision after 15 labels = %v, want >= 0.7", p1)
+	}
+}
+
+func TestInferIncrementalBeforeFullFallsBack(t *testing.T) {
+	db, _ := featureDB(t, 10, 2, 0.4, 5)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 13)
+	e.InferIncremental(state) // must not panic; falls back to full
+	if e.LastSamples() == nil {
+		t.Fatal("no samples after fallback inference")
+	}
+}
+
+func TestThetaRoundTrip(t *testing.T) {
+	db, _ := featureDB(t, 10, 2, 0.4, 6)
+	e := NewEngine(db, DefaultConfig(), 17)
+	th := e.Theta()
+	for i := range th {
+		th[i] = float64(i) * 0.1
+	}
+	e.SetTheta(th)
+	got := e.Theta()
+	for i := range th {
+		if got[i] != th[i] {
+			t.Fatalf("theta[%d] = %v, want %v", i, got[i], th[i])
+		}
+	}
+	// Theta() must return a copy.
+	got[0] = 99
+	if e.Theta()[0] == 99 {
+		t.Fatal("Theta aliases internal state")
+	}
+}
+
+func TestHypotheticalRollsBack(t *testing.T) {
+	db, truth := featureDB(t, 20, 2, 0.4, 7)
+	state := factdb.NewState(db.NumClaims)
+	for c := 0; c < 5; c++ {
+		state.SetLabel(c, truth[c])
+	}
+	e := NewEngine(db, DefaultConfig(), 19)
+	e.InferFull(state)
+
+	ch := e.Chain()
+	before := make([]bool, db.NumClaims)
+	for c := range before {
+		before[c] = ch.Value(c)
+	}
+	res := e.Hypothetical(ch, 10, true)
+	if len(res.Members) == 0 {
+		t.Fatal("hypothetical returned no members")
+	}
+	for c := range before {
+		if ch.Value(c) != before[c] {
+			t.Fatalf("hypothetical leaked: claim %d changed", c)
+		}
+	}
+	for _, p := range res.Marginals {
+		if p < 0 || p > 1 {
+			t.Fatalf("marginal out of range: %v", p)
+		}
+	}
+}
+
+func TestHypotheticalClampDrivesMarginal(t *testing.T) {
+	db, _ := featureDB(t, 12, 2, 0.4, 8)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 23)
+	e.InferFull(state)
+	res := e.Hypothetical(e.Chain(), 3, true)
+	found := false
+	for i, m := range res.Members {
+		if m == 3 {
+			found = true
+			if res.Marginals[i] != 1 {
+				t.Fatalf("clamped claim marginal = %v, want 1", res.Marginals[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("clamped claim not in its own component result")
+	}
+}
+
+func TestWorkerChainIndependence(t *testing.T) {
+	db, _ := featureDB(t, 16, 2, 0.4, 9)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 29)
+	e.InferFull(state)
+	w := e.NewWorkerChain()
+	before := make([]bool, db.NumClaims)
+	for c := range before {
+		before[c] = e.Chain().Value(c)
+	}
+	// Churn the worker heavily.
+	for i := 0; i < 10; i++ {
+		w.Sweep(nil)
+	}
+	for c := range before {
+		if e.Chain().Value(c) != before[c] {
+			t.Fatal("worker chain mutated engine chain")
+		}
+	}
+}
+
+func TestGroundingMatchesStrongMarginals(t *testing.T) {
+	db, truth := featureDB(t, 30, 3, 0.3, 10)
+	state := factdb.NewState(db.NumClaims)
+	for c := 0; c < 15; c++ {
+		state.SetLabel(c, truth[c])
+	}
+	e := NewEngine(db, DefaultConfig(), 31)
+	e.InferFull(state)
+	g := e.Grounding(state)
+	for c := 15; c < db.NumClaims; c++ {
+		p := state.P(c)
+		if p > 0.9 && !g[c] {
+			t.Fatalf("P(%d)=%v but grounding false", c, p)
+		}
+		if p < 0.1 && g[c] {
+			t.Fatalf("P(%d)=%v but grounding true", c, p)
+		}
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BurnIn <= 0 || cfg.Samples <= 0 || cfg.IncBurnIn <= 0 || cfg.IncSamples <= 0 {
+		t.Fatal("gibbs budgets must be positive")
+	}
+	if cfg.EMIters <= 0 || cfg.Lambda <= 0 || cfg.LabelWeight < 1 {
+		t.Fatal("EM knobs must be sane")
+	}
+	if cfg.BurnIn < cfg.IncBurnIn || cfg.Samples < cfg.IncSamples {
+		t.Fatal("incremental budgets should not exceed full budgets")
+	}
+}
+
+func TestMarginalUncertaintyDropsWithLabels(t *testing.T) {
+	db, truth := featureDB(t, 40, 3, 0.5, 11)
+	stateA := factdb.NewState(db.NumClaims)
+	eA := NewEngine(db, DefaultConfig(), 37)
+	eA.InferFull(stateA)
+	hBefore := 0.0
+	for c := 0; c < db.NumClaims; c++ {
+		hBefore += stats.BinaryEntropy(stateA.P(c))
+	}
+	stateB := factdb.NewState(db.NumClaims)
+	for c := 0; c < 20; c++ {
+		stateB.SetLabel(c, truth[c])
+	}
+	eB := NewEngine(db, DefaultConfig(), 37)
+	eB.InferFull(stateB)
+	hAfter := 0.0
+	for c := 0; c < db.NumClaims; c++ {
+		hAfter += stats.BinaryEntropy(stateB.P(c))
+	}
+	if !(hAfter < hBefore) {
+		t.Fatalf("entropy did not drop with labels: %v -> %v", hBefore, hAfter)
+	}
+	if math.IsNaN(hAfter) || math.IsNaN(hBefore) {
+		t.Fatal("NaN entropy")
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§8), plus the ablation studies listed in DESIGN.md.
+// Each runner returns typed rows and can render itself as an aligned
+// text table; bench_test.go and cmd/factcheck-bench are thin wrappers.
+//
+// Corpora are generated at a configurable scale (DESIGN.md §5): every
+// dataset is shrunk so it has about Config.TargetClaims claims while the
+// documents-per-claim and sources-per-claim ratios of §8.1 are preserved.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factcheck/internal/synth"
+)
+
+// Config controls scale, randomness and parallelism for all runners.
+type Config struct {
+	// TargetClaims is the approximate corpus size per dataset; datasets
+	// smaller than the target run at full published size (default 90).
+	TargetClaims int
+	// Seed drives corpus generation and all simulated users.
+	Seed int64
+	// Runs is the number of repetitions averaged where the paper
+	// averages (default 1).
+	Runs int
+	// Workers bounds what-if parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CandidatePool bounds what-if scoring per iteration (default 16).
+	CandidatePool int
+	// Datasets optionally restricts the corpora ("wiki", "health",
+	// "snopes"); empty means all three.
+	Datasets []string
+	// Strategies optionally restricts the §8.4 strategies compared;
+	// empty means all five.
+	Strategies []string
+}
+
+// DefaultConfig returns the scale used by `go test` and the benches.
+func DefaultConfig() Config {
+	return Config{TargetClaims: 90, Seed: 1, Runs: 1, CandidatePool: 16}
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetClaims <= 0 {
+		c.TargetClaims = 90
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.CandidatePool <= 0 {
+		c.CandidatePool = 16
+	}
+	return c
+}
+
+// scaleFor shrinks profile p to about target claims (never grows it).
+func scaleFor(p synth.Profile, target int) synth.Profile {
+	if p.Claims <= target {
+		return p
+	}
+	return p.Scaled(float64(target) / float64(p.Claims))
+}
+
+// profiles returns the configured §8.1 datasets at the configured scale.
+func (c Config) profiles() []synth.Profile {
+	want := map[string]bool{}
+	for _, d := range c.Datasets {
+		want[d] = true
+	}
+	var out []synth.Profile
+	for _, p := range synth.Profiles() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		out = append(out, scaleFor(p, c.TargetClaims))
+	}
+	return out
+}
+
+// strategies returns the configured strategy names.
+func (c Config) strategies() []string {
+	if len(c.Strategies) > 0 {
+		return c.Strategies
+	}
+	return StrategyNames()
+}
+
+// datasetName strips the scale suffix for display.
+func datasetName(p synth.Profile) string {
+	if i := strings.IndexByte(p.Name, '@'); i >= 0 {
+		return p.Name[:i]
+	}
+	return p.Name
+}
+
+// Table renders rows of cells as an aligned text table with a header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String implements fmt.Stringer.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// CurvePoint is one (effort, value) sample of a labelled curve.
+type CurvePoint struct {
+	Effort float64
+	Value  float64
+}
+
+// interpolateAt returns the curve value at the given effort via linear
+// interpolation (curves are sorted by effort).
+func interpolateAt(curve []CurvePoint, effort float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	if effort <= curve[0].Effort {
+		return curve[0].Value
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Effort >= effort {
+			a, b := curve[i-1], curve[i]
+			if b.Effort == a.Effort {
+				return b.Value
+			}
+			frac := (effort - a.Effort) / (b.Effort - a.Effort)
+			return a.Value + frac*(b.Value-a.Value)
+		}
+	}
+	return curve[len(curve)-1].Value
+}
+
+// effortToReach returns the smallest observed effort at which the curve
+// value reaches the target, or 1 if it never does.
+func effortToReach(curve []CurvePoint, target float64) float64 {
+	for _, p := range curve {
+		if p.Value >= target {
+			return p.Effort
+		}
+	}
+	return 1
+}
+
+// meanCurves averages several runs' curves onto a common effort grid.
+func meanCurves(curves [][]CurvePoint, grid []float64) []CurvePoint {
+	out := make([]CurvePoint, len(grid))
+	for i, g := range grid {
+		sum := 0.0
+		for _, c := range curves {
+			sum += interpolateAt(c, g)
+		}
+		out[i] = CurvePoint{Effort: g, Value: sum / float64(len(curves))}
+	}
+	return out
+}
+
+// effortGrid returns {step, 2·step, …, 1}.
+func effortGrid(step float64) []float64 {
+	var out []float64
+	for e := step; e <= 1+1e-9; e += step {
+		out = append(out, e)
+	}
+	return out
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

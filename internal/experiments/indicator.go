@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"factcheck/internal/core"
+	"factcheck/internal/entropy"
+	"factcheck/internal/stats"
+	"factcheck/internal/synth"
+	"factcheck/internal/termination"
+)
+
+// indicatorTracker adapts a core.Session's observer stream to the
+// termination.Tracker of §6.1, translating groundings into the
+// Observation fields.
+type indicatorTracker struct {
+	tr     *termination.Tracker
+	corpus *synth.Corpus
+}
+
+func newIndicatorTracker(s *core.Session, corpus *synth.Corpus) *indicatorTracker {
+	return &indicatorTracker{tr: termination.NewTracker(5), corpus: corpus}
+}
+
+func (t *indicatorTracker) observe(s *core.Session) {
+	hist := s.History()
+	matched := false
+	if len(hist) > 0 {
+		last := hist[len(hist)-1]
+		matched = s.PrevGrounding()[last.Claim] == last.Verdict
+	}
+	t.tr.Observe(termination.Observation{
+		Entropy:           entropy.Approx(s.State),
+		Changes:           s.Grounding().Diff(s.PrevGrounding()),
+		Claims:            s.DB.NumClaims,
+		PredictionMatched: matched,
+	})
+}
+
+func (t *indicatorTracker) observeCV(s *core.Session, rng *stats.RNG) {
+	a := termination.CrossValidate(s.Engine, s.State, 5, rng)
+	if a > 0 {
+		t.tr.ObserveCV(a)
+	}
+}
+
+func (t *indicatorTracker) urr() float64 { return t.tr.URR() }
+func (t *indicatorTracker) cng() float64 { return t.tr.CNG() }
+func (t *indicatorTracker) pre() float64 { return t.tr.PRE() }
+func (t *indicatorTracker) pir() float64 { return t.tr.PIR() }

@@ -1,0 +1,317 @@
+package factdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"factcheck/internal/stats"
+)
+
+// tinyDB builds a small well-formed database:
+//
+//	source 0 -> doc 0 (claims 0+,1−), doc 1 (claim 0+)
+//	source 1 -> doc 2 (claim 1+)
+//	source 2 -> doc 3 (claim 2+)   (claim 2 is isolated from 0,1)
+func tinyDB(t *testing.T) *DB {
+	t.Helper()
+	db := &DB{
+		Sources: []Source{
+			{ID: 0, Features: []float64{0.9}},
+			{ID: 1, Features: []float64{0.2}},
+			{ID: 2, Features: []float64{0.5}},
+		},
+		Documents: []Document{
+			{ID: 0, Source: 0, Features: []float64{1, 0}, Refs: []ClaimRef{{Claim: 0, Stance: Support}, {Claim: 1, Stance: Refute}}},
+			{ID: 1, Source: 0, Features: []float64{0, 1}, Refs: []ClaimRef{{Claim: 0, Stance: Support}}},
+			{ID: 2, Source: 1, Features: []float64{1, 1}, Refs: []ClaimRef{{Claim: 1, Stance: Support}}},
+			{ID: 3, Source: 2, Features: []float64{0, 0}, Refs: []ClaimRef{{Claim: 2, Stance: Support}}},
+		},
+		NumClaims: 3,
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return db
+}
+
+func TestFinalizeBuildsCliques(t *testing.T) {
+	db := tinyDB(t)
+	if len(db.Cliques) != 5 {
+		t.Fatalf("cliques = %d, want 5", len(db.Cliques))
+	}
+	if got := db.Stats(); got.Cliques != 5 || got.Claims != 3 || got.Sources != 3 || got.Documents != 4 {
+		t.Fatalf("stats = %+v", got)
+	}
+	// Claim 0 has two cliques, both from source 0.
+	if len(db.ClaimCliques[0]) != 2 {
+		t.Fatalf("claim 0 cliques = %d", len(db.ClaimCliques[0]))
+	}
+	for _, ci := range db.ClaimCliques[0] {
+		if db.Cliques[ci].Claim != 0 {
+			t.Fatal("clique index mismatch")
+		}
+	}
+}
+
+func TestFinalizeAdjacency(t *testing.T) {
+	db := tinyDB(t)
+	if got := db.ClaimSources[0]; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("claim 0 sources = %v", got)
+	}
+	if got := db.ClaimSources[1]; len(got) != 2 {
+		t.Fatalf("claim 1 sources = %v", got)
+	}
+	if got := db.SourceClaims[0]; len(got) != 2 {
+		t.Fatalf("source 0 claims = %v", got)
+	}
+}
+
+func TestFinalizeComponents(t *testing.T) {
+	db := tinyDB(t)
+	if db.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", db.NumComponents())
+	}
+	if db.ComponentOf(0) != db.ComponentOf(1) {
+		t.Fatal("claims 0 and 1 share source 0, should be one component")
+	}
+	if db.ComponentOf(2) == db.ComponentOf(0) {
+		t.Fatal("claim 2 should be isolated")
+	}
+	members := db.ComponentMembers(db.ComponentOf(0))
+	if len(members) != 2 {
+		t.Fatalf("component members = %v", members)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	db := tinyDB(t)
+	n := len(db.Cliques)
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Cliques) != n {
+		t.Fatal("second Finalize duplicated cliques")
+	}
+}
+
+func TestFinalizeRejectsBadInput(t *testing.T) {
+	cases := map[string]*DB{
+		"no claims": {
+			Sources:   []Source{{ID: 0}},
+			Documents: []Document{{ID: 0, Source: 0}},
+		},
+		"no sources": {
+			NumClaims: 1,
+		},
+		"bad source ref": {
+			Sources:   []Source{{ID: 0}},
+			Documents: []Document{{ID: 0, Source: 5, Refs: []ClaimRef{{Claim: 0}}}},
+			NumClaims: 1,
+		},
+		"bad claim ref": {
+			Sources:   []Source{{ID: 0}},
+			Documents: []Document{{ID: 0, Source: 0, Refs: []ClaimRef{{Claim: 7}}}},
+			NumClaims: 1,
+		},
+		"orphan claim": {
+			Sources:   []Source{{ID: 0}},
+			Documents: []Document{{ID: 0, Source: 0, Refs: []ClaimRef{{Claim: 0}}}},
+			NumClaims: 2,
+		},
+		"sparse ids": {
+			Sources:   []Source{{ID: 1}},
+			Documents: []Document{{ID: 0, Source: 0, Refs: []ClaimRef{{Claim: 0}}}},
+			NumClaims: 1,
+		},
+		"ragged features": {
+			Sources: []Source{{ID: 0, Features: []float64{1}}, {ID: 1, Features: []float64{1, 2}}},
+			Documents: []Document{
+				{ID: 0, Source: 0, Refs: []ClaimRef{{Claim: 0}}},
+			},
+			NumClaims: 1,
+		},
+	}
+	for name, db := range cases {
+		if err := db.Finalize(); err == nil {
+			t.Errorf("%s: Finalize accepted invalid database", name)
+		}
+	}
+}
+
+func TestSharedSources(t *testing.T) {
+	db := tinyDB(t)
+	if got := db.SharedSources(0, 1); got != 1 {
+		t.Fatalf("SharedSources(0,1) = %d, want 1", got)
+	}
+	if got := db.SharedSources(0, 2); got != 0 {
+		t.Fatalf("SharedSources(0,2) = %d, want 0", got)
+	}
+	if got := db.SharedSources(1, 1); got != 2 {
+		t.Fatalf("SharedSources(1,1) = %d, want 2", got)
+	}
+}
+
+func TestStanceSign(t *testing.T) {
+	if Support.Sign() != 1 || Refute.Sign() != -1 {
+		t.Fatal("stance signs wrong")
+	}
+	if Support.String() != "support" || Refute.String() != "refute" {
+		t.Fatal("stance strings wrong")
+	}
+}
+
+func TestStateLabels(t *testing.T) {
+	s := NewState(4)
+	if s.NumLabeled() != 0 || s.Effort() != 0 {
+		t.Fatal("fresh state should be unlabelled")
+	}
+	for c := 0; c < 4; c++ {
+		if s.P(c) != 0.5 {
+			t.Fatalf("initial P(%d) = %v", c, s.P(c))
+		}
+	}
+	s.SetLabel(1, true)
+	s.SetLabel(2, false)
+	if s.P(1) != 1 || s.P(2) != 0 {
+		t.Fatal("labels must pin probabilities")
+	}
+	if v, ok := s.Label(1); !ok || !v {
+		t.Fatal("Label(1) wrong")
+	}
+	if _, ok := s.Label(0); ok {
+		t.Fatal("Label(0) should report unlabelled")
+	}
+	if s.NumLabeled() != 2 {
+		t.Fatalf("NumLabeled = %d", s.NumLabeled())
+	}
+	if got := s.Effort(); got != 0.5 {
+		t.Fatalf("Effort = %v", got)
+	}
+	if got := s.Unlabeled(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Unlabeled = %v", got)
+	}
+	if got := s.LabeledClaims(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("LabeledClaims = %v", got)
+	}
+}
+
+func TestStateSetPIgnoredWhenLabeled(t *testing.T) {
+	s := NewState(2)
+	s.SetLabel(0, true)
+	s.SetP(0, 0.3)
+	if s.P(0) != 1 {
+		t.Fatal("SetP must not override user input")
+	}
+	s.SetP(1, 0.3)
+	if s.P(1) != 0.3 {
+		t.Fatal("SetP on unlabelled claim ignored")
+	}
+}
+
+func TestStateClearLabel(t *testing.T) {
+	s := NewState(2)
+	s.SetLabel(0, true)
+	s.ClearLabel(0)
+	if s.Labeled(0) || s.NumLabeled() != 0 {
+		t.Fatal("ClearLabel did not remove label")
+	}
+	if s.P(0) != 0.5 {
+		t.Fatalf("cleared P = %v, want 0.5", s.P(0))
+	}
+	// Clearing twice is harmless.
+	s.ClearLabel(0)
+	if s.NumLabeled() != 0 {
+		t.Fatal("double clear corrupted count")
+	}
+}
+
+func TestStateRelabelDoesNotDoubleCount(t *testing.T) {
+	s := NewState(2)
+	s.SetLabel(0, true)
+	s.SetLabel(0, false)
+	if s.NumLabeled() != 1 {
+		t.Fatalf("NumLabeled = %d after relabel", s.NumLabeled())
+	}
+	if s.P(0) != 0 {
+		t.Fatal("relabel should update pinned P")
+	}
+}
+
+func TestStateCloneIndependent(t *testing.T) {
+	s := NewState(3)
+	s.SetLabel(0, true)
+	s.SetP(1, 0.7)
+	c := s.Clone()
+	c.SetLabel(2, false)
+	c.SetP(1, 0.1)
+	if s.Labeled(2) {
+		t.Fatal("clone leaked labels into parent")
+	}
+	if s.P(1) != 0.7 {
+		t.Fatal("clone leaked probabilities into parent")
+	}
+	if c.P(0) != 1 || !c.Labeled(0) {
+		t.Fatal("clone lost parent state")
+	}
+}
+
+func TestGroundingDiffAndPrecision(t *testing.T) {
+	g := Grounding{true, false, true}
+	h := Grounding{true, true, true}
+	if got := g.Diff(h); got != 1 {
+		t.Fatalf("Diff = %d", got)
+	}
+	truth := []bool{true, false, false}
+	if got := g.Precision(truth); got != 2.0/3.0 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := g.Clone(); &got[0] == &g[0] {
+		t.Fatal("Clone aliases memory")
+	}
+}
+
+func TestPrecisionImprovement(t *testing.T) {
+	if got := PrecisionImprovement(0.8, 0.6); got != 0.5000000000000001 && got != 0.5 {
+		t.Fatalf("R = %v", got)
+	}
+	if got := PrecisionImprovement(0.9, 1); got != 0 {
+		t.Fatalf("R at p0=1 should be 0, got %v", got)
+	}
+}
+
+func TestStateEffortProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(50)
+		s := NewState(n)
+		labeled := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.5) {
+				s.SetLabel(i, r.Bernoulli(0.5))
+				labeled++
+			}
+		}
+		return s.NumLabeled() == labeled &&
+			s.Effort() == float64(labeled)/float64(n) &&
+			len(s.Unlabeled())+len(s.LabeledClaims()) == n
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentMembersCoverAllClaims(t *testing.T) {
+	db := tinyDB(t)
+	seen := make(map[int32]bool)
+	for ci := 0; ci < db.NumComponents(); ci++ {
+		for _, m := range db.ComponentMembers(ci) {
+			if seen[m] {
+				t.Fatalf("claim %d in two components", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != db.NumClaims {
+		t.Fatalf("components cover %d of %d claims", len(seen), db.NumClaims)
+	}
+}

@@ -1,0 +1,115 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"factcheck/internal/graph"
+)
+
+func TestStandardizeMoments(t *testing.T) {
+	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	mean, std := Standardize(rows)
+	if math.Abs(mean[0]-2.5) > 1e-12 || math.Abs(mean[1]-25) > 1e-12 {
+		t.Fatalf("means = %v", mean)
+	}
+	for j := 0; j < 2; j++ {
+		var m, v float64
+		for _, r := range rows {
+			m += r[j]
+		}
+		m /= 4
+		for _, r := range rows {
+			v += (r[j] - m) * (r[j] - m)
+		}
+		v /= 4
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("column %d mean = %v after standardise", j, m)
+		}
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("column %d variance = %v after standardise", j, v)
+		}
+	}
+	if std[0] <= 0 || std[1] <= 0 {
+		t.Fatalf("stds = %v", std)
+	}
+}
+
+func TestStandardizeConstantColumn(t *testing.T) {
+	rows := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	Standardize(rows)
+	for i, r := range rows {
+		if r[0] != 0 {
+			t.Fatalf("constant column row %d = %v, want 0", i, r[0])
+		}
+	}
+}
+
+func TestStandardizeEmpty(t *testing.T) {
+	mean, std := Standardize(nil)
+	if mean != nil || std != nil {
+		t.Fatal("empty input should return nils")
+	}
+}
+
+func TestApplyMatchesStandardize(t *testing.T) {
+	rows := [][]float64{{1, 4}, {3, 8}, {5, 12}}
+	raw := make([][]float64, len(rows))
+	for i, r := range rows {
+		raw[i] = append([]float64(nil), r...)
+	}
+	mean, std := Standardize(rows)
+	for i := range raw {
+		Apply(raw[i], mean, std)
+		for j := range raw[i] {
+			if math.Abs(raw[i][j]-rows[i][j]) > 1e-12 {
+				t.Fatalf("Apply(%d,%d) = %v, want %v", i, j, raw[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestApplyZeroStd(t *testing.T) {
+	row := []float64{7}
+	Apply(row, []float64{7}, []float64{0})
+	if row[0] != 0 {
+		t.Fatalf("Apply with zero std = %v, want 0", row[0])
+	}
+}
+
+func TestComputeCentralityShapes(t *testing.T) {
+	g := graph.NewDirected(6)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(i, 0) // hub at node 0
+	}
+	c := ComputeCentrality(g)
+	if len(c.PageRank) != 6 || len(c.Authority) != 6 || len(c.Hub) != 6 {
+		t.Fatal("centrality vectors wrong length")
+	}
+	for i := 1; i < 6; i++ {
+		if c.PageRank[0] <= c.PageRank[i] {
+			t.Fatalf("node 0 should dominate PageRank: %v", c.PageRank)
+		}
+		if c.Authority[0] <= c.Authority[i] {
+			t.Fatalf("node 0 should dominate authority: %v", c.Authority)
+		}
+	}
+	for _, v := range c.PageRank {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("PageRank feature out of range: %v", v)
+		}
+	}
+}
+
+func TestActivity(t *testing.T) {
+	a := Activity([]int{0, 1, 99})
+	if a[0] != 0 {
+		t.Fatalf("Activity(0) = %v", a[0])
+	}
+	if a[1] <= 0 || a[2] <= a[1] {
+		t.Fatalf("Activity not monotone: %v", a)
+	}
+	if math.Abs(a[2]-math.Log1p(99)) > 1e-12 {
+		t.Fatalf("Activity(99) = %v", a[2])
+	}
+}

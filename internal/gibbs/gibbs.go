@@ -1,0 +1,380 @@
+// Package gibbs implements the constrained Gibbs sampler behind the
+// E-step of the iCRF algorithm (§3.2, Eq. 6-7). The sampler draws claim
+// configurations from the conditional distribution defined by the CRF's
+// clique scores, where each clique's influence is weighted by the
+// credibility of the claims of its source (the mutual-reinforcement term;
+// see crf package docs). User-labelled claims are clamped — the
+// constraint-embedding of [61] — and the chain state persists across
+// validation iterations, which is the "view maintenance" that makes iCRF
+// incremental.
+package gibbs
+
+import (
+	"factcheck/internal/crf"
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+)
+
+// run groups a claim's cliques that share a source, so the per-source
+// trust exclusion can be computed without maps in the hot loop.
+type run struct {
+	source  int32
+	support int32 // number of supporting cliques in the run
+	refute  int32 // number of refuting cliques in the run
+	// signedBase is Σ_π Stance(π).Sign()·BaseScore(π) over the run's
+	// cliques; refreshed by SetModel whenever θ changes.
+	signedBase float64
+	// cliques are the clique indices of the run (needed to recompute
+	// signedBase).
+	cliques []int32
+}
+
+// Chain is a persistent Gibbs chain over the claims of one fact database.
+// A Chain is not safe for concurrent use; parallel what-if evaluation
+// clones the chain per worker (Clone).
+type Chain struct {
+	db     *factdb.DB
+	rng    *stats.RNG
+	x      []bool  // current assignment per claim
+	frozen []bool  // claims pinned by user input
+	agree  []int32 // per-source count of cliques agreeing with x
+	total  []int32 // per-source clique count (static)
+	trustW float64
+	runs   [][]run // per claim
+
+	order []int32 // scratch for sweep ordering
+}
+
+// NewChain builds a chain over db seeded by rng. The initial assignment
+// is sampled from the uniform distribution (all probabilities 0.5); call
+// InitFromState to seed from an existing probabilistic state.
+func NewChain(db *factdb.DB, rng *stats.RNG) *Chain {
+	ch := &Chain{
+		db:     db,
+		rng:    rng,
+		x:      make([]bool, db.NumClaims),
+		frozen: make([]bool, db.NumClaims),
+		agree:  make([]int32, len(db.Sources)),
+		total:  make([]int32, len(db.Sources)),
+	}
+	// Build per-claim runs grouped by source.
+	ch.runs = make([][]run, db.NumClaims)
+	for c := 0; c < db.NumClaims; c++ {
+		bySource := map[int32]*run{}
+		var order []int32
+		for _, ci := range db.ClaimCliques[c] {
+			cl := db.Cliques[ci]
+			rn, ok := bySource[cl.Source]
+			if !ok {
+				rn = &run{source: cl.Source}
+				bySource[cl.Source] = rn
+				order = append(order, cl.Source)
+			}
+			if cl.Stance == factdb.Support {
+				rn.support++
+			} else {
+				rn.refute++
+			}
+			rn.cliques = append(rn.cliques, ci)
+		}
+		rs := make([]run, 0, len(order))
+		for _, s := range order {
+			rs = append(rs, *bySource[s])
+		}
+		ch.runs[c] = rs
+	}
+	for _, cl := range db.Cliques {
+		ch.total[cl.Source]++
+	}
+	for c := range ch.x {
+		ch.x[c] = rng.Bernoulli(0.5)
+	}
+	ch.recount()
+	return ch
+}
+
+// SetModel installs the clique base scores derived from the current θ and
+// the trust coupling weight; must be called after every M-step.
+func (ch *Chain) SetModel(m *crf.Model) {
+	base := m.BaseScores()
+	ch.trustW = m.TrustWeight()
+	for c := range ch.runs {
+		for i := range ch.runs[c] {
+			rn := &ch.runs[c][i]
+			s := 0.0
+			for _, ci := range rn.cliques {
+				sign := ch.db.Cliques[ci].Stance.Sign()
+				s += sign * base[ci]
+			}
+			rn.signedBase = s
+		}
+	}
+}
+
+// InitFromState samples each unlabelled claim's value from state.P and
+// clamps labelled claims to their user input.
+func (ch *Chain) InitFromState(state *factdb.State) {
+	for c := 0; c < len(ch.x); c++ {
+		if v, ok := state.Label(c); ok {
+			ch.x[c] = v
+			ch.frozen[c] = true
+		} else {
+			ch.x[c] = ch.rng.Bernoulli(state.P(c))
+			ch.frozen[c] = false
+		}
+	}
+	ch.recount()
+}
+
+// SyncLabels clamps newly labelled claims without disturbing the rest of
+// the chain — the incremental path taken after each validation iteration.
+func (ch *Chain) SyncLabels(state *factdb.State) {
+	for c := 0; c < len(ch.x); c++ {
+		if v, ok := state.Label(c); ok {
+			ch.frozen[c] = true
+			ch.setValue(c, v)
+		} else {
+			ch.frozen[c] = false
+		}
+	}
+}
+
+// recount rebuilds the per-source agreement counters from x.
+func (ch *Chain) recount() {
+	for s := range ch.agree {
+		ch.agree[s] = 0
+	}
+	for _, cl := range ch.db.Cliques {
+		if ch.agrees(cl) {
+			ch.agree[cl.Source]++
+		}
+	}
+}
+
+func (ch *Chain) agrees(cl factdb.Clique) bool {
+	return ch.x[cl.Claim] == (cl.Stance == factdb.Support)
+}
+
+// setValue assigns claim c the value v, maintaining agreement counters.
+func (ch *Chain) setValue(c int, v bool) {
+	if ch.x[c] == v {
+		return
+	}
+	// Flipping x[c] flips the agreement of every clique of c.
+	for _, rn := range ch.runs[c] {
+		var delta int32
+		if v {
+			// Support cliques now agree (+support), refute ones stop (−refute).
+			delta = rn.support - rn.refute
+		} else {
+			delta = rn.refute - rn.support
+		}
+		ch.agree[rn.source] += delta
+	}
+	ch.x[c] = v
+}
+
+// Trust smoothing pseudo-counts: agreement counts are shrunk toward an
+// honesty prior of a/(a+b) = 2/3 before entering the coupling. This
+// (i) damps the ±1 trust estimates of sources with few observations and
+// (ii) tilts the coupling's two self-consistent fixed points ("sources
+// honest" vs "sources lying") toward the honest one, matching the
+// paper's premise that claims from trustworthy sources are more likely
+// credible (§3.1).
+const (
+	trustPriorAgree    = 2.0
+	trustPriorDisagree = 1.0
+)
+
+// smoothedTrust maps smoothed agreement counts to [−1, 1].
+func smoothedTrust(agree, total float64) float64 {
+	return 2*(agree+trustPriorAgree)/(total+trustPriorAgree+trustPriorDisagree) - 1
+}
+
+// LogOdds returns the conditional log-odds of claim c = 1 given the rest
+// of the chain: the average stance-signed clique score scaled by
+// crf.OddsGain, where each clique's score is its static base plus
+// θ_T·trust_excl, and trust_excl is the smoothed stance agreement of the
+// clique's source computed over its cliques excluding those of c
+// (avoiding self-reinforcement).
+func (ch *Chain) LogOdds(c int) float64 {
+	l := 0.0
+	nc := 0
+	curr := ch.x[c]
+	for _, rn := range ch.runs[c] {
+		l += rn.signedBase
+		n := rn.support + rn.refute
+		nc += int(n)
+		if ch.trustW != 0 {
+			exclTotal := ch.total[rn.source] - n
+			if exclTotal > 0 {
+				var a int32
+				if curr {
+					a = rn.support
+				} else {
+					a = rn.refute
+				}
+				exclAgree := ch.agree[rn.source] - a
+				trust := smoothedTrust(float64(exclAgree), float64(exclTotal))
+				l += ch.trustW * trust * float64(rn.support-rn.refute)
+			}
+		}
+	}
+	if nc == 0 {
+		return 0
+	}
+	return crf.OddsGain * l / float64(nc)
+}
+
+// Value returns the current assignment of claim c.
+func (ch *Chain) Value(c int) bool { return ch.x[c] }
+
+// sampleClaim resamples claim c from its conditional.
+func (ch *Chain) sampleClaim(c int) {
+	p := stats.Sigmoid(ch.LogOdds(c))
+	ch.setValue(c, ch.rng.Float64() < p)
+}
+
+// Sweep performs one Gibbs pass over the given claims in random order,
+// skipping frozen claims. A nil claim list sweeps all claims.
+func (ch *Chain) Sweep(claims []int32) {
+	if claims == nil {
+		if cap(ch.order) < len(ch.x) {
+			ch.order = make([]int32, len(ch.x))
+		}
+		ch.order = ch.order[:len(ch.x)]
+		for i := range ch.order {
+			ch.order[i] = int32(i)
+		}
+		claims = ch.order
+	} else {
+		if cap(ch.order) < len(claims) {
+			ch.order = make([]int32, len(claims))
+		}
+		ch.order = ch.order[:len(claims)]
+		copy(ch.order, claims)
+		claims = ch.order
+	}
+	ch.rng.Shuffle(len(claims), func(i, j int) { claims[i], claims[j] = claims[j], claims[i] })
+	for _, c := range claims {
+		if !ch.frozen[c] {
+			ch.sampleClaim(int(c))
+		}
+	}
+}
+
+// Run executes burn discarded sweeps followed by samples recorded sweeps
+// over all claims and returns the collected sample set Ω.
+func (ch *Chain) Run(burn, samples int) *SampleSet {
+	for i := 0; i < burn; i++ {
+		ch.Sweep(nil)
+	}
+	ss := NewSampleSet(len(ch.x), samples)
+	for i := 0; i < samples; i++ {
+		ch.Sweep(nil)
+		ss.Add(ch.x)
+	}
+	return ss
+}
+
+// ComponentResult carries the marginals of one component's claims after a
+// restricted run; Members aligns with Marginals.
+type ComponentResult struct {
+	Members   []int32
+	Marginals []float64
+}
+
+// RunComponent executes a Gibbs run restricted to the claims of the given
+// component, recording marginals only for those claims. It is the
+// workhorse of the what-if inference behind information gain (§4.2),
+// exploiting the graph-partitioning optimisation of §5.1.
+func (ch *Chain) RunComponent(comp, burn, samples int) ComponentResult {
+	members := ch.db.ComponentMembers(comp)
+	for i := 0; i < burn; i++ {
+		ch.Sweep(members)
+	}
+	counts := make([]int32, len(members))
+	for i := 0; i < samples; i++ {
+		ch.Sweep(members)
+		for j, c := range members {
+			if ch.x[c] {
+				counts[j]++
+			}
+		}
+	}
+	marg := make([]float64, len(members))
+	for j := range marg {
+		marg[j] = float64(counts[j]) / float64(samples)
+	}
+	return ComponentResult{Members: members, Marginals: marg}
+}
+
+// Freeze pins claim c to value v for subsequent sweeps (what-if clamping);
+// Unfreeze releases it.
+func (ch *Chain) Freeze(c int, v bool) {
+	ch.frozen[c] = true
+	ch.setValue(c, v)
+}
+
+// Unfreeze releases a claim pinned by Freeze.
+func (ch *Chain) Unfreeze(c int) { ch.frozen[c] = false }
+
+// Snapshot captures the chain state of one component (claim values,
+// source agreement counters and frozen flags) so a what-if excursion can
+// be rolled back in O(component size).
+type Snapshot struct {
+	comp    int
+	xvals   []bool
+	frozen  []bool
+	agree   []int32
+	sources []int32
+}
+
+// SnapshotComponent captures the state of component comp.
+func (ch *Chain) SnapshotComponent(comp int) Snapshot {
+	members := ch.db.ComponentMembers(comp)
+	srcs := ch.db.ComponentSources(comp)
+	snap := Snapshot{
+		comp:    comp,
+		xvals:   make([]bool, len(members)),
+		frozen:  make([]bool, len(members)),
+		agree:   make([]int32, len(srcs)),
+		sources: srcs,
+	}
+	for i, c := range members {
+		snap.xvals[i] = ch.x[c]
+		snap.frozen[i] = ch.frozen[c]
+	}
+	for i, s := range srcs {
+		snap.agree[i] = ch.agree[s]
+	}
+	return snap
+}
+
+// Restore rolls the chain back to a snapshot taken with SnapshotComponent.
+func (ch *Chain) Restore(snap Snapshot) {
+	members := ch.db.ComponentMembers(snap.comp)
+	for i, c := range members {
+		ch.x[c] = snap.xvals[i]
+		ch.frozen[c] = snap.frozen[i]
+	}
+	for i, s := range snap.sources {
+		ch.agree[s] = snap.agree[i]
+	}
+}
+
+// Clone returns an independent copy of the chain sharing the immutable
+// structure (runs, totals) but owning its assignment, counters and RNG
+// stream. SetModel must not run concurrently with clone use.
+func (ch *Chain) Clone() *Chain {
+	return &Chain{
+		db:     ch.db,
+		rng:    ch.rng.Split(),
+		x:      append([]bool(nil), ch.x...),
+		frozen: append([]bool(nil), ch.frozen...),
+		agree:  append([]int32(nil), ch.agree...),
+		total:  ch.total,
+		trustW: ch.trustW,
+		runs:   ch.runs,
+	}
+}

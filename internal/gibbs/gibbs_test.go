@@ -1,0 +1,469 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"factcheck/internal/crf"
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+)
+
+// starDB builds one source with n claims, each supported by one document
+// (no features), so only bias and trust drive the sampler.
+func starDB(t *testing.T, n int) *factdb.DB {
+	t.Helper()
+	db := &factdb.DB{Sources: []factdb.Source{{ID: 0}}, NumClaims: n}
+	for i := 0; i < n; i++ {
+		db.Documents = append(db.Documents, factdb.Document{
+			ID: i, Source: 0,
+			Refs: []factdb.ClaimRef{{Claim: i, Stance: factdb.Support}},
+		})
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// randomDB builds a random well-formed database for property tests.
+func randomDB(r *stats.RNG) *factdb.DB {
+	nSrc := 1 + r.Intn(4)
+	nClaims := 1 + r.Intn(6)
+	db := &factdb.DB{NumClaims: nClaims}
+	for s := 0; s < nSrc; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s, Features: []float64{r.NormFloat64()}})
+	}
+	docID := 0
+	// Ensure every claim has at least one document.
+	for c := 0; c < nClaims; c++ {
+		st := factdb.Support
+		if r.Bernoulli(0.3) {
+			st = factdb.Refute
+		}
+		db.Documents = append(db.Documents, factdb.Document{
+			ID: docID, Source: r.Intn(nSrc), Features: []float64{r.NormFloat64()},
+			Refs: []factdb.ClaimRef{{Claim: c, Stance: st}},
+		})
+		docID++
+	}
+	extra := r.Intn(8)
+	for i := 0; i < extra; i++ {
+		st := factdb.Support
+		if r.Bernoulli(0.3) {
+			st = factdb.Refute
+		}
+		db.Documents = append(db.Documents, factdb.Document{
+			ID: docID, Source: r.Intn(nSrc), Features: []float64{r.NormFloat64()},
+			Refs: []factdb.ClaimRef{{Claim: r.Intn(nClaims), Stance: st}},
+		})
+		docID++
+	}
+	if err := db.Finalize(); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func TestZeroModelGivesUniformMarginals(t *testing.T) {
+	db := starDB(t, 6)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(1))
+	ch.SetModel(m)
+	ss := ch.Run(10, 400)
+	for c := 0; c < db.NumClaims; c++ {
+		if p := ss.Marginal(c); math.Abs(p-0.5) > 0.08 {
+			t.Fatalf("marginal[%d] = %v, want ~0.5 under zero model", c, p)
+		}
+	}
+}
+
+func TestPositiveBiasPushesMarginalsUp(t *testing.T) {
+	db := starDB(t, 5)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 3 // strong positive bias
+	m.SetTheta(theta)
+	ch := NewChain(db, stats.NewRNG(2))
+	ch.SetModel(m)
+	ss := ch.Run(10, 200)
+	for c := 0; c < db.NumClaims; c++ {
+		if p := ss.Marginal(c); p < 0.9 {
+			t.Fatalf("marginal[%d] = %v, want > 0.9", c, p)
+		}
+	}
+}
+
+func TestRefutingStanceFlipsEvidence(t *testing.T) {
+	// One claim supported, one refuted, same bias: supported marginal
+	// high, refuted low.
+	db := &factdb.DB{Sources: []factdb.Source{{ID: 0}}, NumClaims: 2}
+	db.Documents = []factdb.Document{
+		{ID: 0, Source: 0, Refs: []factdb.ClaimRef{{Claim: 0, Stance: factdb.Support}}},
+		{ID: 1, Source: 0, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Refute}}},
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 2.5
+	m.SetTheta(theta)
+	ch := NewChain(db, stats.NewRNG(3))
+	ch.SetModel(m)
+	ss := ch.Run(10, 300)
+	if p := ss.Marginal(0); p < 0.85 {
+		t.Fatalf("supported marginal = %v", p)
+	}
+	if p := ss.Marginal(1); p > 0.15 {
+		t.Fatalf("refuted marginal = %v", p)
+	}
+}
+
+func TestTrustCouplingPropagatesLabels(t *testing.T) {
+	// Ten claims from one source; clamp five to true. With a positive
+	// trust weight the remaining claims should lean credible: the source
+	// has proven trustworthy.
+	db := starDB(t, 10)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[len(theta)-1] = 2 // trust coupling only
+	m.SetTheta(theta)
+	state := factdb.NewState(10)
+	for c := 0; c < 5; c++ {
+		state.SetLabel(c, true)
+	}
+	ch := NewChain(db, stats.NewRNG(4))
+	ch.SetModel(m)
+	ch.InitFromState(state)
+	ss := ch.Run(20, 300)
+	for c := 5; c < 10; c++ {
+		if p := ss.Marginal(c); p < 0.7 {
+			t.Fatalf("marginal[%d] = %v, want lifted by source trust", c, p)
+		}
+	}
+	// Symmetric: clamping to false should push the rest down.
+	state2 := factdb.NewState(10)
+	for c := 0; c < 5; c++ {
+		state2.SetLabel(c, false)
+	}
+	ch2 := NewChain(db, stats.NewRNG(5))
+	ch2.SetModel(m)
+	ch2.InitFromState(state2)
+	ss2 := ch2.Run(20, 300)
+	for c := 5; c < 10; c++ {
+		if p := ss2.Marginal(c); p > 0.3 {
+			t.Fatalf("marginal[%d] = %v, want pushed down by distrust", c, p)
+		}
+	}
+}
+
+func TestClampedClaimsNeverMove(t *testing.T) {
+	db := starDB(t, 4)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 5 // bias strongly towards credible
+	m.SetTheta(theta)
+	state := factdb.NewState(4)
+	state.SetLabel(2, false) // against the bias
+	ch := NewChain(db, stats.NewRNG(6))
+	ch.SetModel(m)
+	ch.InitFromState(state)
+	ss := ch.Run(5, 100)
+	if p := ss.Marginal(2); p != 0 {
+		t.Fatalf("clamped claim moved: marginal = %v", p)
+	}
+	if !ch.frozen[2] {
+		t.Fatal("claim 2 should be frozen")
+	}
+}
+
+func TestAgreementCountersStayConsistent(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		db := randomDB(r)
+		m := crf.New(db)
+		theta := make([]float64, m.Dim())
+		for i := range theta {
+			theta[i] = r.NormFloat64()
+		}
+		m.SetTheta(theta)
+		ch := NewChain(db, r.Split())
+		ch.SetModel(m)
+		for i := 0; i < 5; i++ {
+			ch.Sweep(nil)
+		}
+		// Compare incremental counters against a recount.
+		want := make([]int32, len(db.Sources))
+		for _, cl := range db.Cliques {
+			if ch.x[cl.Claim] == (cl.Stance == factdb.Support) {
+				want[cl.Source]++
+			}
+		}
+		for s := range want {
+			if want[s] != ch.agree[s] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogOddsMatchesNaiveComputation(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		db := randomDB(r)
+		m := crf.New(db)
+		theta := make([]float64, m.Dim())
+		for i := range theta {
+			theta[i] = r.NormFloat64()
+		}
+		m.SetTheta(theta)
+		ch := NewChain(db, r.Split())
+		ch.SetModel(m)
+		base := m.BaseScores()
+		for c := 0; c < db.NumClaims; c++ {
+			got := ch.LogOdds(c)
+			// Naive recomputation from first principles.
+			want := 0.0
+			for _, ci := range db.ClaimCliques[c] {
+				cl := db.Cliques[ci]
+				// Trust of cl.Source over cliques not involving claim c.
+				var agree, total float64
+				for _, cj := range db.Cliques {
+					if cj.Source != cl.Source || cj.Claim == int32(c) {
+						continue
+					}
+					total++
+					if ch.x[cj.Claim] == (cj.Stance == factdb.Support) {
+						agree++
+					}
+				}
+				trust := 0.0
+				if total > 0 {
+					trust = 2*(agree+trustPriorAgree)/(total+trustPriorAgree+trustPriorDisagree) - 1
+				}
+				want += cl.Stance.Sign() * (base[ci] + m.TrustWeight()*trust)
+			}
+			if n := len(db.ClaimCliques[c]); n > 0 {
+				want = crf.OddsGain * want / float64(n)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := stats.NewRNG(11)
+	db := randomDB(r)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 0.5
+	theta[len(theta)-1] = 1
+	m.SetTheta(theta)
+	ch := NewChain(db, r.Split())
+	ch.SetModel(m)
+	for i := 0; i < 3; i++ {
+		ch.Sweep(nil)
+	}
+	comp := db.ComponentOf(0)
+	snap := ch.SnapshotComponent(comp)
+	savedX := append([]bool(nil), ch.x...)
+	savedAgree := append([]int32(nil), ch.agree...)
+
+	// Excursion: clamp claim 0 and churn the component.
+	ch.Freeze(0, !ch.Value(0))
+	ch.RunComponent(comp, 3, 5)
+	ch.Restore(snap)
+
+	for _, c := range db.ComponentMembers(comp) {
+		if ch.x[c] != savedX[c] {
+			t.Fatalf("claim %d not restored", c)
+		}
+		if ch.frozen[c] {
+			t.Fatalf("claim %d left frozen", c)
+		}
+	}
+	for s := range savedAgree {
+		if ch.agree[s] != savedAgree[s] {
+			t.Fatalf("agree[%d] not restored: %d vs %d", s, ch.agree[s], savedAgree[s])
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	db := starDB(t, 6)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(13))
+	ch.SetModel(m)
+	clone := ch.Clone()
+	savedX := append([]bool(nil), ch.x...)
+	for i := 0; i < 10; i++ {
+		clone.Sweep(nil)
+	}
+	for c := range savedX {
+		if ch.x[c] != savedX[c] {
+			t.Fatal("clone sweeps mutated parent")
+		}
+	}
+}
+
+func TestRunComponentOnlyTouchesComponent(t *testing.T) {
+	// Two isolated components (two sources, disjoint claims).
+	db := &factdb.DB{
+		Sources:   []factdb.Source{{ID: 0}, {ID: 1}},
+		NumClaims: 4,
+	}
+	db.Documents = []factdb.Document{
+		{ID: 0, Source: 0, Refs: []factdb.ClaimRef{{Claim: 0, Stance: factdb.Support}}},
+		{ID: 1, Source: 0, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Support}}},
+		{ID: 2, Source: 1, Refs: []factdb.ClaimRef{{Claim: 2, Stance: factdb.Support}}},
+		{ID: 3, Source: 1, Refs: []factdb.ClaimRef{{Claim: 3, Stance: factdb.Support}}},
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(17))
+	ch.SetModel(m)
+	compA := db.ComponentOf(0)
+	compB := db.ComponentOf(2)
+	if compA == compB {
+		t.Fatal("expected two components")
+	}
+	xBefore := []bool{ch.Value(2), ch.Value(3)}
+	res := ch.RunComponent(compA, 50, 50)
+	if len(res.Members) != 2 {
+		t.Fatalf("members = %v", res.Members)
+	}
+	if ch.Value(2) != xBefore[0] || ch.Value(3) != xBefore[1] {
+		t.Fatal("RunComponent touched foreign claims")
+	}
+}
+
+func TestSyncLabelsClampsAndReleases(t *testing.T) {
+	db := starDB(t, 3)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(19))
+	ch.SetModel(m)
+	state := factdb.NewState(3)
+	state.SetLabel(1, true)
+	ch.SyncLabels(state)
+	if !ch.frozen[1] || !ch.Value(1) {
+		t.Fatal("SyncLabels did not clamp claim 1")
+	}
+	state.ClearLabel(1)
+	ch.SyncLabels(state)
+	if ch.frozen[1] {
+		t.Fatal("SyncLabels did not release claim 1")
+	}
+}
+
+func TestSampleSetMarginals(t *testing.T) {
+	ss := NewSampleSet(3, 4)
+	ss.Add([]bool{true, false, true})
+	ss.Add([]bool{true, false, false})
+	if ss.NumSamples() != 2 {
+		t.Fatalf("NumSamples = %d", ss.NumSamples())
+	}
+	if ss.Marginal(0) != 1 || ss.Marginal(1) != 0 || ss.Marginal(2) != 0.5 {
+		t.Fatalf("marginals wrong: %v %v %v", ss.Marginal(0), ss.Marginal(1), ss.Marginal(2))
+	}
+	empty := NewSampleSet(2, 0)
+	if empty.Marginal(0) != 0.5 {
+		t.Fatal("empty sample set marginal should be 0.5")
+	}
+}
+
+func TestDecidePicksJointMode(t *testing.T) {
+	// Mirrors the paper's §3.3 example: samples [1,1,0], [1,0,0], [1,1,0]
+	// must ground as [1,1,0].
+	db := starDB(t, 3)
+	state := factdb.NewState(3)
+	ss := NewSampleSet(3, 3)
+	ss.Add([]bool{true, true, false})
+	ss.Add([]bool{true, false, false})
+	ss.Add([]bool{true, true, false})
+	g := Decide(db, state, ss)
+	want := factdb.Grounding{true, true, false}
+	for c := range want {
+		if g[c] != want[c] {
+			t.Fatalf("g[%d] = %v, want %v", c, g[c], want[c])
+		}
+	}
+}
+
+func TestDecideRespectsLabels(t *testing.T) {
+	db := starDB(t, 2)
+	state := factdb.NewState(2)
+	state.SetLabel(0, false)
+	ss := NewSampleSet(2, 2)
+	ss.Add([]bool{true, true})
+	ss.Add([]bool{true, true})
+	g := Decide(db, state, ss)
+	if g[0] {
+		t.Fatal("label must override samples")
+	}
+	if !g[1] {
+		t.Fatal("unlabeled claim should follow samples")
+	}
+}
+
+func TestDecideEmptySampleSetThresholdsP(t *testing.T) {
+	db := starDB(t, 2)
+	state := factdb.NewState(2)
+	state.SetP(0, 0.9)
+	state.SetP(1, 0.1)
+	g := Decide(db, state, nil)
+	if !g[0] || g[1] {
+		t.Fatalf("grounding = %v", g)
+	}
+}
+
+func TestDecideUniqueConfigsFallsBackToMajority(t *testing.T) {
+	db := starDB(t, 2)
+	state := factdb.NewState(2)
+	ss := NewSampleSet(2, 3)
+	ss.Add([]bool{true, true})
+	ss.Add([]bool{true, false})
+	ss.Add([]bool{false, true})
+	// All configs unique; majority per claim: c0 2/3 true, c1 2/3 true.
+	g := Decide(db, state, ss)
+	if !g[0] || !g[1] {
+		t.Fatalf("grounding = %v, want majority [true,true]", g)
+	}
+}
+
+func TestFreezeUnfreeze(t *testing.T) {
+	db := starDB(t, 2)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = -8
+	m.SetTheta(theta)
+	ch := NewChain(db, stats.NewRNG(23))
+	ch.SetModel(m)
+	ch.Freeze(0, true)
+	for i := 0; i < 20; i++ {
+		ch.Sweep(nil)
+	}
+	if !ch.Value(0) {
+		t.Fatal("frozen claim flipped")
+	}
+	ch.Unfreeze(0)
+	for i := 0; i < 20; i++ {
+		ch.Sweep(nil)
+	}
+	if ch.Value(0) {
+		t.Fatal("unfrozen claim should follow strong negative bias")
+	}
+}

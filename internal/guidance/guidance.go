@@ -1,0 +1,378 @@
+// Package guidance implements the user-guidance strategies of §4 — the
+// first step of the validation process: selecting the claim(s) whose
+// validation is most beneficial. It provides the random and
+// uncertainty-sampling baselines of §8.4, the information-driven (§4.2)
+// and source-driven (§4.3) strategies built on what-if iCRF inference,
+// the hybrid roulette of §4.4, and the submodular batch selection of
+// §6.2.
+package guidance
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"factcheck/internal/em"
+	"factcheck/internal/entropy"
+	"factcheck/internal/factdb"
+	"factcheck/internal/gibbs"
+	"factcheck/internal/stats"
+)
+
+// Context carries the per-iteration inputs a strategy may consult.
+type Context struct {
+	DB     *factdb.DB
+	State  *factdb.State
+	Engine *em.Engine
+	// Grounding is g_{i−1}, the grounding of the previous iteration.
+	Grounding factdb.Grounding
+	// RNG drives stochastic strategies (random baseline, hybrid roulette).
+	RNG *stats.RNG
+	// CandidatePool bounds the number of claims scored by the what-if
+	// strategies (§5.1's parallelisation note); 0 scores every
+	// unlabelled claim.
+	CandidatePool int
+	// Workers bounds the goroutines used for what-if scoring; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Strategy ranks unlabelled claims by expected validation benefit.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Rank returns up to k distinct unlabelled claims in descending
+	// preference; an empty slice means nothing is left to validate.
+	Rank(ctx *Context, k int) []int
+}
+
+// Select returns the single best claim of a strategy, or −1 when no
+// unlabelled claims remain.
+func Select(s Strategy, ctx *Context) int {
+	r := s.Rank(ctx, 1)
+	if len(r) == 0 {
+		return -1
+	}
+	return r[0]
+}
+
+// Random is the random-selection baseline of §8.4.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Rank implements Strategy.
+func (Random) Rank(ctx *Context, k int) []int {
+	unl := ctx.State.Unlabeled()
+	ctx.RNG.Shuffle(len(unl), func(i, j int) { unl[i], unl[j] = unl[j], unl[i] })
+	if len(unl) > k {
+		unl = unl[:k]
+	}
+	return unl
+}
+
+// Uncertainty is the uncertainty-sampling baseline of §8.4: it picks the
+// most "problematic" claim, the one whose credibility probability has
+// maximal binary entropy.
+type Uncertainty struct{}
+
+// Name implements Strategy.
+func (Uncertainty) Name() string { return "uncertainty" }
+
+// Rank implements Strategy.
+func (Uncertainty) Rank(ctx *Context, k int) []int {
+	unl := ctx.State.Unlabeled()
+	sort.SliceStable(unl, func(i, j int) bool {
+		hi := stats.BinaryEntropy(ctx.State.P(unl[i]))
+		hj := stats.BinaryEntropy(ctx.State.P(unl[j]))
+		if hi != hj {
+			return hi > hj
+		}
+		return unl[i] < unl[j]
+	})
+	if len(unl) > k {
+		unl = unl[:k]
+	}
+	return unl
+}
+
+// candidates returns the claims the what-if strategies will score: the
+// CandidatePool most uncertain unlabelled claims (all of them when the
+// pool is 0 or larger than |C_U|).
+func candidates(ctx *Context) []int {
+	unl := (Uncertainty{}).Rank(ctx, ctx.State.Len())
+	if ctx.CandidatePool > 0 && len(unl) > ctx.CandidatePool {
+		unl = unl[:ctx.CandidatePool]
+	}
+	return unl
+}
+
+// gainFunc scores one candidate using a dedicated worker chain.
+type gainFunc func(ctx *Context, worker int, c int) float64
+
+// scoreParallel evaluates gains for all candidates with a worker pool
+// (the parallelisation optimisation of §5.1).
+func scoreParallel(ctx *Context, cand []int, fn gainFunc) []float64 {
+	gains := make([]float64, len(cand))
+	workers := ctx.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cand) {
+		workers = len(cand)
+	}
+	if workers <= 1 {
+		for i, c := range cand {
+			gains[i] = fn(ctx, 0, c)
+		}
+		return gains
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				gains[i] = fn(ctx, worker, cand[i])
+			}
+		}(w)
+	}
+	for i := range cand {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return gains
+}
+
+// rankByGain sorts candidates by gain (descending, ties by id).
+func rankByGain(cand []int, gains []float64, k int) []int {
+	idx := make([]int, len(cand))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if gains[idx[a]] != gains[idx[b]] {
+			return gains[idx[a]] > gains[idx[b]]
+		}
+		return cand[idx[a]] < cand[idx[b]]
+	})
+	out := make([]int, 0, k)
+	for _, i := range idx {
+		out = append(out, cand[i])
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// InfoGain is the information-driven strategy of §4.2: select the claim
+// whose validation maximally reduces the claim-entropy of the database
+// (Eq. 14–16), estimated by component-restricted what-if inference.
+type InfoGain struct{}
+
+// Name implements Strategy.
+func (InfoGain) Name() string { return "info" }
+
+// Rank implements Strategy.
+func (InfoGain) Rank(ctx *Context, k int) []int {
+	cand := candidates(ctx)
+	if len(cand) == 0 {
+		return nil
+	}
+	gains := InformationGains(ctx, cand)
+	return rankByGain(cand, gains, k)
+}
+
+// InformationGains returns IG_C(c) (Eq. 15) for each candidate.
+func InformationGains(ctx *Context, cand []int) []float64 {
+	chains := workerChains(ctx, len(cand))
+	return scoreParallel(ctx, cand, func(ctx *Context, worker, c int) float64 {
+		ch := chains[worker]
+		comp := ctx.DB.ComponentOf(c)
+		members := ctx.DB.ComponentMembers(comp)
+		hCur := entropy.ApproxClaims(ctx.State, members)
+		plus := ctx.Engine.Hypothetical(ch, c, true)
+		minus := ctx.Engine.Hypothetical(ch, c, false)
+		hPlus := hypoClaimEntropy(ctx.State, plus, c)
+		hMinus := hypoClaimEntropy(ctx.State, minus, c)
+		p := ctx.State.P(c)
+		return hCur - (p*hPlus + (1-p)*hMinus)
+	})
+}
+
+// hypoClaimEntropy computes the Eq. 13 entropy of a component under
+// what-if marginals; the clamped claim contributes zero (it would be
+// labelled), and already-labelled claims contribute zero as always.
+func hypoClaimEntropy(state *factdb.State, res gibbs.ComponentResult, clamped int) float64 {
+	h := 0.0
+	for i, m := range res.Members {
+		if int(m) == clamped || state.Labeled(int(m)) {
+			continue
+		}
+		h += stats.BinaryEntropy(res.Marginals[i])
+	}
+	return h
+}
+
+// workerChains allocates one chain clone per worker (capped by the number
+// of candidates).
+func workerChains(ctx *Context, nCand int) []*gibbs.Chain {
+	workers := ctx.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nCand {
+		workers = nCand
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*gibbs.Chain, workers)
+	for i := range out {
+		out[i] = ctx.Engine.NewWorkerChain()
+	}
+	return out
+}
+
+// SourceGain is the source-driven strategy of §4.3: select the claim
+// whose validation maximally reduces the uncertainty of source
+// trustworthiness (Eq. 19–21).
+type SourceGain struct{}
+
+// Name implements Strategy.
+func (SourceGain) Name() string { return "source" }
+
+// Rank implements Strategy.
+func (SourceGain) Rank(ctx *Context, k int) []int {
+	cand := candidates(ctx)
+	if len(cand) == 0 {
+		return nil
+	}
+	gains := SourceGains(ctx, cand)
+	return rankByGain(cand, gains, k)
+}
+
+// SourceGains returns IG_S(c) (Eq. 20) for each candidate. Source
+// trustworthiness Pr(s) follows Eq. 17: the fraction of the source's
+// claims deemed credible — under the current grounding for the "before"
+// entropy, and under thresholded what-if marginals for the conditional
+// entropy. Components are closed under shared sources, so only the
+// candidate's component contributes to the difference.
+func SourceGains(ctx *Context, cand []int) []float64 {
+	chains := workerChains(ctx, len(cand))
+	return scoreParallel(ctx, cand, func(ctx *Context, worker, c int) float64 {
+		ch := chains[worker]
+		comp := ctx.DB.ComponentOf(c)
+		srcs := ctx.DB.ComponentSources(comp)
+		hCur := 0.0
+		for _, s := range srcs {
+			hCur += stats.BinaryEntropy(sourceTrustGrounded(ctx.DB, int(s), ctx.Grounding))
+		}
+		plus := ctx.Engine.Hypothetical(ch, c, true)
+		minus := ctx.Engine.Hypothetical(ch, c, false)
+		hPlus := hypoSourceEntropy(ctx, srcs, plus, c, true)
+		hMinus := hypoSourceEntropy(ctx, srcs, minus, c, false)
+		p := ctx.State.P(c)
+		return hCur - (p*hPlus + (1-p)*hMinus)
+	})
+}
+
+// sourceTrustGrounded is Eq. 17 for a single source.
+func sourceTrustGrounded(db *factdb.DB, s int, g factdb.Grounding) float64 {
+	claims := db.SourceClaims[s]
+	if len(claims) == 0 {
+		return 0.5
+	}
+	n := 0
+	for _, c := range claims {
+		if g[c] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(claims))
+}
+
+// hypoSourceEntropy computes H_S over the component's sources with the
+// what-if marginals thresholded at 0.5 (claim c forced to v).
+func hypoSourceEntropy(ctx *Context, srcs []int32, res gibbs.ComponentResult, c int, v bool) float64 {
+	cred := make(map[int32]bool, len(res.Members))
+	for i, m := range res.Members {
+		cred[m] = res.Marginals[i] >= 0.5
+	}
+	cred[int32(c)] = v
+	h := 0.0
+	for _, s := range srcs {
+		claims := ctx.DB.SourceClaims[s]
+		if len(claims) == 0 {
+			h += stats.BinaryEntropy(0.5)
+			continue
+		}
+		n := 0
+		for _, cl := range claims {
+			credible, ok := cred[cl]
+			if !ok {
+				credible = ctx.Grounding[cl]
+			}
+			if credible {
+				n++
+			}
+		}
+		h += stats.BinaryEntropy(float64(n) / float64(len(claims)))
+	}
+	return h
+}
+
+// Hybrid is the dynamic strategy of §4.4: a roulette wheel chooses the
+// source-driven strategy with probability Z and the information-driven
+// strategy otherwise. Alg. 1 updates Z each iteration via HybridScore.
+type Hybrid struct {
+	// Z is the score z_{i−1} of Eq. 23.
+	Z float64
+}
+
+// Name implements Strategy.
+func (*Hybrid) Name() string { return "hybrid" }
+
+// Rank implements Strategy.
+func (h *Hybrid) Rank(ctx *Context, k int) []int {
+	if ctx.RNG.Float64() < h.Z {
+		return (SourceGain{}).Rank(ctx, k)
+	}
+	return (InfoGain{}).Rank(ctx, k)
+}
+
+// HybridScore computes z_i = 1 − e^{−(ε_i·(1−h_i) + r_i·h_i)} (Eq. 23)
+// from the error rate ε_i, the unreliable-source ratio r_i, and the user
+// input ratio h_i = i/|C|.
+func HybridScore(errRate, unreliableRatio, inputRatio float64) float64 {
+	return 1 - math.Exp(-(errRate*(1-inputRatio) + unreliableRatio*inputRatio))
+}
+
+// UnreliableRatio computes r_i (Alg. 1, line 17): the fraction of sources
+// whose Eq. 17 trustworthiness under grounding g falls below 0.5.
+func UnreliableRatio(db *factdb.DB, g factdb.Grounding) float64 {
+	if len(db.Sources) == 0 {
+		return 0
+	}
+	n := 0
+	for s := range db.Sources {
+		if sourceTrustGrounded(db, s, g) < 0.5 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(db.Sources))
+}
+
+// ErrorRate computes ε_i (Eq. 22): the surprise of user input v for claim
+// c against the previous iteration's probability.
+func ErrorRate(prevP float64, prevGrounding bool) float64 {
+	if prevGrounding {
+		return 1 - prevP
+	}
+	return prevP
+}

@@ -1,0 +1,300 @@
+package guidance
+
+import (
+	"math"
+	"testing"
+
+	"factcheck/internal/em"
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+	"factcheck/internal/synth"
+)
+
+// newCtx builds a small inferred corpus context for strategy tests.
+func newCtx(t *testing.T, seed int64) (*Context, *synth.Corpus) {
+	t.Helper()
+	corpus := synth.Generate(synth.Wikipedia.Scaled(0.25), seed)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	engine := em.NewEngine(corpus.DB, em.DefaultConfig(), seed+1)
+	engine.InferFull(state)
+	ctx := &Context{
+		DB:            corpus.DB,
+		State:         state,
+		Engine:        engine,
+		Grounding:     engine.Grounding(state),
+		RNG:           stats.NewRNG(seed + 2),
+		CandidatePool: 12,
+		Workers:       2,
+	}
+	return ctx, corpus
+}
+
+func TestRandomRanksUnlabeled(t *testing.T) {
+	ctx, _ := newCtx(t, 1)
+	r := Random{}
+	got := r.Rank(ctx, 5)
+	if len(got) != 5 {
+		t.Fatalf("Rank returned %d claims", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if ctx.State.Labeled(c) {
+			t.Fatalf("random picked labelled claim %d", c)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate claim %d", c)
+		}
+		seen[c] = true
+	}
+	if r.Name() != "random" {
+		t.Fatal("name")
+	}
+}
+
+func TestRandomExhaustsClaims(t *testing.T) {
+	ctx, _ := newCtx(t, 2)
+	n := ctx.DB.NumClaims
+	got := (Random{}).Rank(ctx, n+10)
+	if len(got) != n {
+		t.Fatalf("Rank(%d) over %d claims returned %d", n+10, n, len(got))
+	}
+}
+
+func TestUncertaintyPrefersHalf(t *testing.T) {
+	ctx, _ := newCtx(t, 3)
+	// Force one claim to be maximally uncertain and others confident.
+	for c := 0; c < ctx.DB.NumClaims; c++ {
+		ctx.State.SetP(c, 0.99)
+	}
+	ctx.State.SetP(7, 0.5)
+	ctx.State.SetP(9, 0.8)
+	got := (Uncertainty{}).Rank(ctx, 2)
+	if got[0] != 7 {
+		t.Fatalf("top uncertain claim = %d, want 7", got[0])
+	}
+	if got[1] != 9 {
+		t.Fatalf("second = %d, want 9", got[1])
+	}
+}
+
+func TestUncertaintySkipsLabeled(t *testing.T) {
+	ctx, _ := newCtx(t, 4)
+	for c := 0; c < ctx.DB.NumClaims; c++ {
+		ctx.State.SetP(c, 0.9)
+	}
+	ctx.State.SetLabel(3, true)
+	got := (Uncertainty{}).Rank(ctx, ctx.DB.NumClaims)
+	for _, c := range got {
+		if c == 3 {
+			t.Fatal("labelled claim ranked")
+		}
+	}
+}
+
+func TestSelectReturnsMinusOneWhenExhausted(t *testing.T) {
+	ctx, corpus := newCtx(t, 5)
+	for c := 0; c < corpus.DB.NumClaims; c++ {
+		ctx.State.SetLabel(c, corpus.Truth[c])
+	}
+	if got := Select(Random{}, ctx); got != -1 {
+		t.Fatalf("Select on exhausted state = %d, want -1", got)
+	}
+	if got := Select(InfoGain{}, ctx); got != -1 {
+		t.Fatalf("InfoGain on exhausted state = %d, want -1", got)
+	}
+}
+
+func TestInformationGainsFiniteAndMostlyPositive(t *testing.T) {
+	ctx, _ := newCtx(t, 6)
+	cand := candidates(ctx)
+	gains := InformationGains(ctx, cand)
+	if len(gains) != len(cand) {
+		t.Fatal("gain length mismatch")
+	}
+	positive := 0
+	for i, g := range gains {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("gain[%d] = %v", i, g)
+		}
+		if g > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no candidate had positive information gain")
+	}
+}
+
+func TestInfoGainPrefersConnectedClaim(t *testing.T) {
+	// A claim linked to many others through one source should carry more
+	// information gain than an isolated claim.
+	db := &factdb.DB{NumClaims: 6}
+	db.Sources = []factdb.Source{{ID: 0}, {ID: 1}}
+	docID := 0
+	for c := 0; c < 5; c++ { // claims 0..4 share source 0
+		db.Documents = append(db.Documents, factdb.Document{
+			ID: docID, Source: 0, Refs: []factdb.ClaimRef{{Claim: c, Stance: factdb.Support}},
+		})
+		docID++
+	}
+	db.Documents = append(db.Documents, factdb.Document{
+		ID: docID, Source: 1, Refs: []factdb.ClaimRef{{Claim: 5, Stance: factdb.Support}},
+	})
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	state := factdb.NewState(6)
+	engine := em.NewEngine(db, em.DefaultConfig(), 9)
+	engine.InferFull(state)
+	// Install a strong trust coupling so validation propagates.
+	th := engine.Theta()
+	th[len(th)-1] = 2
+	engine.SetTheta(th)
+	ctx := &Context{
+		DB: db, State: state, Engine: engine,
+		Grounding: engine.Grounding(state),
+		RNG:       stats.NewRNG(10), Workers: 1,
+	}
+	gains := InformationGains(ctx, []int{0, 5})
+	if gains[0] <= gains[1] {
+		t.Fatalf("connected claim gain %v should beat isolated %v", gains[0], gains[1])
+	}
+}
+
+func TestSourceGainsFinite(t *testing.T) {
+	ctx, _ := newCtx(t, 11)
+	cand := candidates(ctx)[:6]
+	gains := SourceGains(ctx, cand)
+	for i, g := range gains {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("source gain[%d] = %v", i, g)
+		}
+	}
+}
+
+func TestStrategiesReturnUnlabeledOnly(t *testing.T) {
+	ctx, corpus := newCtx(t, 12)
+	for i := 0; i < 10; i++ {
+		c := corpus.ClaimOrder[i]
+		ctx.State.SetLabel(c, corpus.Truth[c])
+	}
+	for _, s := range []Strategy{Random{}, Uncertainty{}, InfoGain{}, SourceGain{}, &Hybrid{Z: 0.5}} {
+		got := s.Rank(ctx, 5)
+		for _, c := range got {
+			if ctx.State.Labeled(c) {
+				t.Fatalf("%s ranked labelled claim %d", s.Name(), c)
+			}
+		}
+	}
+}
+
+func TestHybridRoulette(t *testing.T) {
+	ctx, _ := newCtx(t, 13)
+	// With a single-candidate pool, both sub-strategies must return the
+	// most uncertain claim, making the hybrid deterministic despite the
+	// stochastic what-if scoring.
+	ctx.CandidatePool = 1
+	want := (Uncertainty{}).Rank(ctx, 1)[0]
+	for _, z := range []float64{0, 1, 0.5} {
+		h := &Hybrid{Z: z}
+		got := h.Rank(ctx, 1)
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("hybrid(Z=%v) = %v, want [%d]", z, got, want)
+		}
+	}
+	if (&Hybrid{}).Name() != "hybrid" {
+		t.Fatal("name")
+	}
+}
+
+func TestHybridScoreProperties(t *testing.T) {
+	if z := HybridScore(0, 0, 0); z != 0 {
+		t.Fatalf("z(0,0,0) = %v", z)
+	}
+	// Monotone in both error rate and unreliable ratio.
+	if HybridScore(0.9, 0, 0.2) <= HybridScore(0.1, 0, 0.2) {
+		t.Fatal("z not monotone in error rate")
+	}
+	if HybridScore(0.1, 0.9, 0.8) <= HybridScore(0.1, 0.1, 0.8) {
+		t.Fatal("z not monotone in unreliable ratio")
+	}
+	// Early on (h≈0) the error rate dominates; late (h≈1) the ratio does.
+	early := HybridScore(0.8, 0.1, 0.01)
+	earlySwap := HybridScore(0.1, 0.8, 0.01)
+	if early <= earlySwap {
+		t.Fatal("error rate should dominate early")
+	}
+	late := HybridScore(0.1, 0.8, 0.99)
+	lateSwap := HybridScore(0.8, 0.1, 0.99)
+	if late <= lateSwap {
+		t.Fatal("unreliable ratio should dominate late")
+	}
+	for _, z := range []float64{HybridScore(1, 1, 0.5), HybridScore(0.5, 0.5, 0.5)} {
+		if z < 0 || z > 1 {
+			t.Fatalf("z out of [0,1]: %v", z)
+		}
+	}
+}
+
+func TestUnreliableRatio(t *testing.T) {
+	db := &factdb.DB{NumClaims: 2}
+	db.Sources = []factdb.Source{{ID: 0}, {ID: 1}}
+	db.Documents = []factdb.Document{
+		{ID: 0, Source: 0, Refs: []factdb.ClaimRef{{Claim: 0, Stance: factdb.Support}}},
+		{ID: 1, Source: 1, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Support}}},
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Source 0's claim credible, source 1's not: half the sources are
+	// unreliable.
+	if got := UnreliableRatio(db, factdb.Grounding{true, false}); got != 0.5 {
+		t.Fatalf("UnreliableRatio = %v", got)
+	}
+	if got := UnreliableRatio(db, factdb.Grounding{true, true}); got != 0 {
+		t.Fatalf("UnreliableRatio = %v", got)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if got := ErrorRate(0.8, true); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ErrorRate = %v", got)
+	}
+	if got := ErrorRate(0.8, false); got != 0.8 {
+		t.Fatalf("ErrorRate = %v", got)
+	}
+}
+
+func TestParallelAndSequentialGainsAgree(t *testing.T) {
+	// The worker pool must not change which claims are scored; gains are
+	// stochastic (Gibbs), so compare the candidate identity and the
+	// rough ordering instead of exact values.
+	ctx, _ := newCtx(t, 14)
+	cand := candidates(ctx)
+	seq := *ctx
+	seq.Workers = 1
+	par := *ctx
+	par.Workers = 4
+	gseq := InformationGains(&seq, cand)
+	gpar := InformationGains(&par, cand)
+	if len(gseq) != len(gpar) {
+		t.Fatal("length mismatch")
+	}
+	for i := range gseq {
+		if math.IsNaN(gseq[i]) || math.IsNaN(gpar[i]) {
+			t.Fatal("NaN gain")
+		}
+	}
+}
+
+func TestCandidatePoolCap(t *testing.T) {
+	ctx, _ := newCtx(t, 15)
+	ctx.CandidatePool = 5
+	if got := candidates(ctx); len(got) != 5 {
+		t.Fatalf("pool = %d, want 5", len(got))
+	}
+	ctx.CandidatePool = 0
+	if got := candidates(ctx); len(got) != ctx.DB.NumClaims {
+		t.Fatalf("pool = %d, want all %d", len(got), ctx.DB.NumClaims)
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+
+	"factcheck/internal/stats"
+)
+
+// Worker models a human validator for the §8.9 deployment study: a
+// reliability (probability of answering with the ground truth) and a
+// log-normal response-time distribution. Experts are reliable but slow;
+// crowd workers are faster but noisier (Table 3).
+type Worker struct {
+	// Reliability is the probability of a correct answer.
+	Reliability float64
+	// MedianSeconds is the median time per validation task.
+	MedianSeconds float64
+	// TimeSigma is the log-normal shape of the response time.
+	TimeSigma float64
+
+	rng *stats.RNG
+}
+
+// NewWorker creates a worker with its own random stream.
+func NewWorker(reliability, medianSeconds, timeSigma float64, seed int64) *Worker {
+	return &Worker{
+		Reliability:   reliability,
+		MedianSeconds: medianSeconds,
+		TimeSigma:     timeSigma,
+		rng:           stats.NewRNG(seed),
+	}
+}
+
+// Answer returns the worker's verdict for a claim with the given truth,
+// and the seconds spent.
+func (w *Worker) Answer(truth bool) (verdict bool, seconds float64) {
+	verdict = truth
+	if !w.rng.Bernoulli(w.Reliability) {
+		verdict = !verdict
+	}
+	seconds = w.MedianSeconds * math.Exp(w.TimeSigma*w.rng.NormFloat64())
+	return verdict, seconds
+}
+
+// Population is a set of workers answering the same tasks.
+type Population struct {
+	Workers []*Worker
+}
+
+// NewExpertPopulation models the three senior computer scientists of
+// §8.9: high reliability, long per-task times (they also pause between
+// claims). medianSeconds is dataset dependent (Table 3).
+func NewExpertPopulation(n int, reliability, medianSeconds float64, seed int64) *Population {
+	p := &Population{}
+	r := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		rel := stats.Clamp(reliability+0.02*r.NormFloat64(), 0.5, 1)
+		p.Workers = append(p.Workers, NewWorker(rel, medianSeconds*(0.8+0.4*r.Float64()), 0.35, int64(r.Uint64())))
+	}
+	return p
+}
+
+// NewCrowdPopulation models FigureEight crowd workers: mixed reliability
+// and shorter times.
+func NewCrowdPopulation(n int, meanReliability, medianSeconds float64, seed int64) *Population {
+	p := &Population{}
+	r := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		rel := stats.Clamp(meanReliability+0.1*r.NormFloat64(), 0.5, 0.98)
+		p.Workers = append(p.Workers, NewWorker(rel, medianSeconds*(0.6+0.8*r.Float64()), 0.5, int64(r.Uint64())))
+	}
+	return p
+}
+
+// TaskResult aggregates one population's work on a task set.
+type TaskResult struct {
+	// Labels are the consensus verdicts per claim.
+	Labels []bool
+	// Accuracy is the fraction of consensus labels matching truth.
+	Accuracy float64
+	// MeanSeconds is the average wall time per claim (a claim's time is
+	// the mean over the workers who answered it, mirroring the per-task
+	// time reporting of Table 3).
+	MeanSeconds float64
+	// EstimatedReliability is the consensus model's per-worker accuracy
+	// estimate.
+	EstimatedReliability []float64
+}
+
+// RunTasksIndividual has every worker answer every claim independently
+// and reports the mean *individual* accuracy and per-claim time — the
+// §8.9 expert protocol, where each senior scientist completes the task
+// list alone and accuracies are averaged.
+func (p *Population) RunTasksIndividual(truth []bool) TaskResult {
+	n := len(truth)
+	var correct, totalSec float64
+	labels := make([]bool, n)
+	for c := 0; c < n; c++ {
+		votes := 0
+		for _, w := range p.Workers {
+			v, sec := w.Answer(truth[c])
+			totalSec += sec
+			if v == truth[c] {
+				correct++
+			}
+			if v {
+				votes++
+			}
+		}
+		labels[c] = votes*2 >= len(p.Workers)
+	}
+	answers := float64(n * len(p.Workers))
+	return TaskResult{
+		Labels:      labels,
+		Accuracy:    correct / answers,
+		MeanSeconds: totalSec / answers,
+	}
+}
+
+// RunTasks has every worker answer every claim, aggregates the answers
+// with the reliability-aware consensus of [33] (Dawid-Skene style EM),
+// and scores the result against truth.
+func (p *Population) RunTasks(truth []bool) TaskResult {
+	n := len(truth)
+	answers := make([][]int8, n)
+	var totalSec float64
+	for c := 0; c < n; c++ {
+		answers[c] = make([]int8, len(p.Workers))
+		var taskSec float64
+		for wi, w := range p.Workers {
+			v, sec := w.Answer(truth[c])
+			taskSec += sec
+			if v {
+				answers[c][wi] = 1
+			} else {
+				answers[c][wi] = 0
+			}
+		}
+		totalSec += taskSec / float64(len(p.Workers))
+	}
+	labels, reliab := Consensus(answers, 30)
+	correct := 0
+	for c := range labels {
+		if labels[c] == truth[c] {
+			correct++
+		}
+	}
+	return TaskResult{
+		Labels:               labels,
+		Accuracy:             float64(correct) / float64(n),
+		MeanSeconds:          totalSec / float64(n),
+		EstimatedReliability: reliab,
+	}
+}
+
+// Consensus aggregates binary crowd answers with a Dawid-Skene style EM
+// that jointly estimates per-claim posteriors and per-worker accuracies
+// [33]. answers[c][w] ∈ {0, 1} is worker w's verdict on claim c, or −1
+// when the worker did not answer. It returns the posterior-thresholded
+// labels and the estimated worker accuracies.
+func Consensus(answers [][]int8, iters int) (labels []bool, reliability []float64) {
+	n := len(answers)
+	if n == 0 {
+		return nil, nil
+	}
+	nw := len(answers[0])
+	post := make([]float64, n) // P(claim = 1)
+	reliability = make([]float64, nw)
+	// Init: majority vote posterior, uniform reliability.
+	for c := 0; c < n; c++ {
+		ones, total := 0, 0
+		for w := 0; w < nw; w++ {
+			if answers[c][w] < 0 {
+				continue
+			}
+			total++
+			if answers[c][w] == 1 {
+				ones++
+			}
+		}
+		if total == 0 {
+			post[c] = 0.5
+		} else {
+			post[c] = float64(ones) / float64(total)
+		}
+	}
+	for w := range reliability {
+		reliability[w] = 0.8
+	}
+	for it := 0; it < iters; it++ {
+		// M-step: worker accuracy = expected agreement with posterior.
+		for w := 0; w < nw; w++ {
+			num, den := 0.0, 0.0
+			for c := 0; c < n; c++ {
+				a := answers[c][w]
+				if a < 0 {
+					continue
+				}
+				den++
+				if a == 1 {
+					num += post[c]
+				} else {
+					num += 1 - post[c]
+				}
+			}
+			if den > 0 {
+				// Strong smoothing toward 0.5 stabilises the estimates
+				// when workers and tasks are few: with 3 workers the
+				// posterior is dominated by each worker's own vote, and
+				// lightly-smoothed EM can zero-weight the best worker.
+				reliability[w] = (num + 4) / (den + 8)
+			}
+		}
+		// E-step: posterior from weighted log-odds of answers.
+		for c := 0; c < n; c++ {
+			logit := 0.0
+			for w := 0; w < nw; w++ {
+				a := answers[c][w]
+				if a < 0 {
+					continue
+				}
+				r := stats.Clamp(reliability[w], 1e-3, 1-1e-3)
+				l := math.Log(r / (1 - r))
+				if a == 1 {
+					logit += l
+				} else {
+					logit -= l
+				}
+			}
+			post[c] = stats.Sigmoid(logit)
+		}
+	}
+	labels = make([]bool, n)
+	for c := range labels {
+		labels[c] = post[c] >= 0.5
+	}
+	return labels, reliability
+}

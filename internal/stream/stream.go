@@ -1,0 +1,218 @@
+// Package stream implements the streaming fact checking of §7 (Alg. 2):
+// an online Expectation-Maximization engine that updates the CRF
+// parameters with stochastic approximation (Eq. 29-30) as new claims,
+// documents and sources arrive, instead of re-computing from the full
+// (and ever-growing) database. The engine exchanges parameters with the
+// validation process of Alg. 1 in both directions (lines 7 and 10).
+package stream
+
+import (
+	"math"
+
+	"factcheck/internal/crf"
+	"factcheck/internal/factdb"
+	"factcheck/internal/optimize"
+)
+
+// Config tunes the online EM.
+type Config struct {
+	// Gamma0 scales the step sizes γ_t = Gamma0 / t^GammaExp.
+	Gamma0 float64
+	// GammaExp ∈ (0.5, 1] satisfies the Robbins-Monro conditions
+	// Σγ_t = ∞ and Σγ_t² < ∞ ([18]).
+	GammaExp float64
+	// BufferCap bounds the retained clique observations; the oldest
+	// (most down-weighted) observations are evicted first. Claims and
+	// their user input are discarded after validation (§7).
+	BufferCap int
+	// Lambda is the L2 regularisation of the M-step.
+	Lambda float64
+	// Tron configures the Eq. 30 solver.
+	Tron optimize.Config
+}
+
+// DefaultConfig returns the streaming defaults (DESIGN.md §6).
+func DefaultConfig() Config {
+	return Config{
+		Gamma0:    1,
+		GammaExp:  0.6,
+		BufferCap: 4096,
+		Lambda:    0.01,
+		Tron:      optimize.Config{MaxIter: 15, CGMaxIter: 15, Tol: 1e-3},
+	}
+}
+
+// Engine is the online EM state: the current parameters W_t and the
+// decaying-weight sufficient-statistics buffer realising Q_t(W).
+type Engine struct {
+	cfg   Config
+	dim   int
+	t     int
+	theta []float64
+
+	rows [][]float64
+	ys   []float64
+	ws   []float64
+}
+
+// New creates an engine for parameter dimensionality dim (the crf.Model
+// dimension) with zero initial parameters.
+func New(dim int, cfg Config) *Engine {
+	if cfg.Gamma0 <= 0 {
+		cfg.Gamma0 = 1
+	}
+	if cfg.GammaExp <= 0 {
+		cfg.GammaExp = 0.6
+	}
+	if cfg.BufferCap <= 0 {
+		cfg.BufferCap = 4096
+	}
+	return &Engine{cfg: cfg, dim: dim, theta: make([]float64, dim)}
+}
+
+// T returns the number of observed claims.
+func (e *Engine) T() int { return e.t }
+
+// StepSize returns γ_t for a given t (exposed for the Robbins-Monro
+// property tests).
+func (e *Engine) StepSize(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	return e.cfg.Gamma0 / math.Pow(float64(t), e.cfg.GammaExp)
+}
+
+// Theta returns a copy of the current parameters W_t.
+func (e *Engine) Theta() []float64 { return append([]float64(nil), e.theta...) }
+
+// SetTheta installs parameters received from the validation process
+// (Alg. 2 line 7); the next update warm-starts from them.
+func (e *Engine) SetTheta(theta []float64) {
+	if len(theta) != e.dim {
+		panic("stream: theta dimension mismatch")
+	}
+	copy(e.theta, theta)
+}
+
+// Predict returns the engine's credibility estimate for a claim given its
+// clique feature rows and stance signs: σ(Σ_π sign_π·θ·x_π). This is the
+// "educated guess" available for claims after their data is discarded.
+func (e *Engine) Predict(rows [][]float64, signs []float64) float64 {
+	z := 0.0
+	for i, row := range rows {
+		s := 0.0
+		for j, x := range row {
+			s += e.theta[j] * x
+		}
+		z += signs[i] * s
+	}
+	return sigmoid(z)
+}
+
+// ObserveClaim performs one stochastic-approximation update (Eq. 29-30)
+// for an arriving claim described by its clique feature rows and stance
+// signs. When the claim arrives with a known verdict (a validated claim
+// flowing back from Alg. 1), pass it via label; otherwise pass nil and
+// the engine uses its own prediction as the expectation over C_U.
+func (e *Engine) ObserveClaim(rows [][]float64, signs []float64, label *bool) {
+	if len(rows) == 0 {
+		return
+	}
+	e.t++
+	gamma := e.StepSize(e.t)
+
+	// Expectation for the new claim.
+	var p float64
+	if label != nil {
+		if *label {
+			p = 1
+		} else {
+			p = 0
+		}
+	} else {
+		p = e.Predict(rows, signs)
+	}
+
+	// Q_t = (1−γ)·Q_{t−1} + γ·(new term): decay the old observations...
+	for i := range e.ws {
+		e.ws[i] *= 1 - gamma
+	}
+	// ...and append the new claim's cliques at weight γ.
+	for i, row := range rows {
+		y := p
+		if signs[i] < 0 {
+			y = 1 - p
+		}
+		e.rows = append(e.rows, append([]float64(nil), row...))
+		e.ys = append(e.ys, y)
+		e.ws = append(e.ws, gamma)
+	}
+	// FIFO eviction: the oldest entries carry the smallest weights.
+	if over := len(e.rows) - e.cfg.BufferCap; over > 0 {
+		e.rows = append([][]float64(nil), e.rows[over:]...)
+		e.ys = append([]float64(nil), e.ys[over:]...)
+		e.ws = append([]float64(nil), e.ws[over:]...)
+	}
+
+	// M-step (Eq. 30): TRON warm-started from W_{t−1}.
+	prob := optimize.NewLogistic(e.rows, e.ys, e.ws, e.cfg.Lambda)
+	res := optimize.Minimize(prob, e.theta, e.cfg.Tron)
+	copy(e.theta, res.W)
+}
+
+// BufferLen returns the retained observation count (for tests).
+func (e *Engine) BufferLen() int { return len(e.rows) }
+
+// RowsForClaim builds the clique feature rows and stance signs of claim c
+// under model m, using the supplied per-source trust estimates (pass nil
+// for neutral trust). It is the bridge between a fact database and the
+// database-free streaming engine.
+func RowsForClaim(m *crf.Model, c int, trust []float64) (rows [][]float64, signs []float64) {
+	db := m.DB
+	for _, ci := range db.ClaimCliques[c] {
+		cl := db.Cliques[ci]
+		tr := 0.0
+		if trust != nil {
+			tr = trust[cl.Source]
+		}
+		row := make([]float64, m.Dim())
+		m.CliqueFeatures(int(ci), tr, row)
+		rows = append(rows, row)
+		signs = append(signs, cl.Stance.Sign())
+	}
+	return rows, signs
+}
+
+// Arrival describes one stream element for the convenience runner: a
+// claim of a corpus arriving in posting order, optionally with a user
+// verdict.
+type Arrival struct {
+	Claim int
+	Label *bool
+}
+
+// Feed observes a sequence of arrivals against a (fully materialised)
+// corpus model — the §8.8 evaluation pattern, where the stream is
+// replayed from a dataset in posting-time order. Trust estimates come
+// from the grounding g when non-nil.
+func Feed(e *Engine, m *crf.Model, arrivals []Arrival, g factdb.Grounding) {
+	var trust []float64
+	if g != nil {
+		trust = crf.SourceTrustFromGrounding(m.DB, g)
+		for i := range trust {
+			trust[i] = 2*trust[i] - 1 // map to the [−1,1] trust feature
+		}
+	}
+	for _, a := range arrivals {
+		rows, signs := RowsForClaim(m, a.Claim, trust)
+		e.ObserveClaim(rows, signs, a.Label)
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	ex := math.Exp(x)
+	return ex / (1 + ex)
+}

@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"fmt"
+
+	"factcheck/internal/factdb"
+)
+
+// Subset materialises the sub-corpus over the given claims — the
+// streaming experiments of §8.8 replay a corpus in posting order and
+// periodically run the validation process on the prefix that has arrived
+// so far. Documents referencing dropped claims are dropped, sources with
+// no remaining documents are dropped, and all ids are re-indexed densely.
+// The returned slice maps new claim ids back to original ids.
+func Subset(c *Corpus, claims []int) (*Corpus, []int) {
+	keep := make(map[int]int, len(claims)) // original -> new
+	toOrig := make([]int, 0, len(claims))
+	for _, cl := range claims {
+		if _, ok := keep[cl]; ok {
+			continue
+		}
+		keep[cl] = len(toOrig)
+		toOrig = append(toOrig, cl)
+	}
+
+	db := &factdb.DB{NumClaims: len(toOrig)}
+	srcMap := make(map[int]int)
+	for _, doc := range c.DB.Documents {
+		var refs []factdb.ClaimRef
+		for _, ref := range doc.Refs {
+			if newID, ok := keep[ref.Claim]; ok {
+				refs = append(refs, factdb.ClaimRef{Claim: newID, Stance: ref.Stance})
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		newSrc, ok := srcMap[doc.Source]
+		if !ok {
+			newSrc = len(srcMap)
+			srcMap[doc.Source] = newSrc
+			db.Sources = append(db.Sources, factdb.Source{
+				ID:       newSrc,
+				Features: c.DB.Sources[doc.Source].Features,
+			})
+		}
+		db.Documents = append(db.Documents, factdb.Document{
+			ID:       len(db.Documents),
+			Source:   newSrc,
+			Features: doc.Features,
+			Refs:     refs,
+		})
+	}
+	if err := db.Finalize(); err != nil {
+		panic(fmt.Sprintf("synth: invalid subset: %v", err))
+	}
+
+	truth := make([]bool, len(toOrig))
+	for newID, orig := range toOrig {
+		truth[newID] = c.Truth[orig]
+	}
+	srcTrust := make([]float64, len(db.Sources))
+	for orig, newSrc := range srcMap {
+		srcTrust[newSrc] = c.SourceTrust[orig]
+	}
+	var order []int
+	for _, orig := range c.ClaimOrder {
+		if newID, ok := keep[orig]; ok {
+			order = append(order, newID)
+		}
+	}
+	sub := &Corpus{
+		Profile:     c.Profile,
+		DB:          db,
+		Truth:       truth,
+		SourceTrust: srcTrust,
+		ClaimOrder:  order,
+		DocMean:     c.DocMean, DocStd: c.DocStd,
+		SrcMean: c.SrcMean, SrcStd: c.SrcStd,
+	}
+	return sub, toOrig
+}

@@ -1,0 +1,336 @@
+// Package synth generates synthetic fact-checking corpora with the shape
+// of the three datasets of §8.1 (Wikipedia hoaxes, healthcare forum,
+// Snopes). The real corpora are MPI-INF downloads that are unavailable
+// offline; the generator reproduces the statistics the framework's
+// behaviour depends on — source/document/claim counts, Zipf-skewed degree
+// distributions, latent source trustworthiness, stance noise, and feature
+// vectors that are informative-but-noisy correlates of the latent
+// variables. See DESIGN.md §3 for the substitution argument.
+//
+// Generative model:
+//
+//	truth(c)   ~ Bernoulli(CredibleRatio)
+//	τ(s)       ~ Beta(TrustAlpha, TrustBeta)          source trustworthiness
+//	doc d of s references claim c with the *correct* stance
+//	           (support if truth(c), refute otherwise) w.p. τ(s)
+//	doc features: informative channels μ_k·(2·correct−1) + σ·N(0,1),
+//	           plus pure-noise channels
+//	source features: PageRank + HITS authority over a hyperlink graph
+//	           whose in-link probability grows with τ(t), activity
+//	           log1p(#docs), a noisy direct trust probe, and one noise
+//	           channel
+//
+// All randomness flows from a single seed, making corpora reproducible.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"factcheck/internal/factdb"
+	"factcheck/internal/features"
+	"factcheck/internal/graph"
+	"factcheck/internal/stats"
+	"factcheck/internal/textfeat"
+)
+
+// Profile parameterises a corpus family.
+type Profile struct {
+	// Name identifies the dataset in experiment output.
+	Name string
+	// Sources, Documents and Claims are the corpus sizes (§8.1).
+	Sources, Documents, Claims int
+	// CredibleRatio is the fraction of credible claims.
+	CredibleRatio float64
+	// TrustAlpha/TrustBeta shape the Beta distribution of latent source
+	// trustworthiness.
+	TrustAlpha, TrustBeta float64
+	// SourceZipf / ClaimZipf control the degree skew of document
+	// assignment (larger = more skewed).
+	SourceZipf, ClaimZipf float64
+	// DocSignal lists the strength of each informative document feature
+	// channel.
+	DocSignal []float64
+	// DocNoiseChannels is the number of pure-noise document features.
+	DocNoiseChannels int
+	// FeatureNoise is the σ of the informative channels' Gaussian noise.
+	FeatureNoise float64
+	// HardClaimRatio is the fraction of genuinely ambiguous claims — the
+	// "common-sense facts that cannot easily be inferred" of §1 that
+	// make manual validation necessary. Hard claims carry no language
+	// signal (their documents' informative features are pure noise) and
+	// sources split on them (stance correctness is a coin flip
+	// regardless of trustworthiness), so only direct validation settles
+	// them. Their share controls how much manual effort a corpus
+	// fundamentally requires.
+	HardClaimRatio float64
+	// LinksPerSource is the mean out-degree of the hyperlink graph.
+	LinksPerSource int
+	// TextDocuments switches document features to the real
+	// text-extraction path: each document is rendered as text whose
+	// style reflects its latent quality, and the features are the
+	// linguistic indicators of package textfeat (§8.1 [52]). The
+	// abstract DocSignal channels are ignored in this mode.
+	TextDocuments bool
+}
+
+// WithText returns a copy of the profile using rendered text documents
+// and linguistic feature extraction instead of abstract feature channels.
+func (p Profile) WithText() Profile {
+	q := p
+	q.TextDocuments = true
+	if q.Name != "" {
+		q.Name += "+text"
+	}
+	return q
+}
+
+// The three corpora of §8.1 at their published sizes.
+var (
+	Wikipedia = Profile{
+		Name: "wiki", Sources: 1955, Documents: 3228, Claims: 157,
+		CredibleRatio: 0.5, TrustAlpha: 3.5, TrustBeta: 2,
+		SourceZipf: 1.05, ClaimZipf: 0.8,
+		DocSignal: []float64{0.6, 0.4, 0.25}, DocNoiseChannels: 2,
+		FeatureNoise: 1.5, HardClaimRatio: 0.3, LinksPerSource: 3,
+	}
+	Health = Profile{
+		Name: "health", Sources: 11206, Documents: 48083, Claims: 529,
+		CredibleRatio: 0.55, TrustAlpha: 2.8, TrustBeta: 2,
+		SourceZipf: 1.1, ClaimZipf: 0.85,
+		DocSignal: []float64{0.5, 0.35, 0.2}, DocNoiseChannels: 2,
+		FeatureNoise: 1.9, HardClaimRatio: 0.35, LinksPerSource: 3,
+	}
+	Snopes = Profile{
+		Name: "snopes", Sources: 23260, Documents: 80421, Claims: 4856,
+		CredibleRatio: 0.4, TrustAlpha: 2.8, TrustBeta: 2,
+		SourceZipf: 1.1, ClaimZipf: 0.8,
+		DocSignal: []float64{0.55, 0.4, 0.22}, DocNoiseChannels: 2,
+		FeatureNoise: 1.7, HardClaimRatio: 0.32, LinksPerSource: 3,
+	}
+)
+
+// Profiles returns the three §8.1 corpora in paper order.
+func Profiles() []Profile { return []Profile{Wikipedia, Health, Snopes} }
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q", name)
+}
+
+// Scaled returns a proportionally shrunk (or grown) profile that keeps
+// the degree skew and noise; the experiment harness uses small scales so
+// full sweeps stay fast (DESIGN.md §5).
+func (p Profile) Scaled(f float64) Profile {
+	if f <= 0 {
+		panic("synth: non-positive scale")
+	}
+	q := p
+	q.Claims = maxInt(8, int(math.Round(float64(p.Claims)*f)))
+	q.Documents = maxInt(2*q.Claims, int(math.Round(float64(p.Documents)*f)))
+	q.Sources = maxInt(5, int(math.Round(float64(p.Sources)*f)))
+	if f != 1 {
+		q.Name = fmt.Sprintf("%s@%.3g", p.Name, f)
+	}
+	return q
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Corpus is a generated probabilistic fact database with its hidden
+// ground truth (used to simulate users, exactly as the paper does) and
+// the latent variables behind the features.
+type Corpus struct {
+	Profile Profile
+	DB      *factdb.DB
+	// Truth is the correct credibility assignment g*.
+	Truth []bool
+	// SourceTrust is the latent trustworthiness τ(s).
+	SourceTrust []float64
+	// ClaimOrder is the posting order of claims, used by the streaming
+	// experiments (§8.8); ClaimOrder[i] is the i-th claim to arrive.
+	ClaimOrder []int
+	// DocMean/DocStd and SrcMean/SrcStd are the standardisation
+	// statistics, kept so streaming arrivals can be featurised
+	// consistently.
+	DocMean, DocStd []float64
+	SrcMean, SrcStd []float64
+	// DocText holds the rendered document texts when the profile uses
+	// TextDocuments; nil otherwise.
+	DocText []string
+}
+
+// Generate builds a corpus from the profile; identical (profile, seed)
+// pairs yield identical corpora.
+func Generate(p Profile, seed int64) *Corpus {
+	r := stats.NewRNG(seed)
+	nS, nD, nC := p.Sources, p.Documents, p.Claims
+	if nD < nC {
+		panic("synth: need at least one document per claim")
+	}
+
+	truth := make([]bool, nC)
+	for c := range truth {
+		truth[c] = r.Bernoulli(p.CredibleRatio)
+	}
+	hard := make([]bool, nC)
+	for c := range hard {
+		hard[c] = r.Bernoulli(p.HardClaimRatio)
+	}
+	trust := make([]float64, nS)
+	for s := range trust {
+		trust[s] = r.Beta(p.TrustAlpha, p.TrustBeta)
+	}
+
+	// Assign documents: each claim gets one guaranteed document; the
+	// remainder follow Zipf-skewed popularity on both sides.
+	srcZipf := stats.NewZipf(nS, p.SourceZipf)
+	clmZipf := stats.NewZipf(nC, p.ClaimZipf)
+	docSource := make([]int, nD)
+	docClaim := make([]int, nD)
+	for d := 0; d < nD; d++ {
+		docSource[d] = srcZipf.Draw(r)
+		if d < nC {
+			docClaim[d] = d // coverage guarantee
+		} else {
+			docClaim[d] = clmZipf.Draw(r)
+		}
+	}
+
+	// Stances and document features.
+	nDocFeat := len(p.DocSignal) + p.DocNoiseChannels
+	docStance := make([]factdb.Stance, nD)
+	docFeats := make([][]float64, nD)
+	var docText []string
+	var composer *textfeat.Composer
+	if p.TextDocuments {
+		composer = textfeat.NewComposer(seed ^ 0x7e7)
+		docText = make([]string, nD)
+	}
+	for d := 0; d < nD; d++ {
+		s, c := docSource[d], docClaim[d]
+		pCorrect := clampProb(trust[s])
+		if hard[c] {
+			pCorrect = 0.5 // sources split on genuinely ambiguous claims
+		}
+		correct := r.Bernoulli(pCorrect)
+		var st factdb.Stance
+		if truth[c] == correct {
+			st = factdb.Support
+		} else {
+			st = factdb.Refute
+		}
+		docStance[d] = st
+		sign := -1.0
+		if correct {
+			sign = 1.0
+		}
+		if hard[c] {
+			sign = 0 // hard claims: language carries no signal
+		}
+		if p.TextDocuments {
+			// Language quality follows the document's correctness; hard
+			// claims read mid-quality regardless.
+			quality := stats.Clamp(0.5+0.35*sign+0.15*r.NormFloat64(), 0, 1)
+			text := composer.Compose(quality, 2+r.Intn(4))
+			docText[d] = text
+			docFeats[d] = textfeat.Extract(text)
+			continue
+		}
+		f := make([]float64, nDocFeat)
+		for k, mu := range p.DocSignal {
+			f[k] = mu*sign + p.FeatureNoise*r.NormFloat64()
+		}
+		for k := len(p.DocSignal); k < nDocFeat; k++ {
+			f[k] = r.NormFloat64()
+		}
+		docFeats[d] = f
+	}
+
+	// Hyperlink graph: sources link preferentially to trustworthy,
+	// popular targets; centrality then correlates with τ.
+	g := graph.NewDirected(nS)
+	popular := stats.NewZipf(nS, 0.8)
+	for s := 0; s < nS; s++ {
+		links := 1 + r.Intn(2*p.LinksPerSource)
+		for l := 0; l < links; l++ {
+			t := popular.Draw(r)
+			// Rejection step: accept high-trust targets more often.
+			if r.Float64() < 0.25+0.75*trust[t] {
+				g.AddEdge(s, t)
+			}
+		}
+	}
+	cent := features.ComputeCentrality(g)
+	docCount := make([]int, nS)
+	for _, s := range docSource {
+		docCount[s]++
+	}
+	activity := features.Activity(docCount)
+	srcFeats := make([][]float64, nS)
+	for s := 0; s < nS; s++ {
+		srcFeats[s] = []float64{
+			cent.PageRank[s],
+			cent.Authority[s],
+			activity[s],
+			trust[s] + 0.35*r.NormFloat64(), // noisy direct probe (age/profile heuristics)
+			r.NormFloat64(),                 // pure noise channel
+		}
+	}
+
+	// Standardise features for optimizer conditioning. Source features
+	// are consumed once per document, so they are standardised under
+	// document counts (see features.StandardizeWeighted).
+	docMean, docStd := features.Standardize(docFeats)
+	srcWeights := make([]float64, nS)
+	for s, n := range docCount {
+		srcWeights[s] = float64(n)
+	}
+	srcMean, srcStd := features.StandardizeWeighted(srcFeats, srcWeights)
+
+	db := &factdb.DB{NumClaims: nC}
+	for s := 0; s < nS; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s, Features: srcFeats[s]})
+	}
+	for d := 0; d < nD; d++ {
+		db.Documents = append(db.Documents, factdb.Document{
+			ID:       d,
+			Source:   docSource[d],
+			Features: docFeats[d],
+			Refs:     []factdb.ClaimRef{{Claim: docClaim[d], Stance: docStance[d]}},
+		})
+	}
+	if err := db.Finalize(); err != nil {
+		panic(fmt.Sprintf("synth: generated invalid database: %v", err))
+	}
+	return &Corpus{
+		Profile:     p,
+		DB:          db,
+		Truth:       truth,
+		SourceTrust: trust,
+		ClaimOrder:  r.Perm(nC),
+		DocMean:     docMean, DocStd: docStd,
+		SrcMean: srcMean, SrcStd: srcStd,
+		DocText: docText,
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p < 0.05 {
+		return 0.05
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}

@@ -1,0 +1,194 @@
+// Package textfeat implements the linguistic feature extraction of §8.1:
+// "language quality of documents is assessed using common linguistic
+// features such as stylistic indicators (e.g., use of modals, inferential
+// conjunction) and affective indicators (e.g., sentiments, thematic
+// words)" [52]. It also provides a text composer that renders documents
+// whose style reflects a latent quality value, giving the synthetic
+// corpora a real text → feature extraction path instead of abstract
+// feature channels.
+package textfeat
+
+import (
+	"strings"
+
+	"factcheck/internal/stats"
+)
+
+// Small embedded lexicons. Real systems use large curated lists; these
+// carry the same signal structure at toy size.
+var (
+	modals = lexicon("can", "could", "may", "might", "must", "shall",
+		"should", "will", "would")
+	inferentials = lexicon("therefore", "because", "consequently", "thus",
+		"hence", "accordingly", "since", "given")
+	hedges = lexicon("maybe", "perhaps", "allegedly", "reportedly",
+		"possibly", "apparently", "supposedly", "somewhat", "arguably")
+	positives = lexicon("good", "great", "excellent", "amazing", "love",
+		"wonderful", "best", "incredible", "fantastic")
+	negatives = lexicon("bad", "terrible", "awful", "hate", "worst",
+		"horrible", "disgusting", "shocking", "outrageous")
+)
+
+func lexicon(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// FeatureNames lists the extracted features in vector order.
+func FeatureNames() []string {
+	return []string{
+		"modal_rate",          // modals per token (stylistic)
+		"inferential_rate",    // inferential conjunctions per token (stylistic)
+		"hedge_rate",          // hedging terms per token (stylistic)
+		"sentiment_polarity",  // (pos − neg) per token (affective)
+		"sentiment_intensity", // (pos + neg) per token (affective)
+		"exclamation_rate",    // exclamations per sentence (affective)
+		"avg_sentence_len",    // tokens per sentence (stylistic)
+		"type_token_ratio",    // lexical diversity (stylistic)
+	}
+}
+
+// Dim returns the feature vector length.
+func Dim() int { return len(FeatureNames()) }
+
+// Extract computes the linguistic feature vector of a text. Empty text
+// yields the zero vector.
+func Extract(text string) []float64 {
+	out := make([]float64, Dim())
+	tokens := tokenize(text)
+	if len(tokens) == 0 {
+		return out
+	}
+	sentences := countSentences(text)
+	if sentences == 0 {
+		sentences = 1
+	}
+	var nModal, nInf, nHedge, nPos, nNeg int
+	types := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		types[tok] = true
+		switch {
+		case modals[tok]:
+			nModal++
+		case inferentials[tok]:
+			nInf++
+		case hedges[tok]:
+			nHedge++
+		}
+		if positives[tok] {
+			nPos++
+		}
+		if negatives[tok] {
+			nNeg++
+		}
+	}
+	n := float64(len(tokens))
+	out[0] = float64(nModal) / n
+	out[1] = float64(nInf) / n
+	out[2] = float64(nHedge) / n
+	out[3] = float64(nPos-nNeg) / n
+	out[4] = float64(nPos+nNeg) / n
+	out[5] = float64(strings.Count(text, "!")) / float64(sentences)
+	out[6] = n / float64(sentences)
+	out[7] = float64(len(types)) / n
+	return out
+}
+
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') && r != '\''
+	})
+}
+
+func countSentences(text string) int {
+	n := 0
+	for _, r := range text {
+		if r == '.' || r == '!' || r == '?' {
+			n++
+		}
+	}
+	return n
+}
+
+// Composer renders document text whose style reflects a latent quality
+// value in [0, 1]: high-quality text is objective and inferential,
+// low-quality text hedges, exclaims and emotes. Deterministic per RNG.
+type Composer struct {
+	rng *stats.RNG
+}
+
+// NewComposer creates a composer with its own random stream.
+func NewComposer(seed int64) *Composer {
+	return &Composer{rng: stats.NewRNG(seed)}
+}
+
+var (
+	subjects = []string{"the study", "the report", "the agency", "a witness",
+		"the document", "the committee", "the survey", "the dataset",
+		"the spokesperson", "the analysis"}
+	verbs = []string{"shows", "indicates", "confirms", "suggests",
+		"demonstrates", "reveals", "states", "documents"}
+	objects = []string{"the claim", "the figure", "the incident",
+		"the statement", "the measurement", "the policy", "the outcome",
+		"the event"}
+	qualifiersHi = []string{"therefore", "consequently", "accordingly",
+		"given the evidence", "because of this"}
+	qualifiersLo = []string{"allegedly", "supposedly", "maybe", "perhaps",
+		"reportedly"}
+	emotionsLo = []string{"shocking", "outrageous", "incredible",
+		"terrible", "amazing"}
+	neutralAdj = []string{"consistent", "documented", "verified",
+		"measured", "recorded"}
+)
+
+// Compose renders a document of the given number of sentences at the
+// given quality.
+func (c *Composer) Compose(quality float64, sentences int) string {
+	if sentences < 1 {
+		sentences = 1
+	}
+	quality = stats.Clamp(quality, 0, 1)
+	var b strings.Builder
+	for i := 0; i < sentences; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		hiStyle := c.rng.Float64() < quality
+		if hiStyle {
+			// Objective, inferential register.
+			if c.rng.Bernoulli(0.6) {
+				b.WriteString(pick(c.rng, qualifiersHi))
+				b.WriteString(", ")
+			}
+			b.WriteString(pick(c.rng, subjects))
+			b.WriteByte(' ')
+			b.WriteString(pick(c.rng, verbs))
+			b.WriteString(" that ")
+			b.WriteString(pick(c.rng, objects))
+			b.WriteString(" is ")
+			b.WriteString(pick(c.rng, neutralAdj))
+			b.WriteByte('.')
+		} else {
+			// Hedged, emotive register.
+			b.WriteString(pick(c.rng, qualifiersLo))
+			b.WriteByte(' ')
+			b.WriteString(pick(c.rng, subjects))
+			b.WriteByte(' ')
+			b.WriteString(pick(c.rng, verbs))
+			b.WriteString(" the ")
+			b.WriteString(pick(c.rng, emotionsLo))
+			b.WriteString(" thing")
+			if c.rng.Bernoulli(0.6) {
+				b.WriteByte('!')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+	}
+	return b.String()
+}
+
+func pick(r *stats.RNG, xs []string) string { return xs[r.Intn(len(xs))] }

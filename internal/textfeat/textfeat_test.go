@@ -1,0 +1,164 @@
+package textfeat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"factcheck/internal/stats"
+)
+
+func TestFeatureNamesMatchDim(t *testing.T) {
+	if len(FeatureNames()) != Dim() {
+		t.Fatalf("names = %d, dim = %d", len(FeatureNames()), Dim())
+	}
+	if got := Extract("hello world."); len(got) != Dim() {
+		t.Fatalf("vector length = %d", len(got))
+	}
+}
+
+func TestExtractEmptyText(t *testing.T) {
+	for _, txt := range []string{"", "   ", "..."} {
+		v := Extract(txt)
+		for i, x := range v {
+			if x != 0 {
+				t.Fatalf("Extract(%q)[%d] = %v, want 0", txt, i, x)
+			}
+		}
+	}
+}
+
+func TestExtractKnownCounts(t *testing.T) {
+	// 6 tokens, 1 modal, 1 inferential, 1 sentence.
+	v := Extract("therefore results may support the claim.")
+	if v[0] != 1.0/6 { // modal rate: "may"
+		t.Fatalf("modal rate = %v", v[0])
+	}
+	if v[1] != 1.0/6 { // inferential: "therefore"
+		t.Fatalf("inferential rate = %v", v[1])
+	}
+	if v[6] != 6 { // 6 tokens / 1 sentence
+		t.Fatalf("avg sentence len = %v", v[6])
+	}
+}
+
+func TestExtractSentiment(t *testing.T) {
+	pos := Extract("this is a great and wonderful result.")
+	neg := Extract("this is a terrible and awful result.")
+	if pos[3] <= 0 {
+		t.Fatalf("positive polarity = %v", pos[3])
+	}
+	if neg[3] >= 0 {
+		t.Fatalf("negative polarity = %v", neg[3])
+	}
+	if pos[4] <= 0 || neg[4] <= 0 {
+		t.Fatal("intensity should be positive for emotive text")
+	}
+}
+
+func TestExtractExclamations(t *testing.T) {
+	v := Extract("amazing! shocking! unbelievable!")
+	if v[5] != 1 {
+		t.Fatalf("exclamation rate = %v, want 1 per sentence", v[5])
+	}
+}
+
+func TestExtractHedges(t *testing.T) {
+	v := Extract("allegedly the report maybe confirms it.")
+	if v[2] != 2.0/6 {
+		t.Fatalf("hedge rate = %v", v[2])
+	}
+}
+
+func TestTypeTokenRatio(t *testing.T) {
+	uniq := Extract("alpha beta gamma delta.")
+	rep := Extract("alpha alpha alpha alpha.")
+	if uniq[7] != 1 {
+		t.Fatalf("unique TTR = %v", uniq[7])
+	}
+	if rep[7] != 0.25 {
+		t.Fatalf("repeated TTR = %v", rep[7])
+	}
+}
+
+func TestComposerDeterministic(t *testing.T) {
+	a := NewComposer(7).Compose(0.8, 5)
+	b := NewComposer(7).Compose(0.8, 5)
+	if a != b {
+		t.Fatal("composer not deterministic per seed")
+	}
+	c := NewComposer(8).Compose(0.8, 5)
+	if a == c {
+		t.Fatal("different seeds gave identical text")
+	}
+}
+
+func TestComposerQualitySeparation(t *testing.T) {
+	// Averaged over many documents, high-quality text must show more
+	// inferential connectives and fewer hedges/exclamations.
+	comp := NewComposer(11)
+	var hi, lo []float64
+	const docs = 200
+	dims := Dim()
+	hiSum := make([]float64, dims)
+	loSum := make([]float64, dims)
+	for i := 0; i < docs; i++ {
+		hi = Extract(comp.Compose(0.9, 4))
+		lo = Extract(comp.Compose(0.1, 4))
+		for j := 0; j < dims; j++ {
+			hiSum[j] += hi[j]
+			loSum[j] += lo[j]
+		}
+	}
+	if hiSum[1] <= loSum[1] {
+		t.Fatalf("inferential: hi %v <= lo %v", hiSum[1]/docs, loSum[1]/docs)
+	}
+	if hiSum[2] >= loSum[2] {
+		t.Fatalf("hedges: hi %v >= lo %v", hiSum[2]/docs, loSum[2]/docs)
+	}
+	if hiSum[5] >= loSum[5] {
+		t.Fatalf("exclamations: hi %v >= lo %v", hiSum[5]/docs, loSum[5]/docs)
+	}
+	if hiSum[4] >= loSum[4] {
+		t.Fatalf("sentiment intensity: hi %v >= lo %v", hiSum[4]/docs, loSum[4]/docs)
+	}
+}
+
+func TestComposeSentenceCount(t *testing.T) {
+	comp := NewComposer(13)
+	text := comp.Compose(0.5, 7)
+	if got := countSentences(text); got != 7 {
+		t.Fatalf("sentences = %d, want 7 in %q", got, text)
+	}
+	if comp.Compose(0.5, 0) == "" {
+		t.Fatal("Compose(0 sentences) should still render one")
+	}
+}
+
+func TestExtractBoundedRates(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		comp := NewComposer(seed)
+		v := Extract(comp.Compose(r.Float64(), 1+r.Intn(8)))
+		// All rate features live in [0, 1]; polarity in [-1, 1].
+		for _, idx := range []int{0, 1, 2, 4, 7} {
+			if v[idx] < 0 || v[idx] > 1 {
+				return false
+			}
+		}
+		return v[3] >= -1 && v[3] <= 1 && v[6] > 0
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizeApostrophes(t *testing.T) {
+	toks := tokenize("Don't can't WON'T")
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if !strings.Contains(toks[0], "'") {
+		t.Fatalf("apostrophe lost: %v", toks)
+	}
+}
