@@ -1,0 +1,31 @@
+# Tier-1 gate plus the lint/vet/bench smoke pipeline; `make ci` is what a
+# CI job should run.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench-smoke bench
+
+ci: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# A short benchmark invocation that exercises the parallel scoring hot
+# path without the full experiment sweep.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkGuidanceScoring|BenchmarkGibbsSweep' -benchtime 3x .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

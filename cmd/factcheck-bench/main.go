@@ -89,7 +89,7 @@ func main() {
 		claims   = flag.Int("claims", 90, "scale each dataset to ~this many claims (0 = full published sizes)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		runs     = flag.Int("runs", 1, "repetitions where the paper averages")
-		workers  = flag.Int("workers", 0, "parallel what-if workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "parallel workers for what-if scoring and the sharded E-step (0 = GOMAXPROCS); results are identical across worker counts")
 		pool     = flag.Int("pool", 16, "candidate pool for what-if scoring")
 		datasets = flag.String("datasets", "", "comma-separated subset of wiki,health,snopes")
 		list     = flag.Bool("list", false, "list experiment ids and exit")

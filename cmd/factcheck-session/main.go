@@ -77,6 +77,7 @@ func main() {
 		goal    = flag.Float64("goal", 0.9, "precision goal (with -auto)")
 		auto    = flag.Bool("auto", false, "answer with the simulated ground-truth user")
 		budget  = flag.Int("budget", 0, "effort budget (0 = all claims)")
+		workers = flag.Int("workers", 0, "parallel inference/scoring workers (0 = GOMAXPROCS); results are identical across worker counts")
 	)
 	flag.Parse()
 
@@ -90,8 +91,9 @@ func main() {
 
 	quit := false
 	opts := factcheck.Options{
-		Seed:   *seed + 1,
-		Budget: *budget,
+		Seed:    *seed + 1,
+		Budget:  *budget,
+		Workers: *workers,
 		Goal: func(s *factcheck.Session) bool {
 			if quit {
 				return true

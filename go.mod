@@ -1,0 +1,3 @@
+module factcheck
+
+go 1.24

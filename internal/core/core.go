@@ -39,7 +39,10 @@ type Options struct {
 	BatchW float64
 	// CandidatePool bounds what-if scoring (0 = all unlabelled claims).
 	CandidatePool int
-	// Workers bounds parallel what-if scoring (0 = GOMAXPROCS).
+	// Workers bounds parallel what-if scoring and, unless EM.Workers is
+	// set explicitly, the component-sharded E-step (0 = GOMAXPROCS).
+	// Selection traces and inference results are bit-identical across
+	// worker counts for a fixed Seed.
 	Workers int
 	// ConfirmEvery triggers the §5.2 confirmation check each time this
 	// fraction of |C| has been validated since the previous check
@@ -58,8 +61,18 @@ func (o Options) withDefaults() Options {
 	if o.BatchW == 0 {
 		o.BatchW = 4
 	}
-	if o.EM == (em.Config{}) {
+	// The zero-value check deliberately ignores EM.Workers: setting only
+	// the parallelism knob must not suppress the default budgets, or the
+	// engine would silently run with 0 samples.
+	budgets := o.EM
+	budgets.Workers = 0
+	if budgets == (em.Config{}) {
+		workers := o.EM.Workers
 		o.EM = em.DefaultConfig()
+		o.EM.Workers = workers
+	}
+	if o.EM.Workers == 0 {
+		o.EM.Workers = o.Workers
 	}
 	return o
 }
@@ -80,6 +93,7 @@ type Session struct {
 
 	opts      Options
 	rng       *stats.RNG
+	pool      *guidance.Pool   // persistent what-if scoring pool
 	hybrid    *guidance.Hybrid // non-nil when the strategy is hybrid
 	grounding factdb.Grounding
 	prevGnd   factdb.Grounding
@@ -109,6 +123,7 @@ func NewSession(db *factdb.DB, opts Options) *Session {
 		rng:      stats.NewRNG(opts.Seed + 1),
 		prompted: make(map[int]bool),
 	}
+	s.pool = guidance.NewPool(s.Engine)
 	if h, ok := opts.Strategy.(*guidance.Hybrid); ok {
 		s.hybrid = h
 	}
@@ -146,6 +161,7 @@ func (s *Session) ctx() *guidance.Context {
 		RNG:           s.rng,
 		CandidatePool: s.opts.CandidatePool,
 		Workers:       s.opts.Workers,
+		Pool:          s.pool,
 	}
 }
 

@@ -261,6 +261,61 @@ func TestHistoryRecordsRepairs(t *testing.T) {
 	}
 }
 
+func TestSelectionTraceIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The whole Alg. 1 loop — sharded E-steps, pooled what-if scoring,
+	// hybrid roulette — must produce the same claim selections and
+	// verdicts for a fixed seed no matter how many workers run it.
+	c := smallCorpus(t, 40)
+	workerCounts := []int{1, 2, 4}
+	for _, strat := range []guidance.Strategy{guidance.InfoGain{}, guidance.SourceGain{}, &guidance.Hybrid{}} {
+		traces := make([][]Validation, len(workerCounts))
+		for i, workers := range workerCounts {
+			s := NewSession(c.DB, Options{
+				Seed: 41, Budget: 8, CandidatePool: 8,
+				Strategy: strat, Workers: workers,
+			})
+			s.Run(&sim.Oracle{Truth: c.Truth})
+			traces[i] = s.History()
+		}
+		for i := 1; i < len(traces); i++ {
+			if len(traces[i]) != len(traces[0]) {
+				t.Fatalf("%s: workers=%d trace length %d, want %d",
+					strat.Name(), workerCounts[i], len(traces[i]), len(traces[0]))
+			}
+			for j := range traces[i] {
+				if traces[i][j] != traces[0][j] {
+					t.Fatalf("%s: workers=%d diverged at step %d: %+v vs %+v",
+						strat.Name(), workerCounts[i], j, traces[i][j], traces[0][j])
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersKnobReachesEMConfig(t *testing.T) {
+	opts := Options{Workers: 3}.withDefaults()
+	if opts.EM.Workers != 3 {
+		t.Fatalf("EM.Workers = %d, want propagated 3", opts.EM.Workers)
+	}
+	explicit := Options{Workers: 3}
+	explicit.EM.Workers = 5
+	explicit.EM.BurnIn = 1 // non-zero EM config must survive withDefaults
+	if got := explicit.withDefaults().EM.Workers; got != 5 {
+		t.Fatalf("explicit EM.Workers overridden: got %d, want 5", got)
+	}
+	// Setting only the parallelism knob must not suppress the default
+	// budgets (a zero-sample engine would silently emit 0.5 marginals).
+	onlyWorkers := Options{}
+	onlyWorkers.EM.Workers = 4
+	got := onlyWorkers.withDefaults().EM
+	if got.Samples <= 0 || got.BurnIn <= 0 {
+		t.Fatalf("EM budgets suppressed by Workers-only config: %+v", got)
+	}
+	if got.Workers != 4 {
+		t.Fatalf("EM.Workers = %d, want 4 preserved", got.Workers)
+	}
+}
+
 func TestSessionStringer(t *testing.T) {
 	c := synth.Generate(synth.Wikipedia.Scaled(0.08), 35)
 	s := NewSession(c.DB, Options{Seed: 36})

@@ -9,6 +9,8 @@
 package em
 
 import (
+	"sort"
+
 	"factcheck/internal/crf"
 	"factcheck/internal/factdb"
 	"factcheck/internal/gibbs"
@@ -29,6 +31,12 @@ type Config struct {
 	// HypoBurn/HypoSamples are the budgets of a component-restricted
 	// what-if run behind information gain.
 	HypoBurn, HypoSamples int
+	// Workers bounds the goroutines of the component-sharded E-step
+	// (§5.1): connected components are swept in parallel, each on its own
+	// deterministic RNG stream, so results are bit-identical for a fixed
+	// seed regardless of the worker count. 0 means GOMAXPROCS; 1 runs the
+	// same sharded schedule serially.
+	Workers int
 	// Lambda is the L2 regularisation of the M-step.
 	Lambda float64
 	// LabelWeight is the example weight of cliques whose claim carries
@@ -89,6 +97,11 @@ type Engine struct {
 
 	samples *gibbs.SampleSet // Ω* of the most recent E-step
 	inited  bool
+
+	// workerChains are long-lived clones handed out by AcquireWorkers and
+	// resynchronised in place per scoring round — the persistent
+	// alternative to cloning O(|C|) state per Rank call.
+	workerChains []*gibbs.Chain
 }
 
 // NewEngine creates an engine with maximum-entropy initial parameters.
@@ -165,7 +178,7 @@ func (e *Engine) infer(state *factdb.State, burn, samples int) {
 	eStep := func() {
 		e.chain.SetModel(e.model)
 		e.chain.SyncLabels(state)
-		ss := e.chain.Run(burn, samples)
+		ss := e.chain.RunSharded(burn, samples, e.cfg.Workers)
 		e.samples = ss
 		for c := 0; c < e.db.NumClaims; c++ {
 			if !state.Labeled(c) {
@@ -236,8 +249,34 @@ func (e *Engine) Grounding(state *factdb.State) factdb.Grounding {
 }
 
 // NewWorkerChain returns an independent chain clone for parallel what-if
-// evaluation; each worker goroutine must own its clone.
+// evaluation; each worker goroutine must own its clone. Prefer
+// AcquireWorkers, which reuses long-lived clones instead of allocating
+// fresh O(|C|) state per call.
 func (e *Engine) NewWorkerChain() *gibbs.Chain { return e.chain.Clone() }
+
+// AcquireWorkers returns n long-lived worker chains, each resynchronised
+// (allocation-free) with the engine's current model and chain state. The
+// chains persist inside the engine across calls, so a guidance pool that
+// scores candidates every session iteration stops paying a per-Rank clone
+// of the assignment/frozen/agreement arrays. The returned chains are
+// owned by the caller until the next AcquireWorkers call; each must be
+// used by at most one goroutine.
+func (e *Engine) AcquireWorkers(n int) []*gibbs.Chain {
+	if n < 1 {
+		n = 1
+	}
+	for len(e.workerChains) < n {
+		// Detached clones: taking more workers must not advance the
+		// engine chain's RNG, or the worker count would leak into the
+		// E-step stream and break cross-parallelism determinism.
+		e.workerChains = append(e.workerChains, e.chain.CloneDetached(int64(len(e.workerChains))))
+	}
+	ws := e.workerChains[:n]
+	for _, w := range ws {
+		w.CopyStateFrom(e.chain)
+	}
+	return ws
+}
 
 // Hypothetical runs the component-restricted what-if inference of §4.2 on
 // the supplied chain (the engine's own chain, or a worker clone): claim c
@@ -245,10 +284,17 @@ func (e *Engine) NewWorkerChain() *gibbs.Chain { return e.chain.Clone() }
 // resulting component marginals are returned. The chain is rolled back
 // before returning.
 func (e *Engine) Hypothetical(ch *gibbs.Chain, c int, v bool) gibbs.ComponentResult {
+	return e.HypotheticalInto(nil, ch, c, v)
+}
+
+// HypotheticalInto is Hypothetical with caller-provided marginal storage
+// (reused when its capacity suffices), for scoring loops that must not
+// allocate per candidate.
+func (e *Engine) HypotheticalInto(marg []float64, ch *gibbs.Chain, c int, v bool) gibbs.ComponentResult {
 	comp := e.db.ComponentOf(c)
-	snap := ch.SnapshotComponent(comp)
+	snap := ch.SnapshotComponentScratch(comp)
 	ch.Freeze(c, v)
-	res := ch.RunComponent(comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
+	res := ch.RunComponentInto(marg, comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
 	ch.Restore(snap)
 	return res
 }
@@ -270,12 +316,23 @@ func (e *Engine) HoldoutMarginals(state *factdb.State, holdout []int) []float64 
 	for i, c := range holdout {
 		byComp[e.db.ComponentOf(c)] = append(byComp[e.db.ComponentOf(c)], i)
 	}
-	for comp, idxs := range byComp {
-		snap := e.chain.SnapshotComponent(comp)
+	// Components are visited in sorted id order: they all draw from the
+	// engine chain's single RNG stream, so map-iteration order would make
+	// the marginals nondeterministic for a fixed seed.
+	comps := make([]int, 0, len(byComp))
+	for comp := range byComp {
+		comps = append(comps, comp)
+	}
+	sort.Ints(comps)
+	var marg []float64 // reused across components
+	for _, comp := range comps {
+		idxs := byComp[comp]
+		snap := e.chain.SnapshotComponentScratch(comp)
 		for _, i := range idxs {
 			e.chain.Unfreeze(holdout[i])
 		}
-		res := e.chain.RunComponent(comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
+		res := e.chain.RunComponentInto(marg, comp, e.cfg.HypoBurn, e.cfg.HypoSamples)
+		marg = res.Marginals
 		pos := make(map[int32]int, len(res.Members))
 		for j, m := range res.Members {
 			pos[m] = j

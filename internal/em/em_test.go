@@ -243,6 +243,124 @@ func TestGroundingMatchesStrongMarginals(t *testing.T) {
 	}
 }
 
+func TestInferenceIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The component-sharded E-step gives every component its own
+	// deterministic RNG stream, so the inferred probabilities must be
+	// bit-identical whether one worker or many sweep the shards.
+	db, truth := featureDB(t, 50, 3, 0.4, 21)
+	infer := func(workers int) []float64 {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		state := factdb.NewState(db.NumClaims)
+		for c := 0; c < 10; c++ {
+			state.SetLabel(c, truth[c])
+		}
+		e := NewEngine(db, cfg, 43)
+		e.InferFull(state)
+		for c := 10; c < 14; c++ {
+			state.SetLabel(c, truth[c])
+			e.InferIncremental(state)
+		}
+		out := make([]float64, db.NumClaims)
+		for c := range out {
+			out[c] = state.P(c)
+		}
+		return out
+	}
+	want := infer(1)
+	for _, workers := range []int{2, 4} {
+		got := infer(workers)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("workers=%d: P(%d) = %v, want %v", workers, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestAcquireWorkersReusesAndResyncs(t *testing.T) {
+	db, truth := featureDB(t, 20, 2, 0.4, 22)
+	state := factdb.NewState(db.NumClaims)
+	e := NewEngine(db, DefaultConfig(), 47)
+	e.InferFull(state)
+	first := e.AcquireWorkers(3)
+	if len(first) != 3 {
+		t.Fatalf("AcquireWorkers(3) returned %d chains", len(first))
+	}
+	// Churn the workers, advance the engine, re-acquire: same chain
+	// objects, resynced to the engine state.
+	for _, w := range first {
+		w.Sweep(nil)
+	}
+	state.SetLabel(0, truth[0])
+	e.InferIncremental(state)
+	second := e.AcquireWorkers(2)
+	for i := range second {
+		if second[i] != first[i] {
+			t.Fatal("AcquireWorkers allocated fresh chains instead of reusing")
+		}
+		for c := 0; c < db.NumClaims; c++ {
+			if second[i].Value(c) != e.Chain().Value(c) {
+				t.Fatalf("worker %d claim %d not resynced with engine chain", i, c)
+			}
+		}
+	}
+}
+
+func TestHoldoutMarginalsDeterministic(t *testing.T) {
+	// Holdouts spanning several components all draw from the engine
+	// chain's one RNG stream; component visit order must therefore be
+	// fixed (sorted), not map order. Build a many-component DB whose
+	// claims carry conflicting evidence (one support + one refute doc
+	// each), so the holdout marginals stay mid-range and genuinely
+	// depend on which stream segment a component consumes — saturated
+	// marginals would mask an order bug.
+	const nComp = 8
+	db := &factdb.DB{}
+	truth := make([]bool, 0, 2*nComp)
+	docID := 0
+	for s := 0; s < nComp; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s})
+		for k := 0; k < 2; k++ {
+			for _, st := range []factdb.Stance{factdb.Support, factdb.Refute} {
+				db.Documents = append(db.Documents, factdb.Document{
+					ID: docID, Source: s,
+					Refs: []factdb.ClaimRef{{Claim: db.NumClaims, Stance: st}},
+				})
+				docID++
+			}
+			truth = append(truth, (s+k)%2 == 0)
+			db.NumClaims++
+		}
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumComponents() < nComp {
+		t.Fatalf("expected %d components, got %d", nComp, db.NumComponents())
+	}
+	run := func() []float64 {
+		state := factdb.NewState(db.NumClaims)
+		holdout := make([]int, 0, 12)
+		for c := 0; c < 12; c++ {
+			state.SetLabel(c, truth[c])
+			holdout = append(holdout, c)
+		}
+		e := NewEngine(db, DefaultConfig(), 53)
+		e.InferFull(state)
+		return e.HoldoutMarginals(state, holdout)
+	}
+	want := run()
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: holdout marginal[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestDefaultConfigSane(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.BurnIn <= 0 || cfg.Samples <= 0 || cfg.IncBurnIn <= 0 || cfg.IncSamples <= 0 {

@@ -139,7 +139,6 @@ func RunFig7(cfg Config) Fig7Result {
 	cfg = cfg.withDefaults()
 	const p = 0.2
 	res := Fig7Result{ErrorProb: p}
-	grid := effortGrid(0.05)
 	for _, prof := range cfg.profiles() {
 		for _, name := range cfg.strategies() {
 			var curves [][]CurvePoint
@@ -149,6 +148,20 @@ func RunFig7(cfg Config) Fig7Result {
 				user := sim.NewErroneous(corpus.Truth, p, seed+13)
 				curve, _ := runTrace(corpus, strategyByName(name), user, cfg, seed+7, 0.995, 0.01)
 				curves = append(curves, curve)
+			}
+			// Fig. 7's x-axis is label+repair effort, which exceeds 1 when
+			// confirmation checks re-elicit verdicts — extend the grid to
+			// the last observed effort so the curve's tail reflects the
+			// post-repair precision rather than a mid-run snapshot.
+			maxEffort := 1.0
+			for _, c := range curves {
+				if n := len(c); n > 0 && c[n-1].Effort > maxEffort {
+					maxEffort = c[n-1].Effort
+				}
+			}
+			grid := effortGrid(0.05)
+			for e := 1.05; e <= maxEffort+1e-9; e += 0.05 {
+				grid = append(grid, e)
 			}
 			mean := meanCurves(curves, grid)
 			var toNinety float64

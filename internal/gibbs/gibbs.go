@@ -10,6 +10,10 @@
 package gibbs
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"factcheck/internal/crf"
 	"factcheck/internal/factdb"
 	"factcheck/internal/stats"
@@ -31,7 +35,9 @@ type run struct {
 
 // Chain is a persistent Gibbs chain over the claims of one fact database.
 // A Chain is not safe for concurrent use; parallel what-if evaluation
-// clones the chain per worker (Clone).
+// gives each worker its own long-lived clone (CloneDetached +
+// CopyStateFrom), and RunSharded may sweep disjoint components of one
+// chain concurrently because components share no claims or sources.
 type Chain struct {
 	db     *factdb.DB
 	rng    *stats.RNG
@@ -42,7 +48,9 @@ type Chain struct {
 	trustW float64
 	runs   [][]run // per claim
 
-	order []int32 // scratch for sweep ordering
+	order  []int32  // scratch for sweep ordering
+	counts []int32  // scratch for RunComponentInto sample counting
+	snap   Snapshot // scratch for SnapshotComponentScratch
 }
 
 // NewChain builds a chain over db seeded by rng. The initial assignment
@@ -264,8 +272,13 @@ func (ch *Chain) Sweep(claims []int32) {
 }
 
 // Run executes burn discarded sweeps followed by samples recorded sweeps
-// over all claims and returns the collected sample set Ω.
+// over all claims and returns the collected sample set Ω. Non-positive
+// burn and samples are treated as zero; an empty sample set reports 0.5
+// marginals rather than dividing by zero.
 func (ch *Chain) Run(burn, samples int) *SampleSet {
+	if samples < 0 {
+		samples = 0
+	}
 	for i := 0; i < burn; i++ {
 		ch.Sweep(nil)
 	}
@@ -275,6 +288,96 @@ func (ch *Chain) Run(burn, samples int) *SampleSet {
 		ss.Add(ch.x)
 	}
 	return ss
+}
+
+// RunSharded is the component-sharded parallel counterpart of Run (§5.1):
+// connected components of the claim graph are independent blocks of the
+// CRF, so each is swept by its own deterministic RNG stream, with up to
+// workers goroutines processing components concurrently (workers <= 0
+// means GOMAXPROCS). Components are closed under shared sources, so a
+// component's sweeps touch only its own claims and per-source agreement
+// counters — shards never contend. Sample bits of claims sharing a word
+// are merged with atomic OR, which commutes, so the returned Ω is
+// bit-identical for a fixed chain state regardless of worker count or
+// scheduling order.
+func (ch *Chain) RunSharded(burn, samples, workers int) *SampleSet {
+	if burn < 0 {
+		burn = 0
+	}
+	if samples < 0 {
+		samples = 0
+	}
+	nComp := ch.db.NumComponents()
+	// One base draw from the chain's own stream; per-component streams
+	// derive from it without advancing the parent further, keeping the
+	// parent chain's RNG consumption independent of the sharding.
+	base := ch.rng.Uint64()
+	ss := newDenseSampleSet(len(ch.x), samples)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nComp {
+		workers = nComp
+	}
+	maxMembers := 0
+	for comp := 0; comp < nComp; comp++ {
+		if n := len(ch.db.ComponentMembers(comp)); n > maxMembers {
+			maxMembers = n
+		}
+	}
+	runComp := func(comp int, order []int32, rng *stats.RNG) {
+		members := ch.db.ComponentMembers(comp)
+		rng.Reseed(stats.StreamSeed(base, uint64(comp)))
+		for i := 0; i < burn; i++ {
+			ch.sweepShard(members, order[:len(members)], rng)
+		}
+		for k := 0; k < samples; k++ {
+			ch.sweepShard(members, order[:len(members)], rng)
+			ss.recordShard(k, members, ch.x)
+		}
+	}
+	if workers <= 1 {
+		order := make([]int32, maxMembers)
+		rng := stats.NewRNG(0)
+		for comp := 0; comp < nComp; comp++ {
+			runComp(comp, order, rng)
+		}
+		return ss
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			order := make([]int32, maxMembers)
+			rng := stats.NewRNG(0)
+			for {
+				comp := int(next.Add(1)) - 1
+				if comp >= nComp {
+					return
+				}
+				runComp(comp, order, rng)
+			}
+		}()
+	}
+	wg.Wait()
+	return ss
+}
+
+// sweepShard performs one Gibbs pass over the given component members in
+// an order shuffled by the shard's own RNG stream. The caller guarantees
+// that no other goroutine touches the members' claims or their sources'
+// agreement counters.
+func (ch *Chain) sweepShard(members, order []int32, rng *stats.RNG) {
+	copy(order, members)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, c := range order {
+		if !ch.frozen[c] {
+			p := stats.Sigmoid(ch.LogOdds(int(c)))
+			ch.setValue(int(c), rng.Float64() < p)
+		}
+	}
 }
 
 // ComponentResult carries the marginals of one component's claims after a
@@ -289,11 +392,38 @@ type ComponentResult struct {
 // workhorse of the what-if inference behind information gain (§4.2),
 // exploiting the graph-partitioning optimisation of §5.1.
 func (ch *Chain) RunComponent(comp, burn, samples int) ComponentResult {
+	return ch.RunComponentInto(nil, comp, burn, samples)
+}
+
+// RunComponentInto is RunComponent with caller-provided marginal storage:
+// the result's Marginals reuse marg's backing array when its capacity
+// suffices, so a worker scoring many hypotheticals allocates nothing in
+// steady state. The per-sample counting scratch lives on the chain. With
+// samples <= 0 no sweeps are recorded and every marginal is 0.5 — the
+// maximum-entropy answer — instead of the NaN a 0/0 division would
+// produce.
+func (ch *Chain) RunComponentInto(marg []float64, comp, burn, samples int) ComponentResult {
 	members := ch.db.ComponentMembers(comp)
+	if cap(marg) < len(members) {
+		marg = make([]float64, len(members))
+	}
+	marg = marg[:len(members)]
+	if samples <= 0 {
+		for j := range marg {
+			marg[j] = 0.5
+		}
+		return ComponentResult{Members: members, Marginals: marg}
+	}
 	for i := 0; i < burn; i++ {
 		ch.Sweep(members)
 	}
-	counts := make([]int32, len(members))
+	if cap(ch.counts) < len(members) {
+		ch.counts = make([]int32, len(members))
+	}
+	counts := ch.counts[:len(members)]
+	for j := range counts {
+		counts[j] = 0
+	}
 	for i := 0; i < samples; i++ {
 		ch.Sweep(members)
 		for j, c := range members {
@@ -302,7 +432,6 @@ func (ch *Chain) RunComponent(comp, burn, samples int) ComponentResult {
 			}
 		}
 	}
-	marg := make([]float64, len(members))
 	for j := range marg {
 		marg[j] = float64(counts[j]) / float64(samples)
 	}
@@ -332,15 +461,36 @@ type Snapshot struct {
 
 // SnapshotComponent captures the state of component comp.
 func (ch *Chain) SnapshotComponent(comp int) Snapshot {
+	var snap Snapshot
+	ch.snapshotInto(&snap, comp)
+	return snap
+}
+
+// SnapshotComponentScratch is SnapshotComponent backed by chain-owned
+// scratch storage: what-if excursions snapshot and restore in strict LIFO
+// order, so at most one scratch snapshot is live per chain and the hot
+// scoring loop allocates nothing. Take a fresh SnapshotComponent instead
+// when two snapshots must coexist.
+func (ch *Chain) SnapshotComponentScratch(comp int) Snapshot {
+	ch.snapshotInto(&ch.snap, comp)
+	return ch.snap
+}
+
+func (ch *Chain) snapshotInto(snap *Snapshot, comp int) {
 	members := ch.db.ComponentMembers(comp)
 	srcs := ch.db.ComponentSources(comp)
-	snap := Snapshot{
-		comp:    comp,
-		xvals:   make([]bool, len(members)),
-		frozen:  make([]bool, len(members)),
-		agree:   make([]int32, len(srcs)),
-		sources: srcs,
+	if cap(snap.xvals) < len(members) {
+		snap.xvals = make([]bool, len(members))
+		snap.frozen = make([]bool, len(members))
 	}
+	if cap(snap.agree) < len(srcs) {
+		snap.agree = make([]int32, len(srcs))
+	}
+	snap.comp = comp
+	snap.xvals = snap.xvals[:len(members)]
+	snap.frozen = snap.frozen[:len(members)]
+	snap.agree = snap.agree[:len(srcs)]
+	snap.sources = srcs
 	for i, c := range members {
 		snap.xvals[i] = ch.x[c]
 		snap.frozen[i] = ch.frozen[c]
@@ -348,7 +498,6 @@ func (ch *Chain) SnapshotComponent(comp int) Snapshot {
 	for i, s := range srcs {
 		snap.agree[i] = ch.agree[s]
 	}
-	return snap
 }
 
 // Restore rolls the chain back to a snapshot taken with SnapshotComponent.
@@ -378,3 +527,39 @@ func (ch *Chain) Clone() *Chain {
 		runs:   ch.runs,
 	}
 }
+
+// CloneDetached is Clone with an explicitly seeded RNG instead of one
+// split from the parent: the parent's stream does not advance, so the
+// number of clones taken (e.g. the worker count) cannot perturb the
+// parent chain's subsequent sampling. Scoring pools reseed the clone per
+// task anyway.
+func (ch *Chain) CloneDetached(seed int64) *Chain {
+	return &Chain{
+		db:     ch.db,
+		rng:    stats.NewRNG(seed),
+		x:      append([]bool(nil), ch.x...),
+		frozen: append([]bool(nil), ch.frozen...),
+		agree:  append([]int32(nil), ch.agree...),
+		total:  ch.total,
+		trustW: ch.trustW,
+		runs:   ch.runs,
+	}
+}
+
+// CopyStateFrom resynchronises a long-lived clone with src without
+// allocating: assignment, frozen flags, agreement counters and the trust
+// weight are copied (clones already share the run structure, whose base
+// scores SetModel refreshes in place). Persistent worker pools call this
+// once per scoring round instead of cloning a fresh chain.
+func (ch *Chain) CopyStateFrom(src *Chain) {
+	copy(ch.x, src.x)
+	copy(ch.frozen, src.frozen)
+	copy(ch.agree, src.agree)
+	ch.trustW = src.trustW
+}
+
+// Reseed resets the chain's RNG in place to a deterministic stream.
+// Scoring pools reseed a worker's chain per candidate so each what-if
+// evaluation is a pure function of (chain state, candidate, seed),
+// independent of which worker runs it.
+func (ch *Chain) Reseed(seed int64) { ch.rng.Reseed(seed) }

@@ -369,6 +369,246 @@ func TestSyncLabelsClampsAndReleases(t *testing.T) {
 	}
 }
 
+// denseDB builds a multi-component database: nComp star components of
+// varying size, so sharded runs exercise uneven shards.
+func denseDB(t *testing.T, nComp int) *factdb.DB {
+	t.Helper()
+	db := &factdb.DB{}
+	docID := 0
+	for s := 0; s < nComp; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s})
+		size := 1 + s%4
+		for k := 0; k < size; k++ {
+			st := factdb.Support
+			if (s+k)%3 == 0 {
+				st = factdb.Refute
+			}
+			db.Documents = append(db.Documents, factdb.Document{
+				ID: docID, Source: s,
+				Refs: []factdb.ClaimRef{{Claim: db.NumClaims, Stance: st}},
+			})
+			docID++
+			db.NumClaims++
+		}
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunShardedIdenticalAcrossWorkerCounts(t *testing.T) {
+	db := denseDB(t, 9)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 0.7
+	theta[len(theta)-1] = 0.5
+	m.SetTheta(theta)
+	run := func(workers int) *SampleSet {
+		ch := NewChain(db, stats.NewRNG(31))
+		ch.SetModel(m)
+		return ch.RunSharded(6, 12, workers)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.NumSamples() != want.NumSamples() {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, got.NumSamples(), want.NumSamples())
+		}
+		for si := range want.samples {
+			for w := range want.samples[si] {
+				if got.samples[si][w] != want.samples[si][w] {
+					t.Fatalf("workers=%d: sample %d word %d differs", workers, si, w)
+				}
+			}
+		}
+		for c := 0; c < db.NumClaims; c++ {
+			if got.Marginal(c) != want.Marginal(c) {
+				t.Fatalf("workers=%d: marginal[%d] = %v, want %v", workers, c, got.Marginal(c), want.Marginal(c))
+			}
+		}
+	}
+}
+
+func TestRunShardedRespectsLabels(t *testing.T) {
+	db := denseDB(t, 5)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(37))
+	ch.SetModel(m)
+	state := factdb.NewState(db.NumClaims)
+	state.SetLabel(0, true)
+	state.SetLabel(3, false)
+	ch.InitFromState(state)
+	ss := ch.RunSharded(4, 20, 4)
+	if p := ss.Marginal(0); p != 1 {
+		t.Fatalf("labelled-true marginal = %v", p)
+	}
+	if p := ss.Marginal(3); p != 0 {
+		t.Fatalf("labelled-false marginal = %v", p)
+	}
+}
+
+func TestRunGuardsNonPositiveSamples(t *testing.T) {
+	db := starDB(t, 4)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(41))
+	ch.SetModel(m)
+	for _, ss := range []*SampleSet{ch.Run(2, 0), ch.Run(2, -3), ch.RunSharded(2, 0, 2)} {
+		for c := 0; c < db.NumClaims; c++ {
+			p := ss.Marginal(c)
+			if math.IsNaN(p) || p != 0.5 {
+				t.Fatalf("empty-sample marginal[%d] = %v, want 0.5", c, p)
+			}
+		}
+	}
+	res := ch.RunComponent(db.ComponentOf(0), 1, 0)
+	for i, p := range res.Marginals {
+		if math.IsNaN(p) || p != 0.5 {
+			t.Fatalf("RunComponent(samples=0) marginal[%d] = %v, want 0.5", i, p)
+		}
+	}
+	res = ch.RunComponent(db.ComponentOf(0), 1, -1)
+	for i, p := range res.Marginals {
+		if math.IsNaN(p) {
+			t.Fatalf("RunComponent(samples=-1) marginal[%d] is NaN", i)
+		}
+	}
+}
+
+func TestRunComponentIntoReusesBuffer(t *testing.T) {
+	db := starDB(t, 6)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(43))
+	ch.SetModel(m)
+	comp := db.ComponentOf(0)
+	buf := make([]float64, 0, db.NumClaims)
+	res := ch.RunComponentInto(buf, comp, 2, 4)
+	if &res.Marginals[0] != &buf[:1][0] {
+		t.Fatal("RunComponentInto did not reuse the provided buffer")
+	}
+	if len(res.Marginals) != len(res.Members) {
+		t.Fatalf("marginals/members mismatch: %d vs %d", len(res.Marginals), len(res.Members))
+	}
+}
+
+func TestSyncLabelsMatchesInitFromState(t *testing.T) {
+	db := denseDB(t, 7)
+	m := crf.New(db)
+	theta := make([]float64, m.Dim())
+	theta[0] = 0.4
+	m.SetTheta(theta)
+	state := factdb.NewState(db.NumClaims)
+	for c := 0; c < db.NumClaims; c += 2 {
+		state.SetLabel(c, c%4 == 0)
+	}
+
+	chInit := NewChain(db, stats.NewRNG(47))
+	chInit.SetModel(m)
+	chInit.InitFromState(state)
+
+	chSync := NewChain(db, stats.NewRNG(47))
+	chSync.SetModel(m)
+	chSync.SyncLabels(state)
+
+	// Labelled claims and frozen flags must agree exactly between the two
+	// construction paths.
+	for c := 0; c < db.NumClaims; c++ {
+		if chInit.frozen[c] != chSync.frozen[c] {
+			t.Fatalf("frozen[%d]: init %v, sync %v", c, chInit.frozen[c], chSync.frozen[c])
+		}
+		if v, ok := state.Label(c); ok {
+			if chInit.x[c] != v || chSync.x[c] != v {
+				t.Fatalf("labelled claim %d not clamped: init %v, sync %v, want %v", c, chInit.x[c], chSync.x[c], v)
+			}
+		}
+	}
+	// Both chains' agreement counters must be consistent with their own
+	// assignment (SyncLabels maintains them incrementally, InitFromState
+	// recounts).
+	for _, ch := range []*Chain{chInit, chSync} {
+		want := make([]int32, len(db.Sources))
+		for _, cl := range db.Cliques {
+			if ch.x[cl.Claim] == (cl.Stance == factdb.Support) {
+				want[cl.Source]++
+			}
+		}
+		for s := range want {
+			if want[s] != ch.agree[s] {
+				t.Fatalf("agree[%d] = %d, want %d", s, ch.agree[s], want[s])
+			}
+		}
+	}
+	// With every claim labelled the two paths are bit-identical: no RNG
+	// draw is needed, so the sampled-vs-kept distinction vanishes.
+	full := factdb.NewState(db.NumClaims)
+	for c := 0; c < db.NumClaims; c++ {
+		full.SetLabel(c, c%3 != 0)
+	}
+	chA := NewChain(db, stats.NewRNG(53))
+	chA.SetModel(m)
+	chA.InitFromState(full)
+	chB := NewChain(db, stats.NewRNG(53))
+	chB.SetModel(m)
+	chB.SyncLabels(full)
+	for c := 0; c < db.NumClaims; c++ {
+		if chA.x[c] != chB.x[c] || chA.frozen[c] != chB.frozen[c] {
+			t.Fatalf("fully labelled state diverged at claim %d", c)
+		}
+	}
+	for s := range chA.agree {
+		if chA.agree[s] != chB.agree[s] {
+			t.Fatalf("fully labelled agree[%d] diverged: %d vs %d", s, chA.agree[s], chB.agree[s])
+		}
+	}
+}
+
+func TestCopyStateFromResyncsClone(t *testing.T) {
+	db := denseDB(t, 6)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(59))
+	ch.SetModel(m)
+	clone := ch.Clone()
+	// Diverge the clone, then churn the parent.
+	for i := 0; i < 5; i++ {
+		clone.Sweep(nil)
+		ch.Sweep(nil)
+	}
+	clone.CopyStateFrom(ch)
+	for c := range ch.x {
+		if clone.x[c] != ch.x[c] || clone.frozen[c] != ch.frozen[c] {
+			t.Fatalf("claim %d not resynced", c)
+		}
+	}
+	for s := range ch.agree {
+		if clone.agree[s] != ch.agree[s] {
+			t.Fatalf("agree[%d] not resynced", s)
+		}
+	}
+	if clone.trustW != ch.trustW {
+		t.Fatal("trust weight not resynced")
+	}
+}
+
+func TestReseedMakesRunsReproducible(t *testing.T) {
+	db := denseDB(t, 5)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(61))
+	ch.SetModel(m)
+	comp := db.ComponentOf(0)
+	snap := ch.SnapshotComponent(comp)
+	ch.Reseed(99)
+	a := ch.RunComponent(comp, 2, 6)
+	aCopy := append([]float64(nil), a.Marginals...)
+	ch.Restore(snap)
+	ch.Reseed(99)
+	b := ch.RunComponent(comp, 2, 6)
+	for i := range aCopy {
+		if aCopy[i] != b.Marginals[i] {
+			t.Fatalf("reseeded run diverged at member %d: %v vs %v", i, aCopy[i], b.Marginals[i])
+		}
+	}
+}
+
 func TestSampleSetMarginals(t *testing.T) {
 	ss := NewSampleSet(3, 4)
 	ss.Add([]bool{true, false, true})

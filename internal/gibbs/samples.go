@@ -1,6 +1,8 @@
 package gibbs
 
 import (
+	"sync/atomic"
+
 	"factcheck/internal/factdb"
 )
 
@@ -33,6 +35,39 @@ func (ss *SampleSet) Add(x []bool) {
 		}
 	}
 	ss.samples = append(ss.samples, words)
+}
+
+// newDenseSampleSet preallocates a set of exactly samples zeroed
+// configurations backed by one contiguous array, so sharded runs can fill
+// sample k's bits concurrently (see recordShard) without any append
+// bookkeeping.
+func newDenseSampleSet(nClaims, samples int) *SampleSet {
+	words := (nClaims + 63) / 64
+	ss := &SampleSet{
+		nClaims: nClaims,
+		counts:  make([]int32, nClaims),
+		samples: make([][]uint64, samples),
+	}
+	backing := make([]uint64, samples*words)
+	for i := range ss.samples {
+		ss.samples[i] = backing[i*words : (i+1)*words : (i+1)*words]
+	}
+	return ss
+}
+
+// recordShard stores sample k's bits for the given component members from
+// x. Claims of different components may share a 64-bit word, so bits are
+// merged with atomic OR — commutative, hence deterministic regardless of
+// which shard records first. The per-claim counts are indexed by claim and
+// each claim belongs to exactly one shard, so they need no atomics.
+func (ss *SampleSet) recordShard(k int, members []int32, x []bool) {
+	words := ss.samples[k]
+	for _, c := range members {
+		if x[c] {
+			atomic.OrUint64(&words[c/64], 1<<(uint(c)%64))
+			ss.counts[c]++
+		}
+	}
 }
 
 // NumSamples returns |Ω|.

@@ -9,9 +9,7 @@ package guidance
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"factcheck/internal/em"
 	"factcheck/internal/entropy"
@@ -27,15 +25,20 @@ type Context struct {
 	Engine *em.Engine
 	// Grounding is g_{i−1}, the grounding of the previous iteration.
 	Grounding factdb.Grounding
-	// RNG drives stochastic strategies (random baseline, hybrid roulette).
+	// RNG drives stochastic strategies (random baseline, hybrid roulette)
+	// and seeds each scoring round's deterministic what-if streams.
 	RNG *stats.RNG
 	// CandidatePool bounds the number of claims scored by the what-if
 	// strategies (§5.1's parallelisation note); 0 scores every
 	// unlabelled claim.
 	CandidatePool int
 	// Workers bounds the goroutines used for what-if scoring; 0 means
-	// GOMAXPROCS.
+	// GOMAXPROCS. Rankings are byte-identical across worker counts for a
+	// fixed seed.
 	Workers int
+	// Pool is the persistent scoring pool; sessions share one across
+	// iterations. A nil Pool is created (and cached) on first use.
+	Pool *Pool
 }
 
 // Strategy ranks unlabelled claims by expected validation benefit.
@@ -81,21 +84,31 @@ type Uncertainty struct{}
 // Name implements Strategy.
 func (Uncertainty) Name() string { return "uncertainty" }
 
-// Rank implements Strategy.
+// Rank implements Strategy. Entropies are computed once per claim before
+// sorting — the comparator runs O(n log n) times and must not re-derive
+// them.
 func (Uncertainty) Rank(ctx *Context, k int) []int {
 	unl := ctx.State.Unlabeled()
-	sort.SliceStable(unl, func(i, j int) bool {
-		hi := stats.BinaryEntropy(ctx.State.P(unl[i]))
-		hj := stats.BinaryEntropy(ctx.State.P(unl[j]))
-		if hi != hj {
-			return hi > hj
-		}
-		return unl[i] < unl[j]
-	})
-	if len(unl) > k {
-		unl = unl[:k]
+	h := make([]float64, len(unl))
+	idx := make([]int, len(unl))
+	for i, c := range unl {
+		h[i] = stats.BinaryEntropy(ctx.State.P(c))
+		idx[i] = i
 	}
-	return unl
+	sort.SliceStable(idx, func(a, b int) bool {
+		if h[idx[a]] != h[idx[b]] {
+			return h[idx[a]] > h[idx[b]]
+		}
+		return unl[idx[a]] < unl[idx[b]]
+	})
+	out := make([]int, 0, min(k, len(unl)))
+	for _, i := range idx {
+		out = append(out, unl[i])
+		if len(out) == k {
+			break
+		}
+	}
+	return out
 }
 
 // candidates returns the claims the what-if strategies will score: the
@@ -107,45 +120,6 @@ func candidates(ctx *Context) []int {
 		unl = unl[:ctx.CandidatePool]
 	}
 	return unl
-}
-
-// gainFunc scores one candidate using a dedicated worker chain.
-type gainFunc func(ctx *Context, worker int, c int) float64
-
-// scoreParallel evaluates gains for all candidates with a worker pool
-// (the parallelisation optimisation of §5.1).
-func scoreParallel(ctx *Context, cand []int, fn gainFunc) []float64 {
-	gains := make([]float64, len(cand))
-	workers := ctx.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cand) {
-		workers = len(cand)
-	}
-	if workers <= 1 {
-		for i, c := range cand {
-			gains[i] = fn(ctx, 0, c)
-		}
-		return gains
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range next {
-				gains[i] = fn(ctx, worker, cand[i])
-			}
-		}(w)
-	}
-	for i := range cand {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return gains
 }
 
 // rankByGain sorts candidates by gain (descending, ties by id).
@@ -190,19 +164,33 @@ func (InfoGain) Rank(ctx *Context, k int) []int {
 
 // InformationGains returns IG_C(c) (Eq. 15) for each candidate.
 func InformationGains(ctx *Context, cand []int) []float64 {
-	chains := workerChains(ctx, len(cand))
-	return scoreParallel(ctx, cand, func(ctx *Context, worker, c int) float64 {
-		ch := chains[worker]
+	// The "before" entropy depends only on the component and the frozen
+	// state of this iteration, so compute it once per distinct component —
+	// candidates sharing a component share the value.
+	compH := currentComponentEntropy(ctx, cand)
+	return ctx.pool().Score(ctx, cand, func(w *Worker, c int) float64 {
 		comp := ctx.DB.ComponentOf(c)
-		members := ctx.DB.ComponentMembers(comp)
-		hCur := entropy.ApproxClaims(ctx.State, members)
-		plus := ctx.Engine.Hypothetical(ch, c, true)
-		minus := ctx.Engine.Hypothetical(ch, c, false)
+		hCur := compH[comp]
+		plus := w.Hypo(ctx.Engine, c, true)
+		minus := w.Hypo(ctx.Engine, c, false)
 		hPlus := hypoClaimEntropy(ctx.State, plus, c)
 		hMinus := hypoClaimEntropy(ctx.State, minus, c)
 		p := ctx.State.P(c)
 		return hCur - (p*hPlus + (1-p)*hMinus)
 	})
+}
+
+// currentComponentEntropy computes the Eq. 13 claim entropy of every
+// distinct component among the candidates, keyed by component id.
+func currentComponentEntropy(ctx *Context, cand []int) map[int]float64 {
+	compH := make(map[int]float64)
+	for _, c := range cand {
+		comp := ctx.DB.ComponentOf(c)
+		if _, ok := compH[comp]; !ok {
+			compH[comp] = entropy.ApproxClaims(ctx.State, ctx.DB.ComponentMembers(comp))
+		}
+	}
+	return compH
 }
 
 // hypoClaimEntropy computes the Eq. 13 entropy of a component under
@@ -217,26 +205,6 @@ func hypoClaimEntropy(state *factdb.State, res gibbs.ComponentResult, clamped in
 		h += stats.BinaryEntropy(res.Marginals[i])
 	}
 	return h
-}
-
-// workerChains allocates one chain clone per worker (capped by the number
-// of candidates).
-func workerChains(ctx *Context, nCand int) []*gibbs.Chain {
-	workers := ctx.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nCand {
-		workers = nCand
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	out := make([]*gibbs.Chain, workers)
-	for i := range out {
-		out[i] = ctx.Engine.NewWorkerChain()
-	}
-	return out
 }
 
 // SourceGain is the source-driven strategy of §4.3: select the claim
@@ -264,17 +232,25 @@ func (SourceGain) Rank(ctx *Context, k int) []int {
 // entropy. Components are closed under shared sources, so only the
 // candidate's component contributes to the difference.
 func SourceGains(ctx *Context, cand []int) []float64 {
-	chains := workerChains(ctx, len(cand))
-	return scoreParallel(ctx, cand, func(ctx *Context, worker, c int) float64 {
-		ch := chains[worker]
+	// The "before" source entropy depends only on the component and the
+	// previous grounding, so compute it once per distinct component.
+	compH := make(map[int]float64)
+	for _, c := range cand {
+		comp := ctx.DB.ComponentOf(c)
+		if _, ok := compH[comp]; !ok {
+			h := 0.0
+			for _, s := range ctx.DB.ComponentSources(comp) {
+				h += stats.BinaryEntropy(sourceTrustGrounded(ctx.DB, int(s), ctx.Grounding))
+			}
+			compH[comp] = h
+		}
+	}
+	return ctx.pool().Score(ctx, cand, func(w *Worker, c int) float64 {
 		comp := ctx.DB.ComponentOf(c)
 		srcs := ctx.DB.ComponentSources(comp)
-		hCur := 0.0
-		for _, s := range srcs {
-			hCur += stats.BinaryEntropy(sourceTrustGrounded(ctx.DB, int(s), ctx.Grounding))
-		}
-		plus := ctx.Engine.Hypothetical(ch, c, true)
-		minus := ctx.Engine.Hypothetical(ch, c, false)
+		hCur := compH[comp]
+		plus := w.Hypo(ctx.Engine, c, true)
+		minus := w.Hypo(ctx.Engine, c, false)
 		hPlus := hypoSourceEntropy(ctx, srcs, plus, c, true)
 		hMinus := hypoSourceEntropy(ctx, srcs, minus, c, false)
 		p := ctx.State.P(c)

@@ -265,24 +265,64 @@ func TestErrorRate(t *testing.T) {
 	}
 }
 
-func TestParallelAndSequentialGainsAgree(t *testing.T) {
-	// The worker pool must not change which claims are scored; gains are
-	// stochastic (Gibbs), so compare the candidate identity and the
-	// rough ordering instead of exact values.
-	ctx, _ := newCtx(t, 14)
-	cand := candidates(ctx)
-	seq := *ctx
-	seq.Workers = 1
-	par := *ctx
-	par.Workers = 4
-	gseq := InformationGains(&seq, cand)
-	gpar := InformationGains(&par, cand)
-	if len(gseq) != len(gpar) {
-		t.Fatal("length mismatch")
+func TestParallelAndSequentialGainsIdentical(t *testing.T) {
+	// What-if chains are reseeded per candidate from one shared base draw
+	// and every excursion is rolled back, so gains must be byte-identical
+	// across worker counts — not merely statistically close.
+	for _, strat := range []func(*Context, []int) []float64{InformationGains, SourceGains} {
+		ctx, _ := newCtx(t, 14)
+		cand := candidates(ctx)
+		gains := map[int][]float64{}
+		for _, workers := range []int{1, 2, 4} {
+			c := *ctx
+			c.RNG = stats.NewRNG(99)
+			c.Workers = workers
+			c.Pool = nil
+			gains[workers] = strat(&c, cand)
+		}
+		for _, workers := range []int{2, 4} {
+			for i := range gains[1] {
+				if math.IsNaN(gains[1][i]) {
+					t.Fatal("NaN gain")
+				}
+				if gains[workers][i] != gains[1][i] {
+					t.Fatalf("workers=%d: gain[%d] = %v, want %v (workers=1)",
+						workers, i, gains[workers][i], gains[1][i])
+				}
+			}
+		}
 	}
-	for i := range gseq {
-		if math.IsNaN(gseq[i]) || math.IsNaN(gpar[i]) {
-			t.Fatal("NaN gain")
+}
+
+func TestRankIdenticalWithPersistentPool(t *testing.T) {
+	// A session-owned persistent Pool must rank exactly like a transient
+	// one: worker chains are resynchronised every round.
+	ctx, _ := newCtx(t, 16)
+	pooled := *ctx
+	pooled.RNG = stats.NewRNG(7)
+	pooled.Pool = NewPool(ctx.Engine)
+	fresh := *ctx
+	fresh.RNG = stats.NewRNG(7)
+	fresh.Pool = nil
+	a := (InfoGain{}).Rank(&pooled, 5)
+	b := (InfoGain{}).Rank(&fresh, 5)
+	if len(a) != len(b) {
+		t.Fatalf("rank lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank[%d] = %d with pool, %d without", i, a[i], b[i])
+		}
+	}
+	// And a second round on the same pool (stale worker state must be
+	// resynced, not accumulated).
+	pooled.RNG = stats.NewRNG(7)
+	fresh.RNG = stats.NewRNG(7)
+	a = (InfoGain{}).Rank(&pooled, 5)
+	b = (InfoGain{}).Rank(&fresh, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("second round rank[%d] = %d with pool, %d without", i, a[i], b[i])
 		}
 	}
 }

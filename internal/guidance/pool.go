@@ -1,0 +1,135 @@
+package guidance
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"factcheck/internal/em"
+	"factcheck/internal/gibbs"
+	"factcheck/internal/stats"
+)
+
+// Pool is the persistent parallel scoring engine behind the what-if
+// strategies (§5.1). It replaces the old clone-per-Rank scheme: worker
+// chains are long-lived (owned by the engine, resynchronised in place at
+// the start of every scoring round) and each Worker carries reusable
+// marginal buffers, so a steady-state Rank call performs no O(|C|)
+// allocations.
+//
+// Scoring is deterministic by construction: every candidate's what-if
+// chain RNG is reseeded from (round base, claim id), and each what-if
+// excursion is rolled back before the worker moves on, so a candidate's
+// gain is a pure function of the synced chain state — independent of the
+// worker count and of task scheduling. Rankings are therefore
+// byte-identical for a fixed seed whether one worker scores everything or
+// GOMAXPROCS workers share the queue.
+//
+// A Pool is attached to a session (core.Session wires one into every
+// Context); strategies fall back to a transient Pool when the Context
+// carries none, which still reuses the engine's persistent worker chains.
+type Pool struct {
+	engine  *em.Engine
+	workers []Worker
+}
+
+// Worker is one scoring lane of a Pool: a persistent worker chain plus
+// reusable marginal buffers for the two what-if branches of a candidate.
+type Worker struct {
+	// Chain is the lane's private Gibbs chain, resynchronised with the
+	// engine at the start of each scoring round.
+	Chain *gibbs.Chain
+
+	plus, minus []float64
+}
+
+// Hypo runs the engine's component-restricted what-if inference for
+// (c, v) on the worker's chain, reusing the branch's marginal buffer.
+// The result is valid until the worker's next Hypo call for the same v.
+func (w *Worker) Hypo(e *em.Engine, c int, v bool) gibbs.ComponentResult {
+	buf := &w.minus
+	if v {
+		buf = &w.plus
+	}
+	res := e.HypotheticalInto(*buf, w.Chain, c, v)
+	*buf = res.Marginals
+	return res
+}
+
+// NewPool creates a scoring pool over the engine's persistent worker
+// chains.
+func NewPool(engine *em.Engine) *Pool { return &Pool{engine: engine} }
+
+// pool returns the Context's scoring pool, creating and caching a
+// transient one on first use.
+func (ctx *Context) pool() *Pool {
+	if ctx.Pool == nil {
+		ctx.Pool = NewPool(ctx.Engine)
+	}
+	return ctx.Pool
+}
+
+// workerCount resolves the effective parallelism for nTasks tasks.
+func workerCount(requested, nTasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nTasks {
+		w = nTasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Score evaluates fn for every candidate with the pool's workers and
+// returns the gains aligned with cand. One RNG draw from ctx.RNG seeds
+// the round regardless of worker count, keeping the session's random
+// stream — and hence the selection trace — identical across parallelism
+// settings.
+func (p *Pool) Score(ctx *Context, cand []int, fn func(w *Worker, c int) float64) []float64 {
+	if len(cand) == 0 {
+		return nil
+	}
+	gains := make([]float64, len(cand))
+	n := workerCount(ctx.Workers, len(cand))
+	chains := p.engine.AcquireWorkers(n)
+	for len(p.workers) < n {
+		p.workers = append(p.workers, Worker{})
+	}
+	ws := p.workers[:n]
+	for i := range ws {
+		ws[i].Chain = chains[i]
+	}
+	base := ctx.RNG.Uint64()
+	score := func(w *Worker, i int) {
+		c := cand[i]
+		w.Chain.Reseed(stats.StreamSeed(base, uint64(c)))
+		gains[i] = fn(w, c)
+	}
+	if n == 1 {
+		for i := range cand {
+			score(&ws[0], i)
+		}
+		return gains
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := range ws {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cand) {
+					return
+				}
+				score(w, i)
+			}
+		}(&ws[k])
+	}
+	wg.Wait()
+	return gains
+}

@@ -20,6 +20,14 @@ type RNG struct {
 // seed produce identical streams.
 func NewRNG(seed int64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator in place to the stream NewRNG(seed) would
+// produce, without allocating. Worker pools reseed long-lived generators
+// per task so results are independent of task-to-worker assignment.
+func (r *RNG) Reseed(seed int64) {
 	// SplitMix64 to spread the seed over both words, avoiding the all-zero
 	// state that xorshift cannot leave.
 	x := uint64(seed)
@@ -38,13 +46,24 @@ func NewRNG(seed int64) *RNG {
 	if r.s0 == 0 && r.s1 == 0 {
 		r.s1 = 1
 	}
-	return r
 }
 
 // Split derives an independent generator from the current state. The parent
 // stream advances, so repeated Split calls yield distinct children.
 func (r *RNG) Split() *RNG {
 	return NewRNG(int64(r.Uint64() ^ 0xd1b54a32d192ed03))
+}
+
+// StreamSeed derives a deterministic child seed for stream id from a base
+// draw. Unlike Split it does not advance any generator, so a set of
+// parallel workers can seed per-task streams from one shared base without
+// coordination — the scheme that keeps sharded sampling bit-identical
+// regardless of worker count or task scheduling order.
+func StreamSeed(base uint64, id uint64) int64 {
+	z := base + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
