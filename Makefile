@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench
+.PHONY: ci fmt-check vet build test race serve-smoke bench-smoke bench
 
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet build test race bench-smoke serve-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
@@ -21,6 +21,17 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-enabled coverage of the concurrent subsystems: the multi-session
+# service (64 auto-driven sessions multiplexing onto one shared worker
+# budget) and the streaming engine (interleaved arrivals/validations).
+race:
+	$(GO) test -race -count=1 ./internal/service/... ./internal/stream/...
+
+# Boot factcheck-server, drive one auto-answered session end-to-end over
+# HTTP with curl, snapshot it, and shut the server down cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # A short benchmark invocation that exercises the parallel scoring hot
 # path without the full experiment sweep.

@@ -1,0 +1,85 @@
+// Command factcheck-server serves the Alg. 1 guidance loop over HTTP to
+// many concurrent validation sessions. Each session runs the full
+// validation process of §5 — guidance ranking, user verdicts, iCRF
+// incremental inference — behind a JSON API; all sessions multiplex onto
+// one bounded worker budget sized to the machine, and idle sessions are
+// evicted after a TTL. Selection traces are bit-identical to the
+// in-process library path for a fixed seed.
+//
+// Endpoints (see internal/service and the README for the full API):
+//
+//	POST   /sessions                  open (or restore) a session
+//	GET    /sessions/{id}/next?k=K    top-k guidance ranking
+//	POST   /sessions/{id}/answer      submit a verdict
+//	GET    /sessions/{id}/state       progress and precision
+//	GET    /sessions/{id}/snapshot    durable session snapshot
+//	DELETE /sessions/{id}             close the session
+//	GET    /healthz                   liveness and load
+//
+// Usage:
+//
+//	factcheck-server -addr 127.0.0.1:8080 -workers 8 -idle-ttl 30m
+//	factcheck-server -addr 127.0.0.1:0     # pick a free port, announce it
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"factcheck/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		workers     = flag.Int("workers", 0, "shared worker-lane budget across all sessions (0 = GOMAXPROCS)")
+		idleTTL     = flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle this long (0 disables eviction)")
+		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions")
+	)
+	flag.Parse()
+
+	manager := service.NewManager(service.Config{
+		Workers:     *workers,
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+	})
+	server := &http.Server{Handler: service.NewServer(manager).Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Announce the bound address (not the requested one) so scripts can
+	// use -addr host:0 and parse the port.
+	fmt.Printf("factcheck-server listening on http://%s (workers=%d max-sessions=%d idle-ttl=%s)\n",
+		ln.Addr(), manager.Budget().Total(), *maxSessions, *idleTTL)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("factcheck-server: %s, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}()
+
+	if err := server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+	manager.Shutdown()
+	fmt.Println("factcheck-server: stopped")
+}

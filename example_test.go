@@ -2,6 +2,7 @@ package factcheck_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 
 	"factcheck"
 )
@@ -40,6 +41,78 @@ func ExampleGrounding_Precision() {
 	truth := []bool{true, false, false, true}
 	fmt.Println(g.Precision(truth))
 	// Output: 0.75
+}
+
+// ExampleServiceClient drives a guided validation session over the HTTP
+// API: open a session on a corpus profile, ask for the most beneficial
+// claim, answer (here with the simulated ground-truth user), repeat. The
+// served loop is bit-identical to the in-process Session path.
+func ExampleServiceClient() {
+	manager := factcheck.NewServiceManager(factcheck.ServiceConfig{Workers: 1})
+	defer manager.Shutdown()
+	srv := httptest.NewServer(factcheck.NewServiceServer(manager).Handler())
+	defer srv.Close()
+
+	client := factcheck.NewServiceClient(srv.URL)
+	info, err := client.Open(factcheck.ServiceOpenRequest{
+		Profile: "wiki", Scale: 0.2, Seed: 42, CandidatePool: 8,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st, _ := client.State(info.ID, false)
+	for st.Precision < 0.9 {
+		next, err := client.Next(info.ID, 1)
+		if err != nil || next.Done {
+			break
+		}
+		st, err = client.Answer(info.ID, factcheck.ServiceAnswer{
+			Claim: next.Candidates[0].Claim, Oracle: true,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("reached >= 0.9 precision over HTTP: %v\n", st.Precision >= 0.9)
+	fmt.Printf("validated all claims: %v\n", st.Effort >= 1)
+	// Output:
+	// reached >= 0.9 precision over HTTP: true
+	// validated all claims: false
+}
+
+// ExampleRestoreSession persists a session as a snapshot (its replayable
+// transcript) and rebuilds it bit-identically — the hook behind server
+// restarts and session migration.
+func ExampleRestoreSession() {
+	corpus := factcheck.GenerateCorpus(factcheck.Wikipedia.Scaled(0.2), 42)
+	opts := factcheck.Options{Seed: 7, CandidatePool: 8, Workers: 1}
+	a, _ := factcheck.OpenSession(corpus.DB, opts)
+	oracle := &factcheck.Oracle{Truth: corpus.Truth}
+	for i := 0; i < 5; i++ {
+		a.Step(oracle)
+	}
+
+	snap := a.Snapshot() // JSON-friendly: persist anywhere
+	b, err := factcheck.RestoreSession(corpus.DB, opts, snap)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("restored %d validations\n", len(b.History()))
+
+	// Both sessions continue identically.
+	a.Step(oracle)
+	b.Step(oracle)
+	last := func(s *factcheck.Session) factcheck.Validation {
+		h := s.History()
+		return h[len(h)-1]
+	}
+	fmt.Printf("continue identically: %v\n", last(a) == last(b))
+	// Output:
+	// restored 5 validations
+	// continue identically: true
 }
 
 // ExampleNewTracker demonstrates an early-termination decision (§6.1).

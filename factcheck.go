@@ -42,6 +42,7 @@ import (
 	"factcheck/internal/em"
 	"factcheck/internal/factdb"
 	"factcheck/internal/guidance"
+	"factcheck/internal/service"
 	"factcheck/internal/sim"
 	"factcheck/internal/stream"
 	"factcheck/internal/synth"
@@ -88,10 +89,31 @@ type (
 	Validation = core.Validation
 	// CheckResult reports a §5.2 confirmation check.
 	CheckResult = core.CheckResult
+	// Elicitation is one recorded user interaction (claim, response).
+	Elicitation = core.Elicitation
+	// SessionSnapshot is a session's replayable transcript; see
+	// Session.Snapshot and RestoreSession.
+	SessionSnapshot = core.Snapshot
 )
 
+// ErrSessionClosed is returned by operations on a session after Close.
+var ErrSessionClosed = core.ErrClosed
+
 // NewSession builds a session over db and performs the initial inference.
+// It panics on an unusable database; use OpenSession to handle invalid
+// input gracefully.
 func NewSession(db *DB, opts Options) *Session { return core.NewSession(db, opts) }
+
+// OpenSession is NewSession with input validation: a nil, empty or
+// evidence-free database yields an error instead of a panic.
+func OpenSession(db *DB, opts Options) (*Session, error) { return core.OpenSession(db, opts) }
+
+// RestoreSession rebuilds a session from a snapshot by deterministically
+// replaying its transcript against the same database and options; the
+// restored session is bit-identical to the snapshotted one.
+func RestoreSession(db *DB, opts Options, snap SessionSnapshot) (*Session, error) {
+	return core.RestoreSession(db, opts, snap)
+}
 
 // Inference (§3).
 type (
@@ -160,6 +182,35 @@ func NewStreamEngine(dim int, cfg StreamConfig) *StreamEngine {
 // DefaultStreamConfig returns the §7 defaults.
 func DefaultStreamConfig() StreamConfig { return stream.DefaultConfig() }
 
+// Multi-session serving (the guidance loop over HTTP).
+type (
+	// ServiceManager hosts many concurrent validation sessions over one
+	// shared, bounded worker budget with idle-TTL eviction.
+	ServiceManager = service.Manager
+	// ServiceConfig tunes a ServiceManager.
+	ServiceConfig = service.Config
+	// ServiceServer exposes a manager over an HTTP/JSON API.
+	ServiceServer = service.Server
+	// ServiceClient is the Go client for the HTTP API.
+	ServiceClient = service.Client
+	// ServiceOpenRequest configures a served session.
+	ServiceOpenRequest = service.OpenRequest
+	// ServiceAnswer submits one verdict to a served session.
+	ServiceAnswer = service.AnswerRequest
+	// ServiceSnapshot is the durable form of a served session.
+	ServiceSnapshot = service.SessionSnapshot
+)
+
+// NewServiceManager creates a session manager (see ServiceConfig).
+func NewServiceManager(cfg ServiceConfig) *ServiceManager { return service.NewManager(cfg) }
+
+// NewServiceServer wraps a manager with the HTTP API.
+func NewServiceServer(m *ServiceManager) *ServiceServer { return service.NewServer(m) }
+
+// NewServiceClient returns a client for a factcheck-server at base, e.g.
+// "http://127.0.0.1:8080".
+func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
 // Synthetic corpora and user simulation (§8).
 type (
 	// Corpus is a generated fact database with hidden ground truth.
@@ -186,8 +237,15 @@ var (
 )
 
 // GenerateCorpus builds a corpus from a profile; identical (profile,
-// seed) pairs yield identical corpora.
+// seed) pairs yield identical corpora. It panics on a malformed profile;
+// use GenerateCorpusChecked to handle invalid input gracefully.
 func GenerateCorpus(p CorpusProfile, seed int64) *Corpus { return synth.Generate(p, seed) }
+
+// GenerateCorpusChecked is GenerateCorpus with profile validation: an
+// empty or malformed profile yields an error instead of a panic.
+func GenerateCorpusChecked(p CorpusProfile, seed int64) (*Corpus, error) {
+	return synth.GenerateChecked(p, seed)
+}
 
 // NewErroneous builds the §8.5 erroneous user simulator.
 func NewErroneous(truth []bool, p float64, seed int64) *Erroneous {

@@ -96,3 +96,29 @@ func TestPublicAPIStateAndGrounding(t *testing.T) {
 		t.Fatal("stance broken")
 	}
 }
+
+// TestPublicAPIHardenedEdges verifies the error-returning variants of
+// the constructors: invalid input yields errors, not panics, and a
+// closed session refuses further work.
+func TestPublicAPIHardenedEdges(t *testing.T) {
+	if _, err := factcheck.OpenSession(nil, factcheck.Options{}); err == nil {
+		t.Fatal("OpenSession accepted a nil database")
+	}
+	if _, err := factcheck.GenerateCorpusChecked(factcheck.CorpusProfile{Name: "hollow"}, 1); err == nil {
+		t.Fatal("GenerateCorpusChecked accepted an empty profile")
+	}
+	corpus := factcheck.GenerateCorpus(factcheck.Wikipedia.Scaled(0.05), 9)
+	s, err := factcheck.OpenSession(corpus.DB, factcheck.Options{Seed: 10, CandidatePool: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != factcheck.ErrSessionClosed {
+		t.Fatalf("double close: got %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Pending(1); err != factcheck.ErrSessionClosed {
+		t.Fatalf("Pending after close: got %v, want ErrSessionClosed", err)
+	}
+}

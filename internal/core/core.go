@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"factcheck/internal/em"
@@ -105,6 +106,16 @@ type Session struct {
 	// confirmation check re-elicited it, bounding repeated re-elicitation
 	// of the same verdict.
 	prompted map[int]bool
+	// elog records every elicitation (including skips and repair
+	// prompts) in order; it is the replayable part of a Snapshot.
+	elog []Elicitation
+	// pending caches the current iteration's full ranking so that
+	// Pending can be called repeatedly (e.g. by a server handling
+	// repeated GET /next requests) without advancing the session RNG;
+	// pendingOK distinguishes "computed and empty" from "not computed".
+	pending   []int
+	pendingOK bool
+	closed    bool
 
 	// Observer, when set, runs after every iteration (used by the
 	// experiment harness to trace precision and indicator curves).
@@ -112,8 +123,29 @@ type Session struct {
 }
 
 // NewSession builds a session and performs the initial inference and
-// grounding (Alg. 1 lines 1-4).
+// grounding (Alg. 1 lines 1-4). It panics when the database is unusable;
+// callers that must handle invalid input gracefully use OpenSession.
 func NewSession(db *factdb.DB, opts Options) *Session {
+	s, err := OpenSession(db, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OpenSession is NewSession with input validation: it rejects a nil or
+// empty database with an error instead of panicking deep inside the
+// inference engine.
+func OpenSession(db *factdb.DB, opts Options) (*Session, error) {
+	if db == nil {
+		return nil, errors.New("core: nil fact database")
+	}
+	if db.NumClaims <= 0 {
+		return nil, errors.New("core: empty corpus (no claims to validate)")
+	}
+	if len(db.Sources) == 0 || len(db.Documents) == 0 {
+		return nil, errors.New("core: corpus carries no evidence (no sources or documents)")
+	}
 	opts = opts.withDefaults()
 	s := &Session{
 		DB:       db,
@@ -130,7 +162,7 @@ func NewSession(db *factdb.DB, opts Options) *Session {
 	s.Engine.InferFull(s.State)
 	s.grounding = s.Engine.Grounding(s.State)
 	s.prevGnd = s.grounding.Clone()
-	return s
+	return s, nil
 }
 
 // Grounding returns the current grounding g_i.
@@ -172,6 +204,9 @@ func (s *Session) ctx() *guidance.Context {
 // greedy top-k batch is elicited and inference runs once for the whole
 // batch.
 func (s *Session) Step(user User) (done bool) {
+	if s.closed {
+		return true
+	}
 	if s.hybrid != nil {
 		s.hybrid.Z = s.zScore
 	}
@@ -183,23 +218,23 @@ func (s *Session) Step(user User) (done bool) {
 	if s.opts.BatchSize >= 2 {
 		b := &guidance.BatchSelector{W: s.opts.BatchW, K: s.opts.BatchSize}
 		for _, c := range b.SelectBatch(s.ctx(), s.opts.BatchSize) {
-			v, ok := user.Validate(c)
+			v, ok := s.ask(user, c)
 			if !ok {
 				v = s.State.P(c) >= 0.5 // a skip inside a batch accepts the model value
 			}
 			picks = append(picks, pick{c, v})
 		}
 	} else {
-		ranked := s.opts.Strategy.Rank(s.ctx(), 2)
+		ranked := s.ranked()
 		if len(ranked) == 0 {
 			return true
 		}
 		c := ranked[0]
-		v, ok := user.Validate(c)
+		v, ok := s.ask(user, c)
 		if !ok && len(ranked) > 1 {
 			// User skipped: validate the second-best candidate (§8.5).
 			c = ranked[1]
-			v, ok = user.Validate(c)
+			v, ok = s.ask(user, c)
 		}
 		if !ok {
 			v = s.State.P(c) >= 0.5 // a repeated skip accepts the model value
@@ -211,6 +246,7 @@ func (s *Session) Step(user User) (done bool) {
 	}
 
 	// (2) Record input and compute the error rate ε_i (lines 10-13).
+	s.invalidatePending()
 	var eps float64
 	for _, p := range picks {
 		eps = guidance.ErrorRate(s.State.P(p.c), s.grounding[p.c])
@@ -288,6 +324,9 @@ type CheckResult struct {
 // prompts over the whole session, keeping the label+repair effort of
 // Fig. 7 bounded.
 func (s *Session) ConfirmationCheck(user User) CheckResult {
+	if s.closed {
+		return CheckResult{}
+	}
 	labeled := s.State.LabeledClaims()
 	if len(labeled) == 0 {
 		return CheckResult{}
@@ -306,7 +345,7 @@ func (s *Session) ConfirmationCheck(user User) CheckResult {
 			continue // this verdict was already re-confirmed once
 		}
 		s.prompted[c] = v
-		v2, ok := user.Validate(c)
+		v2, ok := s.ask(user, c)
 		if !ok {
 			continue
 		}
@@ -318,6 +357,7 @@ func (s *Session) ConfirmationCheck(user User) CheckResult {
 		}
 	}
 	if changed {
+		s.invalidatePending()
 		s.Engine.InferIncremental(s.State)
 		s.prevGnd = s.grounding
 		s.grounding = s.Engine.Grounding(s.State)

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"factcheck/internal/factdb"
+)
+
+// ErrClosed is returned by operations on a session after Close.
+var ErrClosed = errors.New("core: session is closed")
+
+// Elicitation is one user interaction: the claim the process asked about
+// and the user's response. OK = false records a skip (§8.5). Repair
+// prompts from confirmation checks (§5.2) appear in the log like any
+// other elicitation, so the log is a complete transcript of the
+// user-facing side of Alg. 1.
+type Elicitation struct {
+	Claim   int  `json:"claim"`
+	Verdict bool `json:"verdict"`
+	OK      bool `json:"ok"`
+}
+
+// Snapshot is a serialisable record of a session's progress: the full
+// elicitation transcript. Because every other part of a session — claim
+// selection, inference, grounding, the hybrid score — is a deterministic
+// function of (database, options, user responses), replaying the
+// transcript against the same database and options reconstructs the
+// session bit-identically. This is the persistence hook behind the
+// multi-session server: a snapshot is small (one record per elicitation),
+// JSON-friendly, and independent of engine internals.
+type Snapshot struct {
+	Elicitations []Elicitation `json:"elicitations"`
+}
+
+// ask elicits a verdict and records the elicitation in the transcript.
+func (s *Session) ask(user User, c int) (bool, bool) {
+	v, ok := user.Validate(c)
+	s.elog = append(s.elog, Elicitation{Claim: c, Verdict: v, OK: ok})
+	return v, ok
+}
+
+// ranked returns the full ranking for the current iteration, computing
+// and caching it on first call. The cache is what makes Pending
+// idempotent: ranking draws one value from the session RNG per scoring
+// round, so recomputing on every call would advance the random stream
+// and fork the selection trace away from a session that ranks once per
+// iteration. Ranking with k = |C| instead of Step's historical k = 2 is
+// trace-neutral: k only truncates the sorted order, it never changes the
+// number of RNG draws or the relative order of the head.
+func (s *Session) ranked() []int {
+	if !s.pendingOK {
+		if s.hybrid != nil {
+			s.hybrid.Z = s.zScore
+		}
+		s.pending = s.opts.Strategy.Rank(s.ctx(), s.DB.NumClaims)
+		s.pendingOK = true
+	}
+	return s.pending
+}
+
+// invalidatePending drops the cached ranking; called whenever labels (and
+// hence any ranking input) change.
+func (s *Session) invalidatePending() {
+	s.pending = nil
+	s.pendingOK = false
+}
+
+// Pending returns up to k claims of the current iteration's ranking in
+// descending preference — the claims Step would elicit next. The ranking
+// is computed once per iteration and cached until the next validation, so
+// repeated Pending calls (a client polling "which claim next?") are
+// idempotent and do not perturb the session's random stream: a session
+// whose ranking is inspected between steps produces the same selection
+// trace as one that is only stepped. k <= 0 returns the full ranking.
+// Pending is only meaningful in single-claim mode; in batch mode (§6.2)
+// it returns an error, since batch assembly is interactive in the
+// marginal-gain sense and has no precomputable order.
+func (s *Session) Pending(k int) ([]int, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.opts.BatchSize >= 2 {
+		return nil, errors.New("core: Pending is unavailable in batch mode")
+	}
+	r := s.ranked()
+	if k > 0 && len(r) > k {
+		r = r[:k]
+	}
+	return append([]int(nil), r...), nil
+}
+
+// PendingCached returns the current iteration's ranking only if it has
+// already been computed (by Pending or Step), without triggering a
+// scoring round — the cheap peek behind read-only status endpoints.
+func (s *Session) PendingCached() ([]int, bool) {
+	if s.closed || !s.pendingOK {
+		return nil, false
+	}
+	return append([]int(nil), s.pending...), true
+}
+
+// SetWorkers adjusts the parallelism of subsequent scoring rounds and
+// E-step sweeps (0 = GOMAXPROCS). Results are bit-identical across
+// worker counts, so a server multiplexing many sessions onto a shared
+// worker budget may lower and raise a session's workers per request
+// without perturbing its selection trace.
+func (s *Session) SetWorkers(n int) {
+	s.opts.Workers = n
+	s.Engine.SetWorkers(n)
+}
+
+// Workers returns the session's current worker setting.
+func (s *Session) Workers() int { return s.opts.Workers }
+
+// Close marks the session closed and releases its cached worker
+// resources (engine worker chains and scoring buffers). A closed session
+// still serves read-only accessors (State, History, Snapshot, Precision),
+// but Step and Run become no-ops and Pending returns ErrClosed. Closing
+// an already-closed session returns ErrClosed.
+func (s *Session) Close() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	s.invalidatePending()
+	s.pool.Trim(0)
+	s.Engine.ReleaseWorkers(0)
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool { return s.closed }
+
+// Snapshot returns the session's replayable transcript. The snapshot is
+// valid when taken between Step calls (a server takes one after each
+// answered request); restoring mid-Step states is not supported.
+func (s *Session) Snapshot() Snapshot {
+	return Snapshot{Elicitations: append([]Elicitation(nil), s.elog...)}
+}
+
+// replayUser feeds a recorded transcript back into the Alg. 1 loop,
+// verifying at every elicitation that the process asks about the claim
+// the transcript recorded — any divergence means the database, options or
+// seed differ from the snapshotted session.
+type replayUser struct {
+	log []Elicitation
+	pos int
+	err error
+}
+
+func (u *replayUser) Validate(claim int) (bool, bool) {
+	if u.err != nil {
+		return false, false
+	}
+	if u.pos >= len(u.log) {
+		u.err = fmt.Errorf("core: replay ran past the transcript's %d elicitations (asked claim %d)", len(u.log), claim)
+		return false, false
+	}
+	e := u.log[u.pos]
+	if e.Claim != claim {
+		u.err = fmt.Errorf("core: replay diverged at elicitation %d: process asked claim %d, transcript recorded claim %d (database/options/seed mismatch?)", u.pos, claim, e.Claim)
+		return false, false
+	}
+	u.pos++
+	return e.Verdict, e.OK
+}
+
+// RestoreSession reconstructs a session from a snapshot by replaying its
+// transcript against the same database and options used to create the
+// original. The restored session is bit-identical to the snapshotted one
+// — same state, grounding, history, hybrid score and random stream — so a
+// server can persist sessions across restarts and resume them exactly.
+// Restoration fails with a descriptive error when the transcript does not
+// match the selection trace the (db, opts) pair deterministically
+// produces.
+func RestoreSession(db *factdb.DB, opts Options, snap Snapshot) (*Session, error) {
+	s, err := OpenSession(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	u := &replayUser{log: snap.Elicitations}
+	for u.pos < len(u.log) && u.err == nil {
+		if s.Step(u) {
+			break
+		}
+	}
+	if u.err != nil {
+		return nil, u.err
+	}
+	if u.pos != len(u.log) {
+		return nil, fmt.Errorf("core: replay consumed %d of %d transcript elicitations", u.pos, len(u.log))
+	}
+	return s, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"factcheck/internal/em"
+	"factcheck/internal/factdb"
+	"factcheck/internal/sim"
+)
+
+// fastOpts returns options with reduced inference budgets so lifecycle
+// tests stay fast; behaviour, not statistical quality, is under test.
+func fastOpts(seed int64) Options {
+	cfg := em.DefaultConfig()
+	cfg.BurnIn, cfg.Samples = 6, 12
+	cfg.IncBurnIn, cfg.IncSamples = 2, 6
+	cfg.EMIters = 1
+	cfg.HypoBurn, cfg.HypoSamples = 2, 4
+	return Options{Seed: seed, CandidatePool: 6, Workers: 1, EM: cfg}
+}
+
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	c := smallCorpus(t, 11)
+	opts := fastOpts(12)
+	opts.ConfirmEvery = 0.05 // exercise repair prompts in the transcript
+
+	a, err := OpenSession(c.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mix of wrong answers and skips makes the transcript non-trivial.
+	user := sim.NewSkipper(sim.NewErroneous(c.Truth, 0.25, 77), 0.3, 78)
+	for i := 0; i < 8; i++ {
+		if a.Step(user) {
+			break
+		}
+	}
+	snap := a.Snapshot()
+	if len(snap.Elicitations) < 8 {
+		t.Fatalf("transcript too short: %d elicitations", len(snap.Elicitations))
+	}
+
+	b, err := RestoreSession(c.DB, opts, snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	assertSessionsEqual(t, a, b)
+
+	// The restored session must continue exactly like the original: the
+	// oracle is stateless, so both sessions see identical responses.
+	oracle := &sim.Oracle{Truth: c.Truth}
+	for i := 0; i < 4; i++ {
+		da, db := a.Step(oracle), b.Step(oracle)
+		if da != db {
+			t.Fatalf("step %d: done diverged (%v vs %v)", i, da, db)
+		}
+	}
+	assertSessionsEqual(t, a, b)
+}
+
+func assertSessionsEqual(t *testing.T, a, b *Session) {
+	t.Helper()
+	if !reflect.DeepEqual(a.History(), b.History()) {
+		t.Fatalf("history diverged:\n a=%v\n b=%v", a.History(), b.History())
+	}
+	if !reflect.DeepEqual(a.Grounding(), b.Grounding()) {
+		t.Fatal("grounding diverged")
+	}
+	if a.ZScore() != b.ZScore() {
+		t.Fatalf("z diverged: %v vs %v", a.ZScore(), b.ZScore())
+	}
+	if a.Iterations() != b.Iterations() {
+		t.Fatalf("iterations diverged: %d vs %d", a.Iterations(), b.Iterations())
+	}
+	for c := 0; c < a.DB.NumClaims; c++ {
+		if a.State.P(c) != b.State.P(c) {
+			t.Fatalf("P(%d) diverged: %v vs %v", c, a.State.P(c), b.State.P(c))
+		}
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("transcripts diverged")
+	}
+}
+
+func TestRestoreDetectsMismatch(t *testing.T) {
+	c := smallCorpus(t, 21)
+	opts := fastOpts(22)
+	a, err := OpenSession(c.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: c.Truth}
+	for i := 0; i < 5; i++ {
+		a.Step(oracle)
+	}
+	snap := a.Snapshot()
+
+	// A different seed produces a different selection trace; the replay
+	// must detect the divergence rather than silently building a session
+	// that never happened.
+	bad := opts
+	bad.Seed = opts.Seed + 1
+	if _, err := RestoreSession(c.DB, bad, snap); err == nil {
+		t.Fatal("restore with a different seed should fail")
+	}
+
+	// Truncating the transcript mid-step is also rejected... unless the
+	// cut happens to align with a step boundary, which a single-claim
+	// no-repair session always does — so corrupt a claim id instead.
+	snap.Elicitations[2].Claim = snap.Elicitations[2].Claim + 1
+	if _, err := RestoreSession(c.DB, opts, snap); err == nil {
+		t.Fatal("restore with a corrupted transcript should fail")
+	}
+}
+
+func TestPendingIsIdempotentAndTraceNeutral(t *testing.T) {
+	c := smallCorpus(t, 31)
+	opts := fastOpts(32)
+	peeked, err := OpenSession(c.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := OpenSession(c.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: c.Truth}
+	for i := 0; i < 6; i++ {
+		first, err := peeked.Pending(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Repeated polling must not change the answer or the trace.
+		for j := 0; j < 3; j++ {
+			again, err := peeked.Pending(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("iteration %d: Pending not idempotent: %v vs %v", i, first, again)
+			}
+		}
+		peeked.Step(oracle)
+		plain.Step(oracle)
+		got := peeked.History()[len(peeked.History())-1].Claim
+		if got != first[0] {
+			t.Fatalf("iteration %d: Step validated claim %d, Pending promised %d", i, got, first[0])
+		}
+	}
+	if !reflect.DeepEqual(peeked.History(), plain.History()) {
+		t.Fatalf("polling Pending changed the selection trace:\n peeked=%v\n plain=%v",
+			peeked.History(), plain.History())
+	}
+}
+
+func TestOpenSessionRejectsBadInput(t *testing.T) {
+	if _, err := OpenSession(nil, Options{}); err == nil {
+		t.Fatal("nil database accepted")
+	}
+	if _, err := OpenSession(&factdb.DB{}, Options{}); err == nil {
+		t.Fatal("empty database accepted")
+	}
+	if _, err := OpenSession(&factdb.DB{NumClaims: 3}, Options{}); err == nil {
+		t.Fatal("evidence-free database accepted")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	c := smallCorpus(t, 41)
+	s, err := OpenSession(c.DB, fastOpts(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: c.Truth}
+	s.Step(oracle)
+	labels := s.State.NumLabeled()
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() should report true")
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close: got %v, want ErrClosed", err)
+	}
+	if _, err := s.Pending(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Pending after close: got %v, want ErrClosed", err)
+	}
+	if done := s.Step(oracle); !done {
+		t.Fatal("Step after close should report done")
+	}
+	if s.State.NumLabeled() != labels {
+		t.Fatal("Step after close mutated state")
+	}
+	// Read-only accessors keep working; the transcript survives Close.
+	if len(s.Snapshot().Elicitations) == 0 {
+		t.Fatal("Snapshot after close lost the transcript")
+	}
+}

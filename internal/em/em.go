@@ -142,6 +142,33 @@ func (e *Engine) SetTheta(theta []float64) {
 // (nil before the first inference).
 func (e *Engine) LastSamples() *gibbs.SampleSet { return e.samples }
 
+// SetWorkers adjusts the E-step parallelism for subsequent inference
+// calls (0 = GOMAXPROCS). Inference results are bit-identical across
+// worker counts — every connected component draws from its own
+// deterministic RNG stream — so the setting may change between calls
+// without perturbing results; a serving layer uses this to multiplex
+// many engines onto one bounded worker budget.
+func (e *Engine) SetWorkers(n int) { e.cfg.Workers = n }
+
+// ReleaseWorkers drops cached worker chains beyond keep, returning their
+// O(|C|) state to the allocator. An idle session parked by a server calls
+// this (via core.Session.Close or an idle trim) so that only active
+// sessions hold worker state; the next AcquireWorkers call rebuilds the
+// chains on demand with the same index-derived detached RNG streams, so
+// releasing and re-acquiring never changes inference or scoring results.
+func (e *Engine) ReleaseWorkers(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if len(e.workerChains) <= keep {
+		return
+	}
+	for i := keep; i < len(e.workerChains); i++ {
+		e.workerChains[i] = nil
+	}
+	e.workerChains = e.workerChains[:keep]
+}
+
 // InferFull performs the initial inference (line 2 of Alg. 1) with the
 // full Gibbs budget, updating state probabilities in place.
 func (e *Engine) InferFull(state *factdb.State) {

@@ -1,0 +1,63 @@
+package guidance
+
+import (
+	"reflect"
+	"testing"
+
+	"factcheck/internal/em"
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+	"factcheck/internal/synth"
+)
+
+// TestPoolTrimIsTraceNeutral verifies that trimming a pool's worker
+// buffers between rounds — the idle-session reclamation of the serving
+// layer — never changes scores: lanes are reseeded and resynchronised
+// every round, so cached buffers carry no cross-round information.
+func TestPoolTrimIsTraceNeutral(t *testing.T) {
+	corpus := synth.Generate(synth.Wikipedia.Scaled(0.1), 3)
+	cfg := em.DefaultConfig()
+	cfg.BurnIn, cfg.Samples, cfg.EMIters = 6, 10, 1
+
+	rank := func(trim bool) [][]int {
+		e := em.NewEngine(corpus.DB, cfg, 4)
+		state := factdb.NewState(corpus.DB.NumClaims)
+		e.InferFull(state)
+		ctx := &Context{
+			DB:            corpus.DB,
+			State:         state,
+			Engine:        e,
+			Grounding:     e.Grounding(state),
+			RNG:           stats.NewRNG(5),
+			CandidatePool: 6,
+			Workers:       2,
+			Pool:          NewPool(e),
+		}
+		var out [][]int
+		for round := 0; round < 3; round++ {
+			out = append(out, (InfoGain{}).Rank(ctx, 4))
+			if trim {
+				ctx.Pool.Trim(0)
+				e.ReleaseWorkers(0)
+			}
+		}
+		return out
+	}
+
+	plain, trimmed := rank(false), rank(true)
+	if !reflect.DeepEqual(plain, trimmed) {
+		t.Fatalf("Trim changed rankings:\n plain=%v\n trimmed=%v", plain, trimmed)
+	}
+}
+
+func TestPoolTrimBounds(t *testing.T) {
+	p := &Pool{workers: make([]Worker, 4)}
+	p.Trim(8) // larger than current size: no-op
+	if len(p.workers) != 4 {
+		t.Fatalf("Trim(8) resized to %d", len(p.workers))
+	}
+	p.Trim(-2) // clamps to 0
+	if len(p.workers) != 0 {
+		t.Fatalf("Trim(-2) kept %d workers", len(p.workers))
+	}
+}

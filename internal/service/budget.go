@@ -1,0 +1,76 @@
+package service
+
+import "sync"
+
+// Budget is the shared worker-lane budget that lets N concurrent
+// sessions multiplex onto one bounded set of scoring/inference
+// goroutines instead of each session assuming it owns the machine. A
+// request acquires lanes for the duration of one inference or scoring
+// round and releases them immediately after; because every engine is
+// bit-identical across worker counts, the grant size is free to vary
+// request-to-request with load without perturbing any session's
+// selection trace.
+//
+// The policy is work-conserving and starvation-free: an acquirer blocks
+// only while zero lanes are free, then takes everything free up to its
+// ask. Under contention this degrades smoothly to one lane per request —
+// 64 sessions on an 8-lane budget each proceed with 1–8 lanes as they
+// become free — and under light load a single session gets the full
+// budget.
+type Budget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	inUse int
+}
+
+// NewBudget creates a budget of total worker lanes (minimum 1).
+func NewBudget(total int) *Budget {
+	if total < 1 {
+		total = 1
+	}
+	b := &Budget{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Acquire blocks until at least one lane is free, then takes up to want
+// lanes (minimum 1). It returns the number granted and a release
+// function; release is idempotent and must be called when the round
+// finishes.
+func (b *Budget) Acquire(want int) (granted int, release func()) {
+	if want < 1 {
+		want = 1
+	}
+	b.mu.Lock()
+	for b.total-b.inUse < 1 {
+		b.cond.Wait()
+	}
+	granted = b.total - b.inUse
+	if granted > want {
+		granted = want
+	}
+	b.inUse += granted
+	b.mu.Unlock()
+
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			b.mu.Lock()
+			b.inUse -= granted
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+	}
+	return granted, release
+}
+
+// Total returns the budget size.
+func (b *Budget) Total() int { return b.total }
+
+// InUse returns the lanes currently granted.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}

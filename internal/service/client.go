@@ -1,0 +1,125 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is a Go client for the factcheck-server HTTP API. Its methods
+// mirror the endpoints one-to-one; a zero HTTPClient uses
+// http.DefaultClient. A Client is safe for concurrent use (it carries no
+// per-session state — sessions live server-side).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient optionally overrides the transport.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// Open creates a new session.
+func (c *Client) Open(req OpenRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/sessions", createPayload{OpenRequest: req}, &info)
+	return info, err
+}
+
+// Restore reopens a snapshotted session on the server.
+func (c *Client) Restore(snap SessionSnapshot) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/sessions", createPayload{Restore: &snap}, &info)
+	return info, err
+}
+
+// Next fetches the current top-k guidance ranking.
+func (c *Client) Next(id string, k int) (NextResponse, error) {
+	var resp NextResponse
+	p := "/sessions/" + url.PathEscape(id) + "/next"
+	if k > 0 {
+		p += "?k=" + strconv.Itoa(k)
+	}
+	err := c.do(http.MethodGet, p, nil, &resp)
+	return resp, err
+}
+
+// Answer submits a verdict for the expected claim.
+func (c *Client) Answer(id string, req AnswerRequest) (StateResponse, error) {
+	var resp StateResponse
+	err := c.do(http.MethodPost, "/sessions/"+url.PathEscape(id)+"/answer", req, &resp)
+	return resp, err
+}
+
+// State fetches the session's progress; withMarginals adds the
+// per-claim credibility marginals.
+func (c *Client) State(id string, withMarginals bool) (StateResponse, error) {
+	var resp StateResponse
+	p := "/sessions/" + url.PathEscape(id) + "/state"
+	if withMarginals {
+		p += "?marginals=1"
+	}
+	err := c.do(http.MethodGet, p, nil, &resp)
+	return resp, err
+}
+
+// Snapshot exports the session's durable form.
+func (c *Client) Snapshot(id string) (SessionSnapshot, error) {
+	var snap SessionSnapshot
+	err := c.do(http.MethodGet, "/sessions/"+url.PathEscape(id)+"/snapshot", nil, &snap)
+	return snap, err
+}
+
+// Delete closes and removes the session.
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessionsShareOnePool is the scale acceptance test: 64
+// auto-driven sessions multiplex concurrently onto one shared worker
+// budget (run under -race via `make race`). Each session must finish its
+// answers without protocol errors, and — because sessions are mutually
+// isolated — produce exactly the state a lone session with the same seed
+// produces.
+func TestConcurrentSessionsShareOnePool(t *testing.T) {
+	const sessions = 64
+	const answers = 3
+
+	m := NewManager(Config{Workers: 4, MaxSessions: sessions + 1}) // +1 for the solo control run
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer func() { srv.Close(); m.Shutdown() }()
+	client := NewClient(srv.URL)
+
+	drive := func(seed int64) (StateResponse, error) {
+		info, err := client.Open(fastOpen("wiki", 0.03, seed))
+		if err != nil {
+			return StateResponse{}, fmt.Errorf("open: %w", err)
+		}
+		var st StateResponse
+		for i := 0; i < answers; i++ {
+			next, err := client.Next(info.ID, 1)
+			if err != nil {
+				return StateResponse{}, fmt.Errorf("next %d: %w", i, err)
+			}
+			if next.Done {
+				break
+			}
+			st, err = client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true})
+			if err != nil {
+				return StateResponse{}, fmt.Errorf("answer %d: %w", i, err)
+			}
+		}
+		return st, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]StateResponse, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = drive(int64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if results[i].Labeled != answers {
+			t.Fatalf("session %d labeled %d claims, want %d", i, results[i].Labeled, answers)
+		}
+	}
+	if got := m.Len(); got != sessions {
+		t.Fatalf("manager hosts %d sessions, want %d", got, sessions)
+	}
+	if in := m.Budget().InUse(); in != 0 {
+		t.Fatalf("worker lanes leaked: %d still granted", in)
+	}
+
+	// Isolation: a session seeded like session 5 but run alone, after
+	// the fact, reaches the identical state — concurrency and budget
+	// contention never leak between sessions.
+	solo, err := drive(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Labeled != results[5].Labeled || solo.Z != results[5].Z || solo.Precision != results[5].Precision ||
+		solo.Expected != results[5].Expected {
+		t.Fatalf("concurrent session diverged from solo run:\n concurrent=%+v\n solo=%+v", results[5], solo)
+	}
+}
+
+// BenchmarkServedAnswer measures the full HTTP answer round-trip —
+// decode, budget acquire, Step (incremental inference), next-ranking
+// warm-up, encode — on a wiki-profile session. `make bench` reports this
+// alongside the in-process scoring benchmarks for the README tuning
+// table.
+func BenchmarkServedAnswer(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := NewManager(Config{Workers: workers})
+			srv := httptest.NewServer(NewServer(m).Handler())
+			defer func() { srv.Close(); m.Shutdown() }()
+			client := NewClient(srv.URL)
+
+			req := OpenRequest{Profile: "wiki", Scale: 0.2, Seed: 42, CandidatePool: 8}
+			info, err := client.Open(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			next, err := client.Next(info.ID, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if next.Done { // corpus exhausted: start a fresh session
+					b.StopTimer()
+					req.Seed++
+					if info, err = client.Open(req); err != nil {
+						b.Fatal(err)
+					}
+					if next, err = client.Next(info.ID, 1); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				st, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				next = NextResponse{Done: st.Done}
+				if !st.Done {
+					next.Candidates = []Candidate{{Claim: st.Expected}}
+				}
+			}
+		})
+	}
+}

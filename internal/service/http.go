@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// API endpoints (all request/response bodies are JSON):
+//
+//	POST   /sessions                  open a session (OpenRequest), or
+//	                                  restore one ({"restore": SessionSnapshot})
+//	GET    /sessions/{id}/next?k=K    top-k guidance ranking (NextResponse)
+//	POST   /sessions/{id}/answer      submit a verdict (AnswerRequest → StateResponse)
+//	GET    /sessions/{id}/state       progress; ?marginals=1 adds marginals
+//	GET    /sessions/{id}/snapshot    durable SessionSnapshot
+//	DELETE /sessions/{id}             close and remove the session
+//	GET    /healthz                   liveness + load
+//
+// Errors are {"error": "..."} with 400 (bad request), 404 (unknown
+// session), 409 (answer for the wrong claim, or answering a finished
+// session), 503 (session limit reached / shutting down).
+
+// Server exposes a Manager over HTTP.
+type Server struct {
+	m *Manager
+}
+
+// NewServer wraps a manager.
+func NewServer(m *Manager) *Server { return &Server{m: m} }
+
+// Manager returns the underlying session manager.
+func (s *Server) Manager() *Manager { return s.m }
+
+// Handler returns the API's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.create)
+	mux.HandleFunc("GET /sessions/{id}/next", s.next)
+	mux.HandleFunc("POST /sessions/{id}/answer", s.answer)
+	mux.HandleFunc("GET /sessions/{id}/state", s.state)
+	mux.HandleFunc("GET /sessions/{id}/snapshot", s.snapshot)
+	mux.HandleFunc("DELETE /sessions/{id}", s.delete)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+// createPayload is the POST /sessions body: either a plain OpenRequest
+// or {"restore": snapshot}.
+type createPayload struct {
+	OpenRequest
+	Restore *SessionSnapshot `json:"restore,omitempty"`
+}
+
+func (s *Server) create(w http.ResponseWriter, r *http.Request) {
+	var body createPayload
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		info SessionInfo
+		err  error
+	)
+	if body.Restore != nil {
+		info, err = s.m.Restore(*body.Restore)
+	} else {
+		info, err = s.m.Open(body.OpenRequest)
+	}
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) next(w http.ResponseWriter, r *http.Request) {
+	k := 1
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, errors.New("service: k must be a positive integer"))
+			return
+		}
+		k = n
+	}
+	resp, err := s.m.Next(r.PathValue("id"), k)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.m.Answer(r.PathValue("id"), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) state(w http.ResponseWriter, r *http.Request) {
+	withMarginals := r.URL.Query().Get("marginals") != ""
+	resp, err := s.m.State(r.PathValue("id"), withMarginals)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) delete(w http.ResponseWriter, r *http.Request) {
+	if err := s.m.Delete(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{
+		"sessions":       s.m.Len(),
+		"workersTotal":   s.m.Budget().Total(),
+		"workersGranted": s.m.Budget().InUse(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeServiceError maps the service's sentinel errors to statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}

@@ -1,0 +1,749 @@
+// Package service is the multi-session serving layer over the Alg. 1
+// validation loop: a session manager that hosts many concurrent
+// validation sessions, an HTTP/JSON API (http.go) exposing the
+// ask/answer protocol, and a Go client (client.go).
+//
+// Design constraints, in order:
+//
+//  1. Trace fidelity. A session served over the API must produce a
+//     selection trace bit-identical to the in-process core.Session path
+//     for the same (profile, seed, options). This falls out of two
+//     properties: core.Session.Pending caches the per-iteration ranking
+//     (so clients may poll "which claim next?" idempotently), and all
+//     inference is bit-identical across worker counts (so the shared
+//     budget may grant any parallelism per request).
+//
+//  2. Bounded resources. All sessions multiplex onto one Budget of
+//     worker lanes sized to the machine, a session cap bounds admission,
+//     and an idle TTL evicts abandoned sessions, releasing their cached
+//     worker chains (em.Engine.ReleaseWorkers, guidance.Pool.Trim).
+//
+//  3. Durability. Every session can be exported as a SessionSnapshot —
+//     its opening configuration plus the elicitation transcript — and
+//     reopened later (same process or not) via core.RestoreSession,
+//     which replays the transcript deterministically.
+//
+// Sessions are opened over synthetic corpus profiles (§8.1), which is
+// why the API can report precision against ground truth and offer
+// oracle-answered validation: the server doubles as the evaluation
+// harness for serving experiments. A production deployment would open
+// sessions over ingested corpora and drop the truth-derived fields.
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"factcheck/internal/core"
+	"factcheck/internal/em"
+	"factcheck/internal/guidance"
+	"factcheck/internal/synth"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the API layer.
+var (
+	// ErrNotFound reports an unknown (or already evicted) session id.
+	ErrNotFound = errors.New("service: session not found")
+	// ErrWrongClaim reports an answer that does not address the claim
+	// the guidance loop is currently asking about.
+	ErrWrongClaim = errors.New("service: answer does not address the expected claim")
+	// ErrDone reports an answer submitted to a finished session.
+	ErrDone = errors.New("service: session has no unlabelled claims left")
+	// ErrFull reports that the manager's session cap is reached.
+	ErrFull = errors.New("service: session limit reached")
+	// ErrShutdown reports an operation after Manager.Shutdown.
+	ErrShutdown = errors.New("service: manager is shut down")
+)
+
+// EMBudgets optionally overrides the inference budgets of em.Config;
+// zero fields keep the defaults. Serving deployments lower these to
+// trade marginal estimation accuracy for per-request latency.
+type EMBudgets struct {
+	BurnIn      int `json:"burnIn,omitempty"`
+	Samples     int `json:"samples,omitempty"`
+	IncBurnIn   int `json:"incBurnIn,omitempty"`
+	IncSamples  int `json:"incSamples,omitempty"`
+	EMIters     int `json:"emIters,omitempty"`
+	HypoBurn    int `json:"hypoBurn,omitempty"`
+	HypoSamples int `json:"hypoSamples,omitempty"`
+}
+
+// OpenRequest configures a new session over a synthetic corpus profile.
+type OpenRequest struct {
+	// Profile names a §8.1 corpus family: "wiki", "health" or "snopes".
+	Profile string `json:"profile"`
+	// Scale shrinks (or grows) the profile; 0 means 1 (published size).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives corpus generation and all session randomness.
+	Seed int64 `json:"seed"`
+	// Strategy selects the guidance strategy: "hybrid" (default),
+	// "info", "source", "uncertainty" or "random".
+	Strategy string `json:"strategy,omitempty"`
+	// Budget caps total validations (0 = all claims).
+	Budget int `json:"budget,omitempty"`
+	// CandidatePool bounds what-if scoring per iteration (0 = all).
+	CandidatePool int `json:"candidatePool,omitempty"`
+	// ConfirmEvery enables the §5.2 confirmation check at this effort
+	// period (0 disables). Repair prompts raised by the check are
+	// auto-skipped on the server path, since the ask/answer protocol has
+	// no synchronous re-elicitation channel.
+	ConfirmEvery float64 `json:"confirmEvery,omitempty"`
+	// EM overrides individual inference budgets.
+	EM *EMBudgets `json:"em,omitempty"`
+}
+
+// SessionSnapshot is the durable form of a server session: what opened
+// it plus the full elicitation transcript. POSTing it back (the
+// "restore" form of session creation) rebuilds the session
+// bit-identically via deterministic replay.
+type SessionSnapshot struct {
+	Config       OpenRequest        `json:"config"`
+	Elicitations []core.Elicitation `json:"elicitations"`
+}
+
+// SessionInfo describes a newly opened session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Profile   string `json:"profile"`
+	Claims    int    `json:"claims"`
+	Sources   int    `json:"sources"`
+	Documents int    `json:"documents"`
+	// Precision is the automated (pre-validation) grounding precision
+	// against the synthetic ground truth.
+	Precision float64 `json:"precision"`
+}
+
+// Candidate is one entry of a guidance ranking, with the evidence
+// context a human validator sees (cf. cmd/factcheck-session).
+type Candidate struct {
+	Claim     int     `json:"claim"`
+	P         float64 `json:"p"`
+	Documents int     `json:"documents"`
+	Sources   int     `json:"sources"`
+}
+
+// NextResponse is the guidance ranking of the current iteration.
+type NextResponse struct {
+	ID         string      `json:"id"`
+	Iteration  int         `json:"iteration"`
+	Candidates []Candidate `json:"candidates"`
+	Done       bool        `json:"done"`
+}
+
+// AnswerRequest submits a verdict for the currently expected claim.
+// Skip defers the claim (§8.5): the first skip moves the question to the
+// second-best candidate, a second consecutive skip accepts the model
+// value for it. Oracle asks the server to answer from the synthetic
+// ground truth (the §8.1 simulated user), which is how auto-driven
+// sessions and the smoke test run.
+type AnswerRequest struct {
+	Claim   int  `json:"claim"`
+	Verdict bool `json:"verdict"`
+	Skip    bool `json:"skip,omitempty"`
+	Oracle  bool `json:"oracle,omitempty"`
+}
+
+// StateResponse reports a session's progress. Expected is the claim the
+// loop is currently asking about (−1 once the session is done or before
+// the first ranking is computed); answer loops can follow it without an
+// extra GET /next round-trip.
+type StateResponse struct {
+	ID         string    `json:"id"`
+	Iterations int       `json:"iterations"`
+	Labeled    int       `json:"labeled"`
+	Claims     int       `json:"claims"`
+	Effort     float64   `json:"effort"`
+	Z          float64   `json:"z"`
+	Precision  float64   `json:"precision"`
+	Done       bool      `json:"done"`
+	Expected   int       `json:"expected"`
+	Marginals  []float64 `json:"marginals,omitempty"`
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the shared worker-lane budget all sessions multiplex
+	// onto (0 = GOMAXPROCS).
+	Workers int
+	// MaxSessions caps concurrently open sessions (0 = 1024).
+	MaxSessions int
+	// IdleTTL evicts sessions idle for at least this long (0 disables
+	// the janitor; EvictIdle can still be called manually).
+	IdleTTL time.Duration
+}
+
+// Session is one server-hosted validation session. All methods are
+// called through the Manager, which serialises them per session under
+// s.mu while letting distinct sessions proceed concurrently.
+type Session struct {
+	id     string
+	mu     sync.Mutex
+	core   *core.Session
+	corpus *synth.Corpus
+	cfg    OpenRequest
+	// skipped marks that the client skipped the top-ranked claim and the
+	// question moved to the second-best candidate (§8.5). The skip is
+	// materialised in the core transcript only when the follow-up answer
+	// drives Step, so a dangling skip is not part of a Snapshot.
+	skipped bool
+
+	lastUsed time.Time // guarded by the manager's mu
+}
+
+// Manager hosts concurrent sessions over one shared worker budget.
+type Manager struct {
+	cfg    Config
+	budget *Budget
+	nowFn  func() time.Time // test hook
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewManager creates a manager and, when cfg.IdleTTL > 0, starts its
+// eviction janitor. Call Shutdown to release everything.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	m := &Manager{
+		cfg:      cfg,
+		budget:   NewBudget(cfg.Workers),
+		nowFn:    time.Now,
+		sessions: make(map[string]*Session),
+		stop:     make(chan struct{}),
+	}
+	if cfg.IdleTTL > 0 {
+		m.wg.Add(1)
+		go m.janitor()
+	}
+	return m
+}
+
+// Budget exposes the shared worker budget (for monitoring).
+func (m *Manager) Budget() *Budget { return m.budget }
+
+// Len returns the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.IdleTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.EvictIdle(m.cfg.IdleTTL)
+		}
+	}
+}
+
+// EvictIdle closes and removes every session idle for at least ttl,
+// returning the number evicted. Closing releases the session's cached
+// worker chains and scoring buffers back to the allocator.
+func (m *Manager) EvictIdle(ttl time.Duration) int {
+	cutoff := m.nowFn().Add(-ttl)
+	m.mu.Lock()
+	var victims []*Session
+	for _, s := range m.sessions {
+		if s.lastUsed.Before(cutoff) || s.lastUsed.Equal(cutoff) {
+			victims = append(victims, s)
+			delete(m.sessions, s.id)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.mu.Lock()
+		_ = s.core.Close()
+		s.mu.Unlock()
+	}
+	return len(victims)
+}
+
+// Shutdown stops the janitor and closes every session. The manager
+// rejects all further operations with ErrShutdown.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.stop)
+	victims := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		victims = append(victims, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	m.wg.Wait()
+	for _, s := range victims {
+		s.mu.Lock()
+		_ = s.core.Close()
+		s.mu.Unlock()
+	}
+}
+
+// buildOptions translates an OpenRequest into core options. Workers is
+// left 0 here; every request installs its actual budget grant via
+// core.Session.SetWorkers before doing work.
+func buildOptions(req OpenRequest) (core.Options, error) {
+	var strat guidance.Strategy
+	switch req.Strategy {
+	case "", "hybrid":
+		strat = &guidance.Hybrid{}
+	case "info":
+		strat = guidance.InfoGain{}
+	case "source":
+		strat = guidance.SourceGain{}
+	case "uncertainty":
+		strat = guidance.Uncertainty{}
+	case "random":
+		strat = guidance.Random{}
+	default:
+		return core.Options{}, fmt.Errorf("service: unknown strategy %q", req.Strategy)
+	}
+	cfg := em.DefaultConfig()
+	if o := req.EM; o != nil {
+		if o.BurnIn > 0 {
+			cfg.BurnIn = o.BurnIn
+		}
+		if o.Samples > 0 {
+			cfg.Samples = o.Samples
+		}
+		if o.IncBurnIn > 0 {
+			cfg.IncBurnIn = o.IncBurnIn
+		}
+		if o.IncSamples > 0 {
+			cfg.IncSamples = o.IncSamples
+		}
+		if o.EMIters > 0 {
+			cfg.EMIters = o.EMIters
+		}
+		if o.HypoBurn > 0 {
+			cfg.HypoBurn = o.HypoBurn
+		}
+		if o.HypoSamples > 0 {
+			cfg.HypoSamples = o.HypoSamples
+		}
+	}
+	return core.Options{
+		Strategy:      strat,
+		Budget:        req.Budget,
+		CandidatePool: req.CandidatePool,
+		ConfirmEvery:  req.ConfirmEvery,
+		EM:            cfg,
+		Seed:          req.Seed,
+	}, nil
+}
+
+// Admission bounds on a generated session corpus: one oversized open
+// request must not be able to exhaust the server's memory.
+const (
+	maxCorpusClaims    = 20_000
+	maxCorpusDocuments = 400_000
+	maxCorpusSources   = 200_000
+)
+
+// buildCorpus generates the session corpus from the request.
+func buildCorpus(req OpenRequest) (*synth.Corpus, error) {
+	prof, err := synth.ByName(req.Profile)
+	if err != nil {
+		return nil, err
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("service: negative corpus scale %v", scale)
+	}
+	p := prof
+	if scale != 1 {
+		p = prof.Scaled(scale)
+	}
+	if p.Claims > maxCorpusClaims || p.Documents > maxCorpusDocuments || p.Sources > maxCorpusSources {
+		return nil, fmt.Errorf(
+			"service: scale %v yields %d claims / %d documents / %d sources, above the serving cap (%d/%d/%d)",
+			scale, p.Claims, p.Documents, p.Sources,
+			maxCorpusClaims, maxCorpusDocuments, maxCorpusSources)
+	}
+	return synth.GenerateChecked(p, req.Seed)
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Open creates a session from a fresh configuration.
+func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
+	return m.open(req, nil)
+}
+
+// Restore reopens a snapshotted session by deterministic replay of its
+// transcript. The restored session continues exactly where the
+// snapshotted one stopped.
+func (m *Manager) Restore(snap SessionSnapshot) (SessionInfo, error) {
+	return m.open(snap.Config, snap.Elicitations)
+}
+
+func (m *Manager) open(req OpenRequest, replay []core.Elicitation) (SessionInfo, error) {
+	if err := m.admit(); err != nil {
+		return SessionInfo{}, err
+	}
+	opts, err := buildOptions(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	corpus, err := buildCorpus(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	// The initial inference is the expensive part of opening; run it
+	// with whatever share of the worker budget is free right now.
+	grant, release := m.budget.Acquire(m.budget.Total())
+	opts.Workers = grant
+	var cs *core.Session
+	if replay == nil {
+		cs, err = core.OpenSession(corpus.DB, opts)
+	} else {
+		cs, err = core.RestoreSession(corpus.DB, opts, core.Snapshot{Elicitations: replay})
+	}
+	release()
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	s := &Session{
+		id:       newID(),
+		core:     cs,
+		corpus:   corpus,
+		cfg:      req,
+		lastUsed: m.nowFn(),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		_ = cs.Close()
+		return SessionInfo{}, ErrShutdown
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		_ = cs.Close()
+		return SessionInfo{}, ErrFull
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	return SessionInfo{
+		ID:        s.id,
+		Profile:   corpus.Profile.Name,
+		Claims:    corpus.DB.NumClaims,
+		Sources:   len(corpus.DB.Sources),
+		Documents: len(corpus.DB.Documents),
+		Precision: cs.Precision(corpus.Truth),
+	}, nil
+}
+
+func (m *Manager) admit() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrShutdown
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return ErrFull
+	}
+	return nil
+}
+
+// get looks a session up and refreshes its idle clock.
+func (m *Manager) get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShutdown
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.lastUsed = m.nowFn()
+	return s, nil
+}
+
+// Delete closes and removes a session.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrShutdown
+	}
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Close()
+}
+
+// withSession runs fn with the session locked and, when the request
+// performs inference or scoring (needWorkers), a worker-budget grant
+// installed. This is the per-request concurrency shape: distinct
+// sessions run fn concurrently, one session's requests serialise,
+// inference work shares the bounded lane budget, and read-only requests
+// (state, snapshot) neither wait for nor consume lanes.
+func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) error) error {
+	s, err := m.get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core.Closed() {
+		// Evicted between lookup and lock.
+		return ErrNotFound
+	}
+	if needWorkers {
+		grant, release := m.budget.Acquire(m.budget.Total())
+		defer release()
+		s.core.SetWorkers(grant)
+	}
+	return fn(s)
+}
+
+// Next returns the current iteration's top-k guidance ranking. The
+// ranking is cached inside the core session, so polling is idempotent
+// and trace-neutral.
+func (m *Manager) Next(id string, k int) (NextResponse, error) {
+	var resp NextResponse
+	err := m.withSession(id, true, func(s *Session) error {
+		resp = s.next(k)
+		return nil
+	})
+	return resp, err
+}
+
+func (s *Session) next(k int) NextResponse {
+	resp := NextResponse{ID: s.id, Iteration: s.core.Iterations()}
+	if s.budgetExhausted() {
+		// Checked before ranking: a finished session must not pay for
+		// (and then discard) a scoring round.
+		resp.Done = true
+		return resp
+	}
+	rank := s.ranking()
+	if len(rank) == 0 {
+		resp.Done = true
+		return resp
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if len(rank) > k {
+		rank = rank[:k]
+	}
+	db := s.corpus.DB
+	for _, c := range rank {
+		resp.Candidates = append(resp.Candidates, Candidate{
+			Claim:     c,
+			P:         s.core.State.P(c),
+			Documents: len(db.ClaimCliques[c]),
+			Sources:   len(db.ClaimSources[c]),
+		})
+	}
+	return resp
+}
+
+// ranking returns the per-iteration ranking (computing and caching it on
+// first use), shifted past the top claim when the client has skipped it.
+func (s *Session) ranking() []int {
+	rank, err := s.core.Pending(0)
+	if err != nil {
+		return nil
+	}
+	if s.skipped && len(rank) > 0 {
+		rank = rank[1:]
+	}
+	return rank
+}
+
+// cachedRanking is ranking without the side effect: it peeks at the
+// cached order and reports ok = false when none is cached, so read-only
+// endpoints never trigger a scoring round.
+func (s *Session) cachedRanking() ([]int, bool) {
+	rank, ok := s.core.PendingCached()
+	if !ok {
+		return nil, false
+	}
+	if s.skipped && len(rank) > 0 {
+		rank = rank[1:]
+	}
+	return rank, true
+}
+
+func (s *Session) budgetExhausted() bool {
+	b := s.cfg.Budget
+	return b > 0 && s.core.State.NumLabeled() >= b
+}
+
+// Answer applies one response to the currently expected claim and, when
+// it completes an iteration, runs incremental inference.
+func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
+	var resp StateResponse
+	err := m.withSession(id, true, func(s *Session) error {
+		var err error
+		resp, err = s.answer(req)
+		return err
+	})
+	return resp, err
+}
+
+func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
+	if s.budgetExhausted() {
+		return StateResponse{}, ErrDone
+	}
+	rank := s.ranking()
+	if len(rank) == 0 {
+		return StateResponse{}, ErrDone
+	}
+	expected := rank[0]
+	if req.Claim != expected {
+		return StateResponse{}, fmt.Errorf("%w: expected claim %d, got %d", ErrWrongClaim, expected, req.Claim)
+	}
+	verdict := req.Verdict
+	if req.Oracle {
+		verdict = s.corpus.Truth[req.Claim]
+	}
+
+	if req.Skip && !s.skipped && len(rank) > 1 {
+		// First skip: the question moves to the second-best candidate
+		// (§8.5); nothing reaches the model yet. With a single
+		// candidate left there is no fallback — control falls through
+		// and the loop accepts the model value, exactly like the
+		// library path.
+		s.skipped = true
+		return s.state(false), nil
+	}
+
+	// Assemble the scripted responses this Step will consume: the
+	// recorded skip of the top claim (if any), then this answer.
+	var script scriptUser
+	if s.skipped {
+		top, err := s.core.Pending(1)
+		if err != nil {
+			return StateResponse{}, err
+		}
+		script.q = append(script.q, core.Elicitation{Claim: top[0], OK: false})
+	}
+	script.q = append(script.q, core.Elicitation{Claim: req.Claim, Verdict: verdict, OK: !req.Skip})
+	s.skipped = false
+	s.core.Step(&script)
+	if script.err != nil {
+		return StateResponse{}, script.err
+	}
+	// Warm the next iteration's ranking so the response can carry the
+	// next expected claim and a follow-up GET /next is served from
+	// cache; skipped when the session is finished anyway.
+	if !s.budgetExhausted() {
+		_ = s.ranking()
+	}
+	return s.state(false), nil
+}
+
+// scriptUser answers the Alg. 1 loop from a fixed queue; elicitations
+// beyond the script — repair prompts from a confirmation check — are
+// skipped, since the ask/answer protocol cannot re-elicit synchronously.
+type scriptUser struct {
+	q   []core.Elicitation
+	err error
+}
+
+func (u *scriptUser) Validate(c int) (bool, bool) {
+	if len(u.q) == 0 {
+		return false, false
+	}
+	head := u.q[0]
+	if head.Claim != c {
+		u.err = fmt.Errorf("service: internal script mismatch: loop asked claim %d, script holds %d", c, head.Claim)
+		return false, false
+	}
+	u.q = u.q[1:]
+	return head.Verdict, head.OK
+}
+
+// State reports the session's progress; withMarginals adds the full
+// per-claim credibility marginals.
+func (m *Manager) State(id string, withMarginals bool) (StateResponse, error) {
+	var resp StateResponse
+	err := m.withSession(id, false, func(s *Session) error {
+		resp = s.state(withMarginals)
+		return nil
+	})
+	return resp, err
+}
+
+func (s *Session) state(withMarginals bool) StateResponse {
+	cs := s.core
+	resp := StateResponse{
+		ID:         s.id,
+		Iterations: cs.Iterations(),
+		Labeled:    cs.State.NumLabeled(),
+		Claims:     s.corpus.DB.NumClaims,
+		Effort:     cs.Effort(),
+		Z:          cs.ZScore(),
+		Precision:  cs.Precision(s.corpus.Truth),
+		Expected:   -1,
+	}
+	resp.Done = cs.State.NumLabeled() >= s.corpus.DB.NumClaims || s.budgetExhausted()
+	if rank, ok := s.cachedRanking(); ok {
+		resp.Done = resp.Done || len(rank) == 0
+		if !resp.Done {
+			resp.Expected = rank[0]
+		}
+	}
+	if withMarginals {
+		resp.Marginals = make([]float64, s.corpus.DB.NumClaims)
+		for c := range resp.Marginals {
+			resp.Marginals[c] = cs.State.P(c)
+		}
+	}
+	return resp
+}
+
+// Snapshot exports a session's durable form.
+func (m *Manager) Snapshot(id string) (SessionSnapshot, error) {
+	var snap SessionSnapshot
+	err := m.withSession(id, false, func(s *Session) error {
+		snap = SessionSnapshot{
+			Config:       s.cfg,
+			Elicitations: s.core.Snapshot().Elicitations,
+		}
+		return nil
+	})
+	return snap, err
+}

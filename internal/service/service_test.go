@@ -1,0 +1,435 @@
+package service
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"factcheck/internal/core"
+	"factcheck/internal/sim"
+	"factcheck/internal/synth"
+)
+
+// fastEM keeps test inference cheap; correctness here is about the
+// serving protocol, and determinism holds at any budget.
+func fastEM() *EMBudgets {
+	return &EMBudgets{BurnIn: 4, Samples: 8, IncBurnIn: 2, IncSamples: 4, EMIters: 1, HypoBurn: 1, HypoSamples: 2}
+}
+
+func fastOpen(profile string, scale float64, seed int64) OpenRequest {
+	return OpenRequest{
+		Profile:       profile,
+		Scale:         scale,
+		Seed:          seed,
+		CandidatePool: 4,
+		EM:            fastEM(),
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Client, *Manager) {
+	t.Helper()
+	m := NewManager(cfg)
+	srv := httptest.NewServer(NewServer(m).Handler())
+	t.Cleanup(func() { srv.Close(); m.Shutdown() })
+	return NewClient(srv.URL), m
+}
+
+// TestServedTraceBitIdenticalToLibrary is the fidelity acceptance test:
+// a fixed-seed session driven over HTTP with oracle answers must produce
+// a selection trace — and final state — bit-identical to the in-process
+// core.Session path with the same corpus, options and simulated user.
+func TestServedTraceBitIdenticalToLibrary(t *testing.T) {
+	req := fastOpen("wiki", 0.1, 7)
+
+	// In-process reference path.
+	opts, err := buildOptions(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	corpus, err := buildCorpus(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.OpenSession(corpus.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: corpus.Truth}
+	const steps = 6
+	for i := 0; i < steps; i++ {
+		ref.Step(oracle)
+	}
+
+	// Served path, same configuration, oracle-answered over HTTP.
+	client, _ := newTestServer(t, Config{Workers: 2})
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StateResponse
+	for i := 0; i < steps; i++ {
+		if next.Done {
+			t.Fatalf("server session finished after %d steps", i)
+		}
+		st, err = client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err = client.Next(info.ID, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Traces must agree claim-for-claim, verdict-for-verdict.
+	snap, err := client.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := ref.History()
+	if len(snap.Elicitations) != len(hist) {
+		t.Fatalf("trace lengths differ: served %d, library %d", len(snap.Elicitations), len(hist))
+	}
+	for i, e := range snap.Elicitations {
+		if e.Claim != hist[i].Claim || e.Verdict != hist[i].Verdict {
+			t.Fatalf("trace diverged at %d: served (%d,%v), library (%d,%v)",
+				i, e.Claim, e.Verdict, hist[i].Claim, hist[i].Verdict)
+		}
+	}
+
+	// Final state must agree bit-for-bit: z, precision, marginals.
+	if st.Z != ref.ZScore() {
+		t.Fatalf("z diverged: served %v, library %v", st.Z, ref.ZScore())
+	}
+	if st.Precision != ref.Precision(corpus.Truth) {
+		t.Fatalf("precision diverged: served %v, library %v", st.Precision, ref.Precision(corpus.Truth))
+	}
+	full, err := client.State(info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, p := range full.Marginals {
+		if p != ref.State.P(c) {
+			t.Fatalf("marginal P(%d) diverged: served %v, library %v", c, p, ref.State.P(c))
+		}
+	}
+	// And the served next-claim must be what the library would pick.
+	if !next.Done {
+		pend, err := ref.Pending(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Candidates[0].Claim != pend[0] {
+			t.Fatalf("next claim diverged: served %d, library %d", next.Candidates[0].Claim, pend[0])
+		}
+	}
+}
+
+// TestSkipFollowsSection85 exercises the skip protocol: the first skip
+// moves the question to the second-best candidate, answering it
+// validates that claim, and a double skip accepts the model value.
+func TestSkipFollowsSection85(t *testing.T) {
+	client, _ := newTestServer(t, Config{})
+	info, err := client.Open(fastOpen("wiki", 0.05, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, second := next.Candidates[0].Claim, next.Candidates[1].Claim
+
+	st, err := client.Answer(info.ID, AnswerRequest{Claim: top, Skip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Labeled != 0 {
+		t.Fatalf("a first skip must not label anything, labeled=%d", st.Labeled)
+	}
+	if st.Expected != second {
+		t.Fatalf("after skip the expected claim is %d, want second-best %d", st.Expected, second)
+	}
+	// The question moved: /next now leads with the second-best claim.
+	next, err = client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Candidates[0].Claim != second {
+		t.Fatalf("next after skip returns %d, want %d", next.Candidates[0].Claim, second)
+	}
+	// Answering the moved question validates exactly that claim.
+	st, err = client.Answer(info.ID, AnswerRequest{Claim: second, Verdict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Labeled != 1 {
+		t.Fatalf("labeled=%d after answering the fallback, want 1", st.Labeled)
+	}
+
+	// Double skip: the fallback claim is labelled with the model value.
+	next, err = client.Next(info.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Skip: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[1].Claim, Skip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Labeled != 2 {
+		t.Fatalf("labeled=%d after double skip, want 2", st.Labeled)
+	}
+}
+
+// TestSnapshotRestoreOverHTTP opens a session, works it, snapshots it,
+// deletes it, restores it, and verifies the restored session continues
+// exactly like an uninterrupted one.
+func TestSnapshotRestoreOverHTTP(t *testing.T) {
+	client, _ := newTestServer(t, Config{})
+	req := fastOpen("wiki", 0.08, 13)
+
+	// Uninterrupted reference: 5 oracle answers.
+	refInfo, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refState StateResponse
+	for i := 0; i < 5; i++ {
+		n, err := client.Next(refInfo.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refState, err = client.Answer(refInfo.ID, AnswerRequest{Claim: n.Candidates[0].Claim, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnap, err := client.Snapshot(refInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted path: 3 answers, snapshot, delete, restore, 2 more.
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		n, err := client.Next(info.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err = client.Answer(info.ID, AnswerRequest{Claim: n.Candidates[0].Claim, Oracle: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := client.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.State(info.ID, false); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("deleted session should 404, got %v", err)
+	}
+
+	restored, err := client.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StateResponse
+	for i := 0; i < 2; i++ {
+		n, err := client.Next(restored.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = client.Answer(restored.ID, AnswerRequest{Claim: n.Candidates[0].Claim, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.Labeled != refState.Labeled || got.Precision != refState.Precision || got.Z != refState.Z {
+		t.Fatalf("restored session diverged: got (labeled=%d p=%v z=%v), want (labeled=%d p=%v z=%v)",
+			got.Labeled, got.Precision, got.Z, refState.Labeled, refState.Precision, refState.Z)
+	}
+	gotSnap, err := client.Snapshot(restored.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSnap.Elicitations) != len(refSnap.Elicitations) {
+		t.Fatalf("transcript lengths diverged: %d vs %d", len(gotSnap.Elicitations), len(refSnap.Elicitations))
+	}
+	for i := range gotSnap.Elicitations {
+		if gotSnap.Elicitations[i] != refSnap.Elicitations[i] {
+			t.Fatalf("transcripts diverged at %d: %+v vs %+v",
+				i, gotSnap.Elicitations[i], refSnap.Elicitations[i])
+		}
+	}
+}
+
+func TestAPIErrorEdges(t *testing.T) {
+	client, _ := newTestServer(t, Config{MaxSessions: 2})
+
+	expectHTTP := func(err error, code string, what string) {
+		t.Helper()
+		if err == nil || !strings.Contains(err.Error(), code) {
+			t.Fatalf("%s: want HTTP %s, got %v", what, code, err)
+		}
+	}
+
+	// Unknown session id → 404 on every endpoint.
+	_, err := client.Next("nope", 1)
+	expectHTTP(err, "404", "next")
+	_, err = client.State("nope", false)
+	expectHTTP(err, "404", "state")
+	_, err = client.Answer("nope", AnswerRequest{})
+	expectHTTP(err, "404", "answer")
+	_, err = client.Snapshot("nope")
+	expectHTTP(err, "404", "snapshot")
+	expectHTTP(client.Delete("nope"), "404", "delete")
+
+	// Invalid configurations → 400.
+	_, err = client.Open(OpenRequest{Profile: "nonesuch"})
+	expectHTTP(err, "400", "bad profile")
+	bad := fastOpen("wiki", 0.05, 1)
+	bad.Strategy = "clairvoyance"
+	_, err = client.Open(bad)
+	expectHTTP(err, "400", "bad strategy")
+
+	// A valid session, wrong-claim answers → 409.
+	info, err := client.Open(fastOpen("wiki", 0.05, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[1].Claim, Verdict: true})
+	expectHTTP(err, "409", "wrong claim")
+
+	// Budget-exhausted session rejects further answers → 409.
+	one := fastOpen("wiki", 0.05, 4)
+	one.Budget = 1
+	binfo, err := client.Open(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.Next(binfo.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Answer(binfo.ID, AnswerRequest{Claim: n.Candidates[0].Claim, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatal("budget-1 session should report done after one answer")
+	}
+	_, err = client.Answer(binfo.ID, AnswerRequest{Claim: n.Candidates[0].Claim, Oracle: true})
+	expectHTTP(err, "409", "answer after done")
+	n, err = client.Next(binfo.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Done {
+		t.Fatal("next on a done session should report done")
+	}
+
+	// Session cap → 503 (two sessions already open).
+	_, err = client.Open(fastOpen("wiki", 0.05, 5))
+	expectHTTP(err, "503", "session cap")
+}
+
+func TestEvictIdleReleasesSessions(t *testing.T) {
+	client, m := newTestServer(t, Config{})
+	a, err := client.Open(fastOpen("wiki", 0.05, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.Open(fastOpen("wiki", 0.05, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.EvictIdle(time.Hour); n != 0 {
+		t.Fatalf("evicted %d fresh sessions", n)
+	}
+	// Age session a artificially, then evict.
+	m.mu.Lock()
+	m.sessions[a.ID].lastUsed = m.nowFn().Add(-2 * time.Hour)
+	m.mu.Unlock()
+	if n := m.EvictIdle(time.Hour); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	if _, err := client.State(a.ID, false); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("evicted session should 404, got %v", err)
+	}
+	if _, err := client.State(b.ID, false); err != nil {
+		t.Fatalf("fresh session evicted too: %v", err)
+	}
+}
+
+func TestBudgetGrantsAndBlocks(t *testing.T) {
+	b := NewBudget(4)
+	g1, rel1 := b.Acquire(10)
+	if g1 != 4 {
+		t.Fatalf("first acquire granted %d, want all 4", g1)
+	}
+	// A second acquirer blocks until lanes free up.
+	got := make(chan int)
+	go func() {
+		g, rel := b.Acquire(2)
+		rel()
+		got <- g
+	}()
+	select {
+	case g := <-got:
+		t.Fatalf("second acquire should block, granted %d", g)
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel1()
+	rel1() // idempotent
+	select {
+	case g := <-got:
+		if g < 1 || g > 2 {
+			t.Fatalf("second acquire granted %d, want 1..2", g)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second acquire never woke up")
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("lanes leaked: %d in use", b.InUse())
+	}
+}
+
+func TestGenerateCorpusProfileValidation(t *testing.T) {
+	if _, err := buildCorpus(OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := buildCorpus(OpenRequest{Profile: ""}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := buildCorpus(OpenRequest{Profile: "snopes", Scale: 1e5}); err == nil {
+		t.Fatal("oversized scale accepted — one request could exhaust server memory")
+	}
+	c, err := buildCorpus(OpenRequest{Profile: "wiki", Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DB.NumClaims == 0 {
+		t.Fatal("empty corpus generated")
+	}
+	if c.Profile.Name != synth.Wikipedia.Scaled(0.05).Name {
+		t.Fatalf("unexpected profile %q", c.Profile.Name)
+	}
+}

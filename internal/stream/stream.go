@@ -8,6 +8,7 @@ package stream
 
 import (
 	"math"
+	"sync"
 
 	"factcheck/internal/crf"
 	"factcheck/internal/factdb"
@@ -44,7 +45,16 @@ func DefaultConfig() Config {
 
 // Engine is the online EM state: the current parameters W_t and the
 // decaying-weight sufficient-statistics buffer realising Q_t(W).
+//
+// An Engine is safe for concurrent use: arrivals and validated claims
+// flowing back from Alg. 1 (§7, lines 7/10) may be observed from
+// different goroutines, and Predict/Theta may be read while updates run.
+// Updates are serialised internally — the stochastic-approximation
+// recursion Q_t = (1−γ_t)Q_{t−1} + γ_t(·) is inherently sequential — so
+// concurrency changes arrival interleaving (as a real stream would), not
+// the correctness of any single update.
 type Engine struct {
+	mu    sync.Mutex
 	cfg   Config
 	dim   int
 	t     int
@@ -71,7 +81,11 @@ func New(dim int, cfg Config) *Engine {
 }
 
 // T returns the number of observed claims.
-func (e *Engine) T() int { return e.t }
+func (e *Engine) T() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.t
+}
 
 // StepSize returns γ_t for a given t (exposed for the Robbins-Monro
 // property tests).
@@ -83,7 +97,11 @@ func (e *Engine) StepSize(t int) float64 {
 }
 
 // Theta returns a copy of the current parameters W_t.
-func (e *Engine) Theta() []float64 { return append([]float64(nil), e.theta...) }
+func (e *Engine) Theta() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]float64(nil), e.theta...)
+}
 
 // SetTheta installs parameters received from the validation process
 // (Alg. 2 line 7); the next update warm-starts from them.
@@ -91,6 +109,8 @@ func (e *Engine) SetTheta(theta []float64) {
 	if len(theta) != e.dim {
 		panic("stream: theta dimension mismatch")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	copy(e.theta, theta)
 }
 
@@ -98,6 +118,12 @@ func (e *Engine) SetTheta(theta []float64) {
 // clique feature rows and stance signs: σ(Σ_π sign_π·θ·x_π). This is the
 // "educated guess" available for claims after their data is discarded.
 func (e *Engine) Predict(rows [][]float64, signs []float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.predictLocked(rows, signs)
+}
+
+func (e *Engine) predictLocked(rows [][]float64, signs []float64) float64 {
 	z := 0.0
 	for i, row := range rows {
 		s := 0.0
@@ -118,6 +144,8 @@ func (e *Engine) ObserveClaim(rows [][]float64, signs []float64, label *bool) {
 	if len(rows) == 0 {
 		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.t++
 	gamma := e.StepSize(e.t)
 
@@ -130,7 +158,7 @@ func (e *Engine) ObserveClaim(rows [][]float64, signs []float64, label *bool) {
 			p = 0
 		}
 	} else {
-		p = e.Predict(rows, signs)
+		p = e.predictLocked(rows, signs)
 	}
 
 	// Q_t = (1−γ)·Q_{t−1} + γ·(new term): decay the old observations...
@@ -161,7 +189,11 @@ func (e *Engine) ObserveClaim(rows [][]float64, signs []float64, label *bool) {
 }
 
 // BufferLen returns the retained observation count (for tests).
-func (e *Engine) BufferLen() int { return len(e.rows) }
+func (e *Engine) BufferLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.rows)
+}
 
 // RowsForClaim builds the clique feature rows and stance signs of claim c
 // under model m, using the supplied per-source trust estimates (pass nil

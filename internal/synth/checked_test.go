@@ -1,0 +1,33 @@
+package synth
+
+import "testing"
+
+func TestGenerateCheckedRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+	}{
+		{"empty", Profile{Name: "empty"}},
+		{"no claims", Profile{Name: "c0", Sources: 5, Documents: 10}},
+		{"no sources", Profile{Name: "s0", Claims: 4, Documents: 10}},
+		{"too few documents", Profile{Name: "d<c", Sources: 5, Claims: 10, Documents: 4}},
+		{"bad ratio", Profile{Name: "ratio", Sources: 5, Claims: 4, Documents: 10, CredibleRatio: 1.5}},
+	}
+	for _, tc := range cases {
+		if _, err := GenerateChecked(tc.p, 1); err == nil {
+			t.Errorf("%s: GenerateChecked accepted invalid profile", tc.name)
+		}
+	}
+}
+
+func TestGenerateCheckedMatchesGenerate(t *testing.T) {
+	p := Wikipedia.Scaled(0.05)
+	a, err := GenerateChecked(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Generate(p, 9)
+	if a.DB.Stats() != b.DB.Stats() {
+		t.Fatal("GenerateChecked and Generate disagree")
+	}
+}

@@ -170,6 +170,33 @@ type Corpus struct {
 	DocText []string
 }
 
+// Validate reports whether the profile describes a generable, non-empty
+// corpus; the error names the first violated requirement.
+func (p Profile) Validate() error {
+	switch {
+	case p.Claims <= 0:
+		return fmt.Errorf("synth: profile %q is empty (%d claims)", p.Name, p.Claims)
+	case p.Sources <= 0:
+		return fmt.Errorf("synth: profile %q has no sources", p.Name)
+	case p.Documents < p.Claims:
+		return fmt.Errorf("synth: profile %q needs at least one document per claim (%d documents < %d claims)",
+			p.Name, p.Documents, p.Claims)
+	case p.CredibleRatio < 0 || p.CredibleRatio > 1:
+		return fmt.Errorf("synth: profile %q has credible ratio %v outside [0,1]", p.Name, p.CredibleRatio)
+	}
+	return nil
+}
+
+// GenerateChecked is Generate with input validation: it rejects an empty
+// or malformed profile with an error instead of panicking, for callers
+// (e.g. a corpus-serving API) that must survive bad input.
+func GenerateChecked(p Profile, seed int64) (*Corpus, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return Generate(p, seed), nil
+}
+
 // Generate builds a corpus from the profile; identical (profile, seed)
 // pairs yield identical corpora.
 func Generate(p Profile, seed int64) *Corpus {

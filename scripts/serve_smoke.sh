@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of factcheck-server.
+#
+# Builds the server, boots it on a free port, opens a session over the
+# HTTP API, drives it with oracle-answered validations until done (or 16
+# answers), exports a snapshot, deletes the session, and shuts the
+# server down cleanly via SIGTERM. Needs only curl + standard tools (no
+# jq). Run as `make serve-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  status=$?
+  if [ -n "$server_pid" ]; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+  exit $status
+}
+trap cleanup EXIT
+
+go build -o "$workdir/factcheck-server" ./cmd/factcheck-server
+"$workdir/factcheck-server" -addr 127.0.0.1:0 -idle-ttl 1m \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# The server announces its bound address on stdout; wait for it.
+base=""
+for _ in $(seq 1 100); do
+  base=$(sed -n 's#^factcheck-server listening on \(http://[^ ]*\).*#\1#p' "$workdir/server.log" | head -1)
+  [ -n "$base" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/server.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "server never announced an address:"; cat "$workdir/server.log"; exit 1; }
+echo "smoke: server at $base"
+
+open=$(curl -sf -X POST "$base/sessions" \
+  -H 'Content-Type: application/json' \
+  -d '{"profile":"wiki","scale":0.1,"seed":42,"candidatePool":8}')
+id=$(echo "$open" | grep -o '"id":"[^"]*"' | cut -d'"' -f4)
+[ -n "$id" ] || { echo "no session id in: $open"; exit 1; }
+echo "smoke: opened session $id ($open)"
+
+# First question, then follow the "expected" claim from each answer.
+next=$(curl -sf "$base/sessions/$id/next?k=1")
+claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$claim" ] || { echo "no candidate in: $next"; exit 1; }
+answers=0
+for i in $(seq 1 16); do
+  st=$(curl -sf -X POST "$base/sessions/$id/answer" \
+    -H 'Content-Type: application/json' \
+    -d "{\"claim\":$claim,\"oracle\":true}")
+  answers=$i
+  precision=$(echo "$st" | grep -o '"precision":[0-9.]*' | cut -d: -f2)
+  echo "smoke: answer $i -> precision $precision"
+  if echo "$st" | grep -q '"done":true'; then
+    break
+  fi
+  claim=$(echo "$st" | grep -o '"expected":-\{0,1\}[0-9]*' | cut -d: -f2)
+  [ "$claim" != "-1" ] || { echo "no expected claim in: $st"; exit 1; }
+done
+[ "$answers" -ge 1 ] || { echo "no answers driven"; exit 1; }
+
+snap=$(curl -sf "$base/sessions/$id/snapshot")
+n=$(echo "$snap" | grep -o '"claim":' | wc -l)
+echo "smoke: snapshot holds $n elicitations"
+[ "$n" -ge "$answers" ] || { echo "snapshot too short: $snap"; exit 1; }
+
+curl -sf -X DELETE "$base/sessions/$id" >/dev/null
+curl -sf "$base/healthz" | grep -q '"sessions":0' \
+  || { echo "session survived DELETE"; exit 1; }
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q 'factcheck-server: stopped' "$workdir/server.log" \
+  || { echo "no clean shutdown:"; cat "$workdir/server.log"; exit 1; }
+echo "smoke: clean shutdown — serve-smoke OK"
