@@ -1,11 +1,17 @@
-# Tier-1 gate plus the lint/vet/bench smoke pipeline; `make ci` is what a
-# CI job should run.
+# Tier-1 gate plus the lint/vet/bench/coverage pipeline; `make ci` is
+# what the CI workflow (.github/workflows/ci.yml) runs.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race serve-smoke bench-smoke bench
+# Hot-path benchmarks gated against bench_baseline.json. Kept to the
+# performance-critical substrates (scoring round, Gibbs sweep,
+# incremental inference) so the gate is fast and focused.
+BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference
 
-ci: fmt-check vet build test race bench-smoke serve-smoke
+.PHONY: ci fmt-check vet build test race cover serve-smoke bench-smoke \
+	bench bench-json bench-gate bench-baseline
+
+ci: fmt-check vet build test race cover bench-gate serve-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
@@ -24,19 +30,44 @@ test:
 
 # Race-enabled coverage of the concurrent subsystems: the multi-session
 # service (64 auto-driven sessions multiplexing onto one shared worker
-# budget) and the streaming engine (interleaved arrivals/validations).
+# budget, plus crash-recovery and spill/revive paths) and the streaming
+# engine (interleaved arrivals/validations).
 race:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/stream/...
 
-# Boot factcheck-server, drive one auto-answered session end-to-end over
-# HTTP with curl, snapshot it, and shut the server down cleanly.
+# Coverage gate over the implementation packages; the floor lives in
+# scripts/cover_check.sh and only ratchets up.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	./scripts/cover_check.sh cover.out
+
+# Boot factcheck-server with a durable -data-dir, drive a session over
+# HTTP with curl, SIGKILL the server mid-session, restart it on the same
+# directory, and assert the session resumes with an identical
+# transcript; ends with a clean SIGTERM shutdown.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
 # A short benchmark invocation that exercises the parallel scoring hot
 # path without the full experiment sweep.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkGuidanceScoring|BenchmarkGibbsSweep' -benchtime 3x .
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 3x .
+
+# Machine-readable results for the hot-path benchmarks, written to
+# BENCH.json (uploaded as a CI artifact). Time-based benchtime plus
+# min-of-3 keeps single-iteration scheduler noise out of the gate.
+bench-json:
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 0.5s -benchmem -count 3 . \
+		| $(GO) run ./scripts/benchgate -emit -out BENCH.json
+
+# Fail if any hot-path benchmark regressed >25% against the committed
+# baseline (time; B/op and allocs/op share the tolerance).
+bench-gate: bench-json
+	$(GO) run ./scripts/benchgate -check -baseline bench_baseline.json -current BENCH.json -tolerance 0.25
+
+# Refresh the committed baseline (run on an idle machine, then commit).
+bench-baseline: bench-json
+	cp BENCH.json bench_baseline.json
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -20,6 +20,16 @@
 //
 //	factcheck-server -addr 127.0.0.1:8080 -workers 8 -idle-ttl 30m
 //	factcheck-server -addr 127.0.0.1:0     # pick a free port, announce it
+//	factcheck-server -data-dir /var/lib/factcheck  # durable sessions
+//
+// With -data-dir set, every session is checkpointed to disk at open,
+// each answer is appended to a per-session write-ahead log before the
+// response is sent, and the log is compacted every -checkpoint-every
+// answers — so a server killed at any instant (SIGKILL included)
+// recovers all sessions on the next boot with the same -data-dir and
+// serves them with bit-identical selection traces. Without -data-dir,
+// sessions survive idle eviction (they spill to an in-memory store) but
+// not the process.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"factcheck/internal/persist"
 	"factcheck/internal/service"
 )
 
@@ -41,16 +52,34 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		workers     = flag.Int("workers", 0, "shared worker-lane budget across all sessions (0 = GOMAXPROCS)")
-		idleTTL     = flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle this long (0 disables eviction)")
-		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions")
+		idleTTL     = flag.Duration("idle-ttl", 30*time.Minute, "spill sessions idle this long to the snapshot store (0 disables eviction)")
+		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently live sessions (spilled sessions don't count)")
+		dataDir     = flag.String("data-dir", "", "directory for durable session storage (empty = in-memory store: sessions survive eviction, not the process)")
+		ckptEvery   = flag.Int("checkpoint-every", 16, "compact a session's write-ahead log into a checkpoint every N answers")
 	)
 	flag.Parse()
 
+	var store persist.Store
+	if *dataDir != "" {
+		fs, err := persist.NewFileStore(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store = fs
+	}
 	manager := service.NewManager(service.Config{
-		Workers:     *workers,
-		MaxSessions: *maxSessions,
-		IdleTTL:     *idleTTL,
+		Workers:         *workers,
+		MaxSessions:     *maxSessions,
+		IdleTTL:         *idleTTL,
+		Store:           store,
+		CheckpointEvery: *ckptEvery,
 	})
+	if recovered, err := manager.RecoverAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "factcheck-server: recovery: %v\n", err)
+	} else if *dataDir != "" {
+		fmt.Printf("factcheck-server: recovered %d stored session(s) from %s\n", recovered, *dataDir)
+	}
 	server := &http.Server{Handler: service.NewServer(manager).Handler()}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -42,6 +42,7 @@ import (
 	"factcheck/internal/em"
 	"factcheck/internal/factdb"
 	"factcheck/internal/guidance"
+	"factcheck/internal/persist"
 	"factcheck/internal/service"
 	"factcheck/internal/sim"
 	"factcheck/internal/stream"
@@ -199,6 +200,8 @@ type (
 	ServiceAnswer = service.AnswerRequest
 	// ServiceSnapshot is the durable form of a served session.
 	ServiceSnapshot = service.SessionSnapshot
+	// ServiceHealth is the server's liveness/load report.
+	ServiceHealth = service.Health
 )
 
 // NewServiceManager creates a session manager (see ServiceConfig).
@@ -210,6 +213,29 @@ func NewServiceServer(m *ServiceManager) *ServiceServer { return service.NewServ
 // NewServiceClient returns a client for a factcheck-server at base, e.g.
 // "http://127.0.0.1:8080".
 func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
+// Durable session storage (ServiceConfig.Store).
+type (
+	// SnapshotStore persists served sessions: checkpointed at open,
+	// WAL-appended on every answer, compacted periodically; see
+	// internal/persist for the format and crash-safety contract.
+	SnapshotStore = persist.Store
+	// SnapshotRecord is the durable form of one stored session.
+	SnapshotRecord = persist.Record
+	// MemSnapshotStore keeps records in memory: sessions survive idle
+	// eviction but not the process (the default store).
+	MemSnapshotStore = persist.MemStore
+	// FileSnapshotStore keeps records on disk: sessions survive SIGKILL
+	// and restart with bit-identical selection traces.
+	FileSnapshotStore = persist.FileStore
+)
+
+// NewMemSnapshotStore returns an empty in-memory snapshot store.
+func NewMemSnapshotStore() *MemSnapshotStore { return persist.NewMemStore() }
+
+// NewFileSnapshotStore returns a file-backed snapshot store rooted at
+// dir (created if necessary), with per-write fsync enabled.
+func NewFileSnapshotStore(dir string) (*FileSnapshotStore, error) { return persist.NewFileStore(dir) }
 
 // Synthetic corpora and user simulation (§8).
 type (

@@ -21,6 +21,14 @@ type Elicitation struct {
 	OK      bool `json:"ok"`
 }
 
+// SnapshotVersion is the encoding version written into snapshots taken
+// by this build. RestoreSession accepts any version up to and including
+// it; a snapshot from a newer build (a higher version) is rejected with
+// a descriptive error instead of silently replaying under changed
+// semantics. Version 0 is the pre-versioned encoding and is read as
+// version 1.
+const SnapshotVersion = 1
+
 // Snapshot is a serialisable record of a session's progress: the full
 // elicitation transcript. Because every other part of a session — claim
 // selection, inference, grounding, the hybrid score — is a deterministic
@@ -30,6 +38,7 @@ type Elicitation struct {
 // multi-session server: a snapshot is small (one record per elicitation),
 // JSON-friendly, and independent of engine internals.
 type Snapshot struct {
+	Version      int           `json:"version,omitempty"`
 	Elicitations []Elicitation `json:"elicitations"`
 }
 
@@ -136,7 +145,28 @@ func (s *Session) Closed() bool { return s.closed }
 // valid when taken between Step calls (a server takes one after each
 // answered request); restoring mid-Step states is not supported.
 func (s *Session) Snapshot() Snapshot {
-	return Snapshot{Elicitations: append([]Elicitation(nil), s.elog...)}
+	return Snapshot{
+		Version:      SnapshotVersion,
+		Elicitations: append([]Elicitation(nil), s.elog...),
+	}
+}
+
+// TranscriptLen returns the number of elicitations recorded so far.
+// Together with TranscriptTail it lets a caller persist the transcript
+// incrementally (append only what a Step added) instead of rewriting the
+// full Snapshot after every answer.
+func (s *Session) TranscriptLen() int { return len(s.elog) }
+
+// TranscriptTail returns a copy of the elicitations recorded at or
+// after index from (nil when from is at or past the end).
+func (s *Session) TranscriptTail(from int) []Elicitation {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(s.elog) {
+		return nil
+	}
+	return append([]Elicitation(nil), s.elog[from:]...)
 }
 
 // replayUser feeds a recorded transcript back into the Alg. 1 loop,
@@ -175,6 +205,10 @@ func (u *replayUser) Validate(claim int) (bool, bool) {
 // match the selection trace the (db, opts) pair deterministically
 // produces.
 func RestoreSession(db *factdb.DB, opts Options, snap Snapshot) (*Session, error) {
+	if snap.Version > SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot encoding version %d is newer than this build supports (max %d)",
+			snap.Version, SnapshotVersion)
+	}
 	s, err := OpenSession(db, opts)
 	if err != nil {
 		return nil, err

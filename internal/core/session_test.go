@@ -200,3 +200,44 @@ func TestCloseSemantics(t *testing.T) {
 		t.Fatal("Snapshot after close lost the transcript")
 	}
 }
+
+func TestSnapshotVersioning(t *testing.T) {
+	c := smallCorpus(t, 51)
+	opts := fastOpts(52)
+	s, err := OpenSession(c.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(&sim.Oracle{Truth: c.Truth})
+	snap := s.Snapshot()
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("Snapshot stamped version %d, want %d", snap.Version, SnapshotVersion)
+	}
+
+	// Version 0 is the pre-versioned encoding: still replayable.
+	legacy := snap
+	legacy.Version = 0
+	if _, err := RestoreSession(c.DB, opts, legacy); err != nil {
+		t.Fatalf("legacy (version 0) snapshot rejected: %v", err)
+	}
+
+	// A snapshot from a newer build must be rejected up front, before
+	// any replay runs under possibly changed semantics.
+	future := snap
+	future.Version = SnapshotVersion + 1
+	if _, err := RestoreSession(c.DB, opts, future); err == nil {
+		t.Fatal("future-version snapshot accepted")
+	}
+
+	// Transcript helpers expose the incremental view a store persists.
+	if got := s.TranscriptLen(); got != len(snap.Elicitations) {
+		t.Fatalf("TranscriptLen = %d, want %d", got, len(snap.Elicitations))
+	}
+	tail := s.TranscriptTail(len(snap.Elicitations) - 1)
+	if len(tail) != 1 || tail[0] != snap.Elicitations[len(snap.Elicitations)-1] {
+		t.Fatalf("TranscriptTail returned %v", tail)
+	}
+	if got := s.TranscriptTail(s.TranscriptLen()); got != nil {
+		t.Fatalf("TranscriptTail past the end = %v, want nil", got)
+	}
+}

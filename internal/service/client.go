@@ -83,6 +83,14 @@ func (c *Client) Delete(id string) error {
 	return c.do(http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil)
 }
 
+// Health reports the server's liveness and load: live and spilled
+// session counts plus worker-budget usage.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
 func (c *Client) do(method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {

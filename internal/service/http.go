@@ -135,10 +135,11 @@ func (s *Server) delete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]int{
-		"sessions":       s.m.Len(),
-		"workersTotal":   s.m.Budget().Total(),
-		"workersGranted": s.m.Budget().InUse(),
+	writeJSON(w, http.StatusOK, Health{
+		Sessions:       s.m.Len(),
+		Spilled:        s.m.Spilled(),
+		WorkersTotal:   s.m.Budget().Total(),
+		WorkersGranted: s.m.Budget().InUse(),
 	})
 }
 
@@ -161,6 +162,8 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrPersist):
+		writeError(w, http.StatusInternalServerError, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}

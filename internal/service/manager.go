@@ -15,13 +15,20 @@
 //
 //  2. Bounded resources. All sessions multiplex onto one Budget of
 //     worker lanes sized to the machine, a session cap bounds admission,
-//     and an idle TTL evicts abandoned sessions, releasing their cached
-//     worker chains (em.Engine.ReleaseWorkers, guidance.Pool.Trim).
+//     and an idle TTL spills abandoned sessions to the snapshot store,
+//     releasing their corpus, engine and cached worker chains
+//     (em.Engine.ReleaseWorkers, guidance.Pool.Trim); a spilled session
+//     revives transparently on its next request and stops counting
+//     against the cap meanwhile.
 //
 //  3. Durability. Every session can be exported as a SessionSnapshot —
 //     its opening configuration plus the elicitation transcript — and
 //     reopened later (same process or not) via core.RestoreSession,
-//     which replays the transcript deterministically.
+//     which replays the transcript deterministically. The manager keeps
+//     a persist.Store current as a side effect of serving (checkpoint at
+//     open, WAL append per answer, periodic compaction), so with a
+//     file-backed store a SIGKILLed server recovers every session on
+//     the next boot with a bit-identical selection trace.
 //
 // Sessions are opened over synthetic corpus profiles (§8.1), which is
 // why the API can report precision against ground truth and offer
@@ -33,6 +40,7 @@ package service
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -42,6 +50,7 @@ import (
 	"factcheck/internal/core"
 	"factcheck/internal/em"
 	"factcheck/internal/guidance"
+	"factcheck/internal/persist"
 	"factcheck/internal/synth"
 )
 
@@ -58,6 +67,10 @@ var (
 	ErrFull = errors.New("service: session limit reached")
 	// ErrShutdown reports an operation after Manager.Shutdown.
 	ErrShutdown = errors.New("service: manager is shut down")
+	// ErrPersist reports that the snapshot store failed; the in-memory
+	// session (when one exists) is still consistent, but its durable
+	// record may be stale until a later write succeeds.
+	ErrPersist = errors.New("service: session persistence failed")
 )
 
 // EMBudgets optionally overrides the inference budgets of em.Config;
@@ -102,6 +115,10 @@ type OpenRequest struct {
 // "restore" form of session creation) rebuilds the session
 // bit-identically via deterministic replay.
 type SessionSnapshot struct {
+	// Version is the core snapshot encoding version
+	// (core.SnapshotVersion); restore rejects snapshots from a newer
+	// build instead of replaying them under changed semantics.
+	Version      int                `json:"version,omitempty"`
 	Config       OpenRequest        `json:"config"`
 	Elicitations []core.Elicitation `json:"elicitations"`
 }
@@ -165,16 +182,36 @@ type StateResponse struct {
 	Marginals  []float64 `json:"marginals,omitempty"`
 }
 
+// Health is the GET /healthz payload: live and spilled session counts
+// plus worker-budget load.
+type Health struct {
+	Sessions       int `json:"sessions"`
+	Spilled        int `json:"spilled"`
+	WorkersTotal   int `json:"workersTotal"`
+	WorkersGranted int `json:"workersGranted"`
+}
+
 // Config tunes a Manager.
 type Config struct {
 	// Workers is the shared worker-lane budget all sessions multiplex
 	// onto (0 = GOMAXPROCS).
 	Workers int
-	// MaxSessions caps concurrently open sessions (0 = 1024).
+	// MaxSessions caps concurrently live sessions (0 = 1024). Sessions
+	// spilled to the store do not count against the cap.
 	MaxSessions int
-	// IdleTTL evicts sessions idle for at least this long (0 disables
-	// the janitor; EvictIdle can still be called manually).
+	// IdleTTL spills sessions idle for at least this long to the store
+	// and releases their in-memory resources (0 disables the janitor;
+	// EvictIdle can still be called manually). A spilled session is
+	// revived transparently on its next request.
 	IdleTTL time.Duration
+	// Store persists sessions: checkpointed at open, appended to on
+	// every answer, compacted every CheckpointEvery answers. nil uses
+	// an in-memory store (sessions survive eviction, not the process);
+	// a persist.FileStore survives SIGKILL and machine restarts.
+	Store persist.Store
+	// CheckpointEvery compacts a session's write-ahead log into a fresh
+	// checkpoint after this many appended elicitations (0 = 16).
+	CheckpointEvery int
 }
 
 // Session is one server-hosted validation session. All methods are
@@ -189,8 +226,12 @@ type Session struct {
 	// skipped marks that the client skipped the top-ranked claim and the
 	// question moved to the second-best candidate (§8.5). The skip is
 	// materialised in the core transcript only when the follow-up answer
-	// drives Step, so a dangling skip is not part of a Snapshot.
+	// drives Step, so a dangling skip is not part of a Snapshot (and is
+	// lost by a crash or spill: the client re-skips after a revival).
 	skipped bool
+	// walLen counts elicitations appended to the store since the last
+	// checkpoint; reaching Config.CheckpointEvery triggers compaction.
+	walLen int
 
 	lastUsed time.Time // guarded by the manager's mu
 }
@@ -199,17 +240,28 @@ type Session struct {
 type Manager struct {
 	cfg    Config
 	budget *Budget
+	store  persist.Store
 	nowFn  func() time.Time // test hook
 
 	mu       sync.Mutex
 	sessions map[string]*Session
-	closed   bool
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	// reviving counts in-flight revivals per id; tombstoned marks ids
+	// deleted while a revival was in flight, so the revival discards its
+	// replay instead of resurrecting the session. Entries live only as
+	// long as some revival for the id is running.
+	reviving   map[string]int
+	tombstoned map[string]bool
+	closed     bool
+	stop       chan struct{}
+	wg         sync.WaitGroup
 }
 
 // NewManager creates a manager and, when cfg.IdleTTL > 0, starts its
-// eviction janitor. Call Shutdown to release everything.
+// eviction janitor. Call Shutdown to release everything. Sessions
+// already present in cfg.Store (from a previous process, or spilled by
+// eviction) are served transparently: a request for a stored id revives
+// the session by deterministic replay. Call RecoverAll to verify and
+// count them eagerly at boot.
 func NewManager(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -217,12 +269,21 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 1024
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
+	if cfg.Store == nil {
+		cfg.Store = persist.NewMemStore()
+	}
 	m := &Manager{
-		cfg:      cfg,
-		budget:   NewBudget(cfg.Workers),
-		nowFn:    time.Now,
-		sessions: make(map[string]*Session),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		budget:     NewBudget(cfg.Workers),
+		store:      cfg.Store,
+		nowFn:      time.Now,
+		sessions:   make(map[string]*Session),
+		reviving:   make(map[string]int),
+		tombstoned: make(map[string]bool),
+		stop:       make(chan struct{}),
 	}
 	if cfg.IdleTTL > 0 {
 		m.wg.Add(1)
@@ -230,6 +291,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	return m
 }
+
+// Store exposes the manager's snapshot store (for monitoring).
+func (m *Manager) Store() persist.Store { return m.store }
 
 // Budget exposes the shared worker budget (for monitoring).
 func (m *Manager) Budget() *Budget { return m.budget }
@@ -255,29 +319,94 @@ func (m *Manager) janitor() {
 	}
 }
 
-// EvictIdle closes and removes every session idle for at least ttl,
-// returning the number evicted. Closing releases the session's cached
-// worker chains and scoring buffers back to the allocator.
+// EvictIdle spills every session idle for at least ttl to the store and
+// releases its in-memory resources (cached worker chains, scoring
+// buffers, the corpus and engine), returning the number spilled. A
+// spilled session stops counting against the session cap; its next
+// request revives it transparently by deterministic replay, so memory
+// scales past MaxSessions while ids stay serveable.
+//
+// The spill checkpoint is written while the session is still routable
+// and its lock is held: concurrent requests for the id queue on the
+// session lock instead of racing a revival against the checkpoint, and
+// a request that touched the session while we waited cancels the
+// eviction (rechecked under the manager lock before removal).
 func (m *Manager) EvictIdle(ttl time.Duration) int {
 	cutoff := m.nowFn().Add(-ttl)
+	stale := func(s *Session) bool {
+		return s.lastUsed.Before(cutoff) || s.lastUsed.Equal(cutoff)
+	}
 	m.mu.Lock()
 	var victims []*Session
 	for _, s := range m.sessions {
-		if s.lastUsed.Before(cutoff) || s.lastUsed.Equal(cutoff) {
+		if stale(s) {
 			victims = append(victims, s)
-			delete(m.sessions, s.id)
 		}
 	}
 	m.mu.Unlock()
+	evicted := 0
 	for _, s := range victims {
-		s.mu.Lock()
-		_ = s.core.Close()
-		s.mu.Unlock()
+		if m.spill(s, stale) {
+			evicted++
+		}
 	}
-	return len(victims)
+	return evicted
 }
 
-// Shutdown stops the janitor and closes every session. The manager
+// spill writes one victim's compacting checkpoint and removes it from
+// the live set; it reports whether the session was actually evicted. A
+// session Deleted since the victim scan is already closed (Delete holds
+// s.mu while closing), and checkpointing it would resurrect its durable
+// record — the Closed check skips it.
+func (m *Manager) spill(s *Session, stale func(*Session) bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core.Closed() {
+		return false
+	}
+	// Compact WAL + checkpoint into one fresh checkpoint. Failure is
+	// non-fatal: the store still holds the session as the previous
+	// checkpoint plus its WAL, which Load merges.
+	_ = m.checkpointLocked(s)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.sessions[s.id]; ok && cur == s && stale(s) {
+		delete(m.sessions, s.id)
+		_ = s.core.Close()
+		return true
+	}
+	return false
+}
+
+// record assembles the session's durable form; s.mu must be held.
+func (s *Session) record() (persist.Record, error) {
+	cfg, err := json.Marshal(s.cfg)
+	if err != nil {
+		return persist.Record{}, err
+	}
+	return persist.Record{
+		Config:       cfg,
+		Elicitations: s.core.Snapshot().Elicitations,
+	}, nil
+}
+
+// checkpointLocked writes a full checkpoint for s and resets its WAL
+// counter; s.mu must be held.
+func (m *Manager) checkpointLocked(s *Session) error {
+	rec, err := s.record()
+	if err == nil {
+		err = m.store.Checkpoint(s.id, rec)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	s.walLen = 0
+	return nil
+}
+
+// Shutdown stops the janitor, spills every session to the store (a
+// final compacting checkpoint, so a durable store can recover them all
+// after restart), closes them, and closes the store. The manager
 // rejects all further operations with ErrShutdown.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
@@ -296,9 +425,11 @@ func (m *Manager) Shutdown() {
 	m.wg.Wait()
 	for _, s := range victims {
 		s.mu.Lock()
+		_ = m.checkpointLocked(s) // best effort; WAL already covers the transcript
 		_ = s.core.Close()
 		s.mu.Unlock()
 	}
+	_ = m.store.Close()
 }
 
 // buildOptions translates an OpenRequest into core options. Workers is
@@ -405,62 +536,84 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 // transcript. The restored session continues exactly where the
 // snapshotted one stopped.
 func (m *Manager) Restore(snap SessionSnapshot) (SessionInfo, error) {
-	return m.open(snap.Config, snap.Elicitations)
+	return m.open(snap.Config, &core.Snapshot{
+		Version:      snap.Version,
+		Elicitations: snap.Elicitations,
+	})
 }
 
-func (m *Manager) open(req OpenRequest, replay []core.Elicitation) (SessionInfo, error) {
-	if err := m.admit(); err != nil {
-		return SessionInfo{}, err
-	}
+// buildSession constructs the in-memory session for req, replaying snap
+// when non-nil (restore and revival) or opening fresh when nil. The
+// initial inference / replay is the expensive part; it runs with
+// whatever share of the worker budget is free right now. The returned
+// session is not yet routable — the caller publishes it.
+func (m *Manager) buildSession(id string, req OpenRequest, snap *core.Snapshot) (*Session, error) {
 	opts, err := buildOptions(req)
 	if err != nil {
-		return SessionInfo{}, err
+		return nil, err
 	}
 	corpus, err := buildCorpus(req)
 	if err != nil {
-		return SessionInfo{}, err
+		return nil, err
 	}
-	// The initial inference is the expensive part of opening; run it
-	// with whatever share of the worker budget is free right now.
 	grant, release := m.budget.Acquire(m.budget.Total())
 	opts.Workers = grant
 	var cs *core.Session
-	if replay == nil {
+	if snap == nil {
 		cs, err = core.OpenSession(corpus.DB, opts)
 	} else {
-		cs, err = core.RestoreSession(corpus.DB, opts, core.Snapshot{Elicitations: replay})
+		cs, err = core.RestoreSession(corpus.DB, opts, *snap)
 	}
 	release()
 	if err != nil {
-		return SessionInfo{}, err
+		return nil, err
 	}
-	s := &Session{
-		id:       newID(),
+	return &Session{
+		id:       id,
 		core:     cs,
 		corpus:   corpus,
 		cfg:      req,
 		lastUsed: m.nowFn(),
+	}, nil
+}
+
+func (m *Manager) open(req OpenRequest, replay *core.Snapshot) (SessionInfo, error) {
+	if err := m.admit(); err != nil {
+		return SessionInfo{}, err
+	}
+	s, err := m.buildSession(newID(), req, replay)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	// Persist before publishing: once a client holds the id, the session
+	// must survive a crash. The session is not routable yet, so no lock
+	// is needed around the checkpoint.
+	if err := m.checkpointLocked(s); err != nil {
+		_ = s.core.Close()
+		return SessionInfo{}, err
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		_ = cs.Close()
+		_ = s.core.Close()
+		_ = m.store.Delete(s.id)
 		return SessionInfo{}, ErrShutdown
 	}
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		m.mu.Unlock()
-		_ = cs.Close()
+		_ = s.core.Close()
+		_ = m.store.Delete(s.id)
 		return SessionInfo{}, ErrFull
 	}
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	return SessionInfo{
 		ID:        s.id,
-		Profile:   corpus.Profile.Name,
-		Claims:    corpus.DB.NumClaims,
-		Sources:   len(corpus.DB.Sources),
-		Documents: len(corpus.DB.Documents),
-		Precision: cs.Precision(corpus.Truth),
+		Profile:   s.corpus.Profile.Name,
+		Claims:    s.corpus.DB.NumClaims,
+		Sources:   len(s.corpus.DB.Sources),
+		Documents: len(s.corpus.DB.Documents),
+		Precision: s.core.Precision(s.corpus.Truth),
 	}, nil
 }
 
@@ -476,22 +629,158 @@ func (m *Manager) admit() error {
 	return nil
 }
 
-// get looks a session up and refreshes its idle clock.
+// get looks a session up and refreshes its idle clock; a session absent
+// from memory but present in the store is revived first.
 func (m *Manager) get(id string) (*Session, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, ErrShutdown
 	}
-	s, ok := m.sessions[id]
+	if s, ok := m.sessions[id]; ok {
+		s.lastUsed = m.nowFn()
+		m.mu.Unlock()
+		return s, nil
+	}
+	m.mu.Unlock()
+	return m.revive(id)
+}
+
+// revive rebuilds a stored session (spilled by eviction, or left behind
+// by a crashed process) via the bit-identical core.RestoreSession replay
+// path, and re-inserts it into the live set. When two requests race to
+// revive the same id, the loser discards its replay and adopts the
+// winner's session. Revival counts against the session cap.
+//
+// A revival registers itself in m.reviving for its whole duration so
+// Delete can leave a tombstone for it: without one, a Delete landing
+// between the store read and the insert would remove the durable record
+// and still see the session come back to life (and the next spill would
+// re-create the record). The tombstone check runs under the manager
+// lock right before the insert, and Delete keeps its store writes under
+// the same lock, so every interleaving either tombstones the in-flight
+// revival or empties the store before the revival's read.
+func (m *Manager) revive(id string) (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if s, ok := m.sessions[id]; ok {
+		// Lost the lookup race to a concurrent revival; adopt it.
+		s.lastUsed = m.nowFn()
+		m.mu.Unlock()
+		return s, nil
+	}
+	m.reviving[id]++
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		if m.reviving[id]--; m.reviving[id] <= 0 {
+			delete(m.reviving, id)
+			delete(m.tombstoned, id)
+		}
+		m.mu.Unlock()
+	}()
+
+	rec, ok, err := m.store.Load(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
 	if !ok {
 		return nil, ErrNotFound
 	}
-	s.lastUsed = m.nowFn()
+	var req OpenRequest
+	if err := json.Unmarshal(rec.Config, &req); err != nil {
+		return nil, fmt.Errorf("%w: corrupt stored config for session %q: %v", ErrPersist, id, err)
+	}
+	s, err := m.buildSession(id, req, &core.Snapshot{Elicitations: rec.Elicitations})
+	if err != nil {
+		return nil, fmt.Errorf("%w: replay of session %q: %v", ErrPersist, id, err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		_ = s.core.Close()
+		return nil, ErrShutdown
+	}
+	if m.tombstoned[id] {
+		// The session was deleted while we were replaying it.
+		m.mu.Unlock()
+		_ = s.core.Close()
+		return nil, ErrNotFound
+	}
+	if cur, ok := m.sessions[id]; ok {
+		// Lost a revival race; the store was only read, nothing to undo.
+		cur.lastUsed = m.nowFn()
+		m.mu.Unlock()
+		_ = s.core.Close()
+		return cur, nil
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		_ = s.core.Close()
+		return nil, ErrFull
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
 	return s, nil
 }
 
-// Delete closes and removes a session.
+// RecoverAll verifies every session left in the store by a previous
+// process: each record is loaded (checkpoint plus WAL merge, torn tails
+// dropped) and its configuration decoded. It returns the number of
+// recoverable sessions. Replay itself is deferred to each session's
+// first request, so boot cost is one store scan regardless of how much
+// inference the stored transcripts represent; the first request pays
+// the replay through the same bit-identical restore path.
+func (m *Manager) RecoverAll() (int, error) {
+	ids, err := m.store.List()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	recovered := 0
+	var errs []error
+	for _, id := range ids {
+		rec, ok, err := m.store.Load(id)
+		if err != nil || !ok {
+			errs = append(errs, fmt.Errorf("session %q: %v", id, err))
+			continue
+		}
+		var req OpenRequest
+		if err := json.Unmarshal(rec.Config, &req); err != nil {
+			errs = append(errs, fmt.Errorf("session %q: corrupt config: %v", id, err))
+			continue
+		}
+		recovered++
+	}
+	return recovered, errors.Join(errs...)
+}
+
+// Spilled returns the number of stored sessions that are not currently
+// live (evicted to the store, or recovered-but-not-yet-revived).
+func (m *Manager) Spilled() int {
+	ids, err := m.store.List()
+	if err != nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if _, live := m.sessions[id]; !live {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete closes and removes a session, live or spilled, and deletes its
+// durable record. The store writes run under the manager lock, atomic
+// with the tombstone decision, so a revival in flight for the id either
+// sees the tombstone (registered before the delete) or an already-empty
+// store (registered after) — it can never resurrect the session. The
+// store I/O under the lock is acceptable because deletes are rare.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	if m.closed {
@@ -502,12 +791,39 @@ func (m *Manager) Delete(id string) error {
 	if ok {
 		delete(m.sessions, id)
 	}
-	m.mu.Unlock()
 	if !ok {
-		return ErrNotFound
+		// Possibly spilled, or being revived right now.
+		defer m.mu.Unlock()
+		if m.reviving[id] > 0 {
+			m.tombstoned[id] = true
+		}
+		_, stored, err := m.store.Load(id)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		if !stored {
+			return ErrNotFound
+		}
+		if err := m.store.Delete(id); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		return nil
 	}
+	m.mu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-take the manager lock (s.mu → m.mu, the eviction janitor's
+	// order) so the record removal is atomic with the tombstone check.
+	m.mu.Lock()
+	if m.reviving[id] > 0 {
+		m.tombstoned[id] = true
+	}
+	err := m.store.Delete(id)
+	m.mu.Unlock()
+	if err != nil {
+		_ = s.core.Close()
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
 	return s.core.Close()
 }
 
@@ -612,15 +928,52 @@ func (s *Session) budgetExhausted() bool {
 }
 
 // Answer applies one response to the currently expected claim and, when
-// it completes an iteration, runs incremental inference.
+// it completes an iteration, runs incremental inference. Every
+// elicitation the step records (the answer itself, a materialised skip,
+// repair prompts from a confirmation check) is appended to the snapshot
+// store before the response is returned: a crash at any instant loses at
+// most an answer whose response the client never saw, and resubmitting
+// it after recovery is consistent.
 func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
 	var resp StateResponse
 	err := m.withSession(id, true, func(s *Session) error {
+		from := s.core.TranscriptLen()
 		var err error
 		resp, err = s.answer(req)
-		return err
+		if err != nil {
+			return err
+		}
+		return m.persistTail(s, from)
 	})
 	return resp, err
+}
+
+// persistTail appends the elicitations recorded at or after index from
+// to the store and compacts the WAL when it reaches CheckpointEvery;
+// s.mu must be held. A failed append is retried as a full checkpoint
+// (the store's seq-numbered merge makes the repair safe); only when
+// both fail is ErrPersist reported — the in-memory session stays
+// consistent either way.
+func (m *Manager) persistTail(s *Session, from int) error {
+	tail := s.core.TranscriptTail(from)
+	if len(tail) == 0 {
+		return nil
+	}
+	for i, e := range tail {
+		if err := m.store.Append(s.id, from+i, e); err != nil {
+			if cerr := m.checkpointLocked(s); cerr != nil {
+				return fmt.Errorf("%w: %v", ErrPersist, err)
+			}
+			return nil
+		}
+	}
+	s.walLen += len(tail)
+	if s.walLen >= m.cfg.CheckpointEvery {
+		// Compaction failure is non-fatal: checkpoint + WAL still hold
+		// the full transcript, and the next threshold retries.
+		_ = m.checkpointLocked(s)
+	}
+	return nil
 }
 
 func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
@@ -739,9 +1092,11 @@ func (s *Session) state(withMarginals bool) StateResponse {
 func (m *Manager) Snapshot(id string) (SessionSnapshot, error) {
 	var snap SessionSnapshot
 	err := m.withSession(id, false, func(s *Session) error {
+		cs := s.core.Snapshot()
 		snap = SessionSnapshot{
+			Version:      cs.Version,
 			Config:       s.cfg,
-			Elicitations: s.core.Snapshot().Elicitations,
+			Elicitations: cs.Elicitations,
 		}
 		return nil
 	})

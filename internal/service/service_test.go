@@ -351,7 +351,7 @@ func TestAPIErrorEdges(t *testing.T) {
 	expectHTTP(err, "503", "session cap")
 }
 
-func TestEvictIdleReleasesSessions(t *testing.T) {
+func TestEvictIdleSpillsAndRevives(t *testing.T) {
 	client, m := newTestServer(t, Config{})
 	a, err := client.Open(fastOpen("wiki", 0.05, 6))
 	if err != nil {
@@ -361,21 +361,76 @@ func TestEvictIdleReleasesSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	next, err := client.Next(a.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := client.Answer(a.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n := m.EvictIdle(time.Hour); n != 0 {
 		t.Fatalf("evicted %d fresh sessions", n)
 	}
-	// Age session a artificially, then evict.
+	// Age session a artificially, then evict: it leaves the live set
+	// (and the cap) but stays serveable through the snapshot store.
 	m.mu.Lock()
 	m.sessions[a.ID].lastUsed = m.nowFn().Add(-2 * time.Hour)
 	m.mu.Unlock()
 	if n := m.EvictIdle(time.Hour); n != 1 {
 		t.Fatalf("evicted %d sessions, want 1", n)
 	}
-	if _, err := client.State(a.ID, false); err == nil || !strings.Contains(err.Error(), "404") {
-		t.Fatalf("evicted session should 404, got %v", err)
+	if got := m.Len(); got != 1 {
+		t.Fatalf("live sessions after evict = %d, want 1", got)
+	}
+	if got := m.Spilled(); got != 1 {
+		t.Fatalf("spilled sessions after evict = %d, want 1", got)
+	}
+	// The next request revives the spilled session with its state intact.
+	after, err := client.State(a.ID, false)
+	if err != nil {
+		t.Fatalf("spilled session did not revive: %v", err)
+	}
+	if after.Labeled != before.Labeled || after.Z != before.Z || after.Precision != before.Precision {
+		t.Fatalf("revived state diverged: got (labeled=%d z=%v p=%v), want (labeled=%d z=%v p=%v)",
+			after.Labeled, after.Z, after.Precision, before.Labeled, before.Z, before.Precision)
+	}
+	if got := m.Len(); got != 2 {
+		t.Fatalf("live sessions after revival = %d, want 2", got)
 	}
 	if _, err := client.State(b.ID, false); err != nil {
 		t.Fatalf("fresh session evicted too: %v", err)
+	}
+}
+
+// TestEvictedSessionsFreeTheCap verifies that spilled sessions stop
+// counting against MaxSessions: with a cap of 1, evicting the only live
+// session admits a new one, and reviving the first then hits the cap.
+func TestEvictedSessionsFreeTheCap(t *testing.T) {
+	client, m := newTestServer(t, Config{MaxSessions: 1})
+	a, err := client.Open(fastOpen("wiki", 0.05, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Open(fastOpen("wiki", 0.05, 9)); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("cap of 1 admitted a second session: %v", err)
+	}
+	if n := m.EvictIdle(0); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	bID, err := client.Open(fastOpen("wiki", 0.05, 9))
+	if err != nil {
+		t.Fatalf("eviction did not free the session cap: %v", err)
+	}
+	// Reviving the spilled session would exceed the cap again.
+	if _, err := client.State(a.ID, false); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("revival above the cap should 503, got %v", err)
+	}
+	if err := client.Delete(bID.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.State(a.ID, false); err != nil {
+		t.Fatalf("revival below the cap failed: %v", err)
 	}
 }
 

@@ -1,0 +1,258 @@
+// Command benchgate turns `go test -bench` output into a machine-
+// readable BENCH.json and gates CI on it: a hot-path benchmark that
+// regresses more than the tolerance against a committed baseline fails
+// the build.
+//
+//	go test -bench ... -benchmem -count 3 | benchgate -emit -out BENCH.json
+//	benchgate -check -baseline bench_baseline.json -current BENCH.json -tolerance 0.25
+//
+// -emit parses benchmark result lines from stdin. With -count > 1 the
+// minimum of each metric across repetitions is kept — the standard
+// robust estimator under scheduler noise. -check compares every
+// benchmark of the baseline against the current file; a benchmark
+// missing from the current run fails too (a silently dropped benchmark
+// must not pass the gate). Byte and allocation counts share the time
+// tolerance but are only compared between runs with comparable
+// iteration counts (see Metrics.Iters); tiny absolute slack (16 B,
+// 2 allocs) keeps noise on small counters from flaking.
+//
+// Wall-time is only meaningful between runs on the same CPU model, so
+// -emit records the `cpu:` line of the benchmark output and -check
+// gates ns/op only when baseline and current agree on it. On different
+// hardware (e.g. a heterogeneous CI runner pool against a baseline
+// recorded elsewhere) the gate degrades to the machine-stable
+// allocation metrics and says so, instead of failing builds on CPU
+// generation differences.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's gated measurements. Iters records the
+// iteration count the measurements come from: time per op gates
+// unconditionally, but bytes and allocations per op are compared only
+// between runs with comparable iteration counts, because benchmarks
+// whose state grows across iterations (e.g. incremental inference over
+// an accumulating label set) amortise differently at different b.N.
+type Metrics struct {
+	Iters    int     `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// File is the BENCH.json shape.
+type File struct {
+	// CPU is the `cpu:` line of the benchmark run; ns/op is gated only
+	// between runs that agree on it.
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "parse `go test -bench` output from stdin and write JSON")
+		out       = flag.String("out", "", "output path for -emit (default stdout)")
+		check     = flag.Bool("check", false, "compare -current against -baseline")
+		baseline  = flag.String("baseline", "bench_baseline.json", "committed baseline for -check")
+		current   = flag.String("current", "BENCH.json", "freshly emitted results for -check")
+		tolerance = flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
+	)
+	flag.Parse()
+	switch {
+	case *emit:
+		if err := runEmit(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	case *check:
+		if err := runCheck(*baseline, *current, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: pass -emit or -check")
+		os.Exit(2)
+	}
+}
+
+// normalize strips the machine-dependent parts of a benchmark name: the
+// trailing -GOMAXPROCS suffix, and the #NN disambiguator Go appends when
+// two sub-benchmarks collapse to the same name (e.g. workers=1 twice on
+// a single-core machine). Entries that normalize to one name are merged
+// by min, and baselines compare across machines with different core
+// counts.
+func normalize(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if i := strings.LastIndexByte(name, '#'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+func runEmit(out string) error {
+	results := make(map[string]Metrics)
+	cpu := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable log visible in CI
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed line
+		}
+		// After the iteration count the line is (value, unit) pairs;
+		// custom units (e.g. ReportMetric extras) are skipped.
+		m := Metrics{Iters: iters, NsOp: -1, BOp: -1, AllocsOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsOp = v
+			case "B/op":
+				m.BOp = v
+			case "allocs/op":
+				m.AllocsOp = v
+			}
+		}
+		if m.NsOp < 0 {
+			continue
+		}
+		name := normalize(fields[0])
+		if prev, ok := results[name]; ok {
+			// min across -count repetitions
+			if prev.Iters > m.Iters {
+				m.Iters = prev.Iters
+			}
+			if prev.NsOp < m.NsOp {
+				m.NsOp = prev.NsOp
+			}
+			if prev.BOp >= 0 && prev.BOp < m.BOp {
+				m.BOp = prev.BOp
+			}
+			if prev.AllocsOp >= 0 && prev.AllocsOp < m.AllocsOp {
+				m.AllocsOp = prev.AllocsOp
+			}
+		}
+		results[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	buf, err := json.MarshalIndent(File{CPU: cpu, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func load(path string) (File, error) {
+	var f File
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+func runCheck(basePath, curPath string, tol float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Wall-time baselines only transfer between identical CPU models;
+	// across models the gate falls back to allocation metrics, which are
+	// deterministic per machine. An empty CPU (a baseline emitted before
+	// the field existed) keeps the old always-compare behaviour.
+	sameCPU := base.CPU == "" || cur.CPU == "" || base.CPU == cur.CPU
+	if !sameCPU {
+		fmt.Printf("note: baseline CPU %q != current CPU %q — gating allocations only, not ns/op\n",
+			base.CPU, cur.CPU)
+	}
+	failures := 0
+	exceeds := func(curV, baseV, slack float64) bool {
+		return curV > baseV*(1+tol)+slack
+	}
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %s: missing from current run\n", name)
+			failures++
+			continue
+		}
+		bad := ""
+		if sameCPU && exceeds(c.NsOp, b.NsOp, 0) {
+			bad += fmt.Sprintf(" ns/op %.0f -> %.0f (%+.1f%%)", b.NsOp, c.NsOp, 100*(c.NsOp/b.NsOp-1))
+		}
+		// Allocation metrics amortise with b.N; compare them only when
+		// the two runs iterated within 2x of each other.
+		comparable := b.Iters > 0 && c.Iters > 0 && c.Iters <= 2*b.Iters && b.Iters <= 2*c.Iters
+		if comparable && b.BOp >= 0 && c.BOp >= 0 && exceeds(c.BOp, b.BOp, 16) {
+			bad += fmt.Sprintf(" B/op %.0f -> %.0f", b.BOp, c.BOp)
+		}
+		if comparable && b.AllocsOp >= 0 && c.AllocsOp >= 0 && exceeds(c.AllocsOp, b.AllocsOp, 2) {
+			bad += fmt.Sprintf(" allocs/op %.0f -> %.0f", b.AllocsOp, c.AllocsOp)
+		}
+		if bad != "" {
+			fmt.Printf("FAIL %s:%s (tolerance %.0f%%)\n", name, bad, 100*tol)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   %s: ns/op %.0f -> %.0f (%+.1f%%)\n", name, b.NsOp, c.NsOp, 100*(c.NsOp/b.NsOp-1))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d hot-path benchmark(s) regressed beyond %.0f%%", failures, 100*tol)
+	}
+	fmt.Printf("bench gate passed: %d benchmark(s) within %.0f%% of baseline\n", len(names), 100*tol)
+	return nil
+}

@@ -1,16 +1,34 @@
 #!/usr/bin/env bash
-# serve_smoke.sh — end-to-end smoke test of factcheck-server.
+# serve_smoke.sh — end-to-end smoke + crash-recovery test of
+# factcheck-server.
 #
-# Builds the server, boots it on a free port, opens a session over the
-# HTTP API, drives it with oracle-answered validations until done (or 16
-# answers), exports a snapshot, deletes the session, and shuts the
-# server down cleanly via SIGTERM. Needs only curl + standard tools (no
-# jq). Run as `make serve-smoke`.
+# Builds the server, boots it with a durable -data-dir on a free port,
+# opens a session over the HTTP API, drives it with oracle-answered
+# validations, exports a snapshot — then kills the server with SIGKILL
+# mid-session, restarts it on the same -data-dir, asserts the session
+# resumed with an identical transcript, keeps answering, deletes the
+# session, and shuts the server down cleanly via SIGTERM. Needs only
+# curl + standard tools (no jq). Run as `make serve-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
+datadir="$workdir/data"
 server_pid=""
+server_log=""
+
+# fail dumps every server log before exiting, so a CI failure is
+# actionable from the job log alone.
+fail() {
+  echo "smoke: FAIL: $*" >&2
+  for f in "$workdir"/server*.log; do
+    [ -f "$f" ] || continue
+    echo "--- $f ---" >&2
+    cat "$f" >&2
+  done
+  exit 1
+}
+
 cleanup() {
   status=$?
   if [ -n "$server_pid" ]; then
@@ -23,60 +41,109 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/factcheck-server" ./cmd/factcheck-server
-"$workdir/factcheck-server" -addr 127.0.0.1:0 -idle-ttl 1m \
-  >"$workdir/server.log" 2>&1 &
-server_pid=$!
 
-# The server announces its bound address on stdout; wait for it.
-base=""
-for _ in $(seq 1 100); do
-  base=$(sed -n 's#^factcheck-server listening on \(http://[^ ]*\).*#\1#p' "$workdir/server.log" | head -1)
-  [ -n "$base" ] && break
-  kill -0 "$server_pid" 2>/dev/null || { echo "server died:"; cat "$workdir/server.log"; exit 1; }
-  sleep 0.1
-done
-[ -n "$base" ] || { echo "server never announced an address:"; cat "$workdir/server.log"; exit 1; }
-echo "smoke: server at $base"
+# start_server <logfile>: boot on a free port with the shared data dir
+# and wait (bounded) for the address announce; sets $server_pid, $base.
+start_server() {
+  server_log="$workdir/$1"
+  "$workdir/factcheck-server" -addr 127.0.0.1:0 -idle-ttl 1m \
+    -data-dir "$datadir" -checkpoint-every 3 \
+    >"$server_log" 2>&1 &
+  server_pid=$!
+  base=""
+  for _ in $(seq 1 150); do
+    base=$(sed -n 's#^factcheck-server listening on \(http://[^ ]*\).*#\1#p' "$server_log" | head -1)
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server died before announcing an address"
+    sleep 0.1
+  done
+  [ -n "$base" ] || fail "server did not announce an address within 15s"
+  echo "smoke: server at $base (log $1)"
+}
+
+# answer_loop <n>: drive up to n oracle answers, following the expected
+# claim; stops early when the session reports done. Needs $claim set to
+# the current expected claim; leaves $st holding the last state.
+answer_loop() {
+  local n=$1 i
+  st=""
+  for i in $(seq 1 "$n"); do
+    st=$(curl -sf -X POST "$base/sessions/$id/answer" \
+      -H 'Content-Type: application/json' \
+      -d "{\"claim\":$claim,\"oracle\":true}") || fail "answer $i rejected"
+    answers=$((answers + 1))
+    precision=$(echo "$st" | grep -o '"precision":[0-9.]*' | cut -d: -f2)
+    echo "smoke: answer $answers -> precision $precision"
+    if echo "$st" | grep -q '"done":true'; then
+      break
+    fi
+    claim=$(echo "$st" | grep -o '"expected":-\{0,1\}[0-9]*' | cut -d: -f2)
+    [ "$claim" != "-1" ] || fail "no expected claim in: $st"
+  done
+}
+
+start_server server1.log
+grep -q 'recovered 0 stored session(s)' "$server_log" \
+  || fail "fresh data dir did not announce an empty recovery"
 
 open=$(curl -sf -X POST "$base/sessions" \
   -H 'Content-Type: application/json' \
-  -d '{"profile":"wiki","scale":0.1,"seed":42,"candidatePool":8}')
+  -d '{"profile":"wiki","scale":0.1,"seed":42,"candidatePool":8}') \
+  || fail "open request rejected"
 id=$(echo "$open" | grep -o '"id":"[^"]*"' | cut -d'"' -f4)
-[ -n "$id" ] || { echo "no session id in: $open"; exit 1; }
+[ -n "$id" ] || fail "no session id in: $open"
 echo "smoke: opened session $id ($open)"
 
-# First question, then follow the "expected" claim from each answer.
-next=$(curl -sf "$base/sessions/$id/next?k=1")
+next=$(curl -sf "$base/sessions/$id/next?k=1") || fail "first /next rejected"
 claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
-[ -n "$claim" ] || { echo "no candidate in: $next"; exit 1; }
+[ -n "$claim" ] || fail "no candidate in: $next"
 answers=0
-for i in $(seq 1 16); do
-  st=$(curl -sf -X POST "$base/sessions/$id/answer" \
-    -H 'Content-Type: application/json' \
-    -d "{\"claim\":$claim,\"oracle\":true}")
-  answers=$i
-  precision=$(echo "$st" | grep -o '"precision":[0-9.]*' | cut -d: -f2)
-  echo "smoke: answer $i -> precision $precision"
-  if echo "$st" | grep -q '"done":true'; then
-    break
-  fi
-  claim=$(echo "$st" | grep -o '"expected":-\{0,1\}[0-9]*' | cut -d: -f2)
-  [ "$claim" != "-1" ] || { echo "no expected claim in: $st"; exit 1; }
-done
-[ "$answers" -ge 1 ] || { echo "no answers driven"; exit 1; }
+answer_loop 6
+[ "$answers" -ge 1 ] || fail "no answers driven"
 
-snap=$(curl -sf "$base/sessions/$id/snapshot")
+snap_before=$(curl -sf "$base/sessions/$id/snapshot") || fail "snapshot before kill rejected"
+n_before=$(echo "$snap_before" | grep -o '"claim":' | wc -l)
+echo "smoke: snapshot holds $n_before elicitations; killing server with SIGKILL"
+
+# Crash: SIGKILL, no drain, no checkpoint — recovery must come from the
+# WAL the server wrote before each answer's response.
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+start_server server2.log
+grep -q 'recovered 1 stored session(s)' "$server_log" \
+  || fail "restart did not recover the stored session"
+
+# The session must resume under its old id with an identical transcript.
+snap_after=$(curl -sf "$base/sessions/$id/snapshot") \
+  || fail "recovered session $id unavailable after restart"
+[ "$snap_after" = "$snap_before" ] \
+  || fail "transcript changed across the crash:
+before: $snap_before
+after:  $snap_after"
+echo "smoke: session $id resumed with an identical ${n_before}-elicitation transcript"
+
+# And it must keep serving answers from exactly where it stopped.
+next=$(curl -sf "$base/sessions/$id/next?k=1") || fail "/next after recovery rejected"
+claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$claim" ] || fail "no candidate after recovery in: $next"
+answer_loop 4
+[ "$answers" -ge 7 ] || fail "resumed session only reached $answers answers"
+
+snap=$(curl -sf "$base/sessions/$id/snapshot") || fail "final snapshot rejected"
 n=$(echo "$snap" | grep -o '"claim":' | wc -l)
-echo "smoke: snapshot holds $n elicitations"
-[ "$n" -ge "$answers" ] || { echo "snapshot too short: $snap"; exit 1; }
+echo "smoke: final snapshot holds $n elicitations"
+[ "$n" -ge "$answers" ] || fail "snapshot too short: $snap"
 
-curl -sf -X DELETE "$base/sessions/$id" >/dev/null
-curl -sf "$base/healthz" | grep -q '"sessions":0' \
-  || { echo "session survived DELETE"; exit 1; }
+curl -sf -X DELETE "$base/sessions/$id" >/dev/null || fail "DELETE rejected"
+curl -sf "$base/healthz" | grep -q '"sessions":0,"spilled":0' \
+  || fail "session survived DELETE: $(curl -sf "$base/healthz")"
+ls "$datadir"/*.snap >/dev/null 2>&1 && fail "data dir still holds snapshots after DELETE"
 
 kill -TERM "$server_pid"
 wait "$server_pid"
 server_pid=""
-grep -q 'factcheck-server: stopped' "$workdir/server.log" \
-  || { echo "no clean shutdown:"; cat "$workdir/server.log"; exit 1; }
+grep -q 'factcheck-server: stopped' "$server_log" \
+  || fail "no clean shutdown"
 echo "smoke: clean shutdown — serve-smoke OK"
