@@ -8,10 +8,10 @@ GO ?= go
 # incremental inference) so the gate is fast and focused.
 BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference
 
-.PHONY: ci fmt-check vet build test race cover serve-smoke bench-smoke \
-	bench bench-json bench-gate bench-baseline
+.PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
+	bench-smoke bench bench-json bench-gate bench-baseline
 
-ci: fmt-check vet build test race cover bench-gate serve-smoke
+ci: fmt-check vet build test race cover bench-gate serve-smoke loadtest-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
@@ -30,10 +30,11 @@ test:
 
 # Race-enabled coverage of the concurrent subsystems: the multi-session
 # service (64 auto-driven sessions multiplexing onto one shared worker
-# budget, plus crash-recovery and spill/revive paths) and the streaming
-# engine (interleaved arrivals/validations).
+# budget, plus crash-recovery and spill/revive paths), the streaming
+# engine (interleaved arrivals/validations), and the workload runner
+# (a 64-user closed-loop fleet driving a real HTTP server in wall mode).
 race:
-	$(GO) test -race -count=1 ./internal/service/... ./internal/stream/...
+	$(GO) test -race -count=1 ./internal/service/... ./internal/stream/... ./internal/workload/...
 
 # Coverage gate over the implementation packages; the floor lives in
 # scripts/cover_check.sh and only ratchets up.
@@ -47,6 +48,12 @@ cover:
 # transcript; ends with a clean SIGTERM shutdown.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Run the mixed-fleet virtual-time scenario twice against the
+# in-process server, asserting a well-formed JSON report and that the
+# two runs are byte-identical; then run every shipped scenario preset.
+loadtest-smoke:
+	./scripts/loadtest_smoke.sh
 
 # A short benchmark invocation that exercises the parallel scoring hot
 # path without the full experiment sweep.

@@ -15,6 +15,11 @@
 //	GET    /sessions/{id}/snapshot    durable session snapshot
 //	DELETE /sessions/{id}             close the session
 //	GET    /healthz                   liveness and load
+//	GET    /metrics                   serving telemetry: sessions open and
+//	                                  spilled, worker lanes in use, and the
+//	                                  answer-latency histogram (?buckets=1
+//	                                  adds the raw buckets) — what
+//	                                  factcheck-loadtest scrapes
 //
 // Usage:
 //

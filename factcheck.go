@@ -48,6 +48,7 @@ import (
 	"factcheck/internal/stream"
 	"factcheck/internal/synth"
 	"factcheck/internal/termination"
+	"factcheck/internal/workload"
 )
 
 // Data model (§2.1).
@@ -202,6 +203,11 @@ type (
 	ServiceSnapshot = service.SessionSnapshot
 	// ServiceHealth is the server's liveness/load report.
 	ServiceHealth = service.Health
+	// ServiceMetrics is the GET /metrics serving-telemetry payload.
+	ServiceMetrics = service.Metrics
+	// ServiceRetryPolicy bounds the client's retry-with-backoff on
+	// transient connection errors (off unless set on a ServiceClient).
+	ServiceRetryPolicy = service.RetryPolicy
 )
 
 // NewServiceManager creates a session manager (see ServiceConfig).
@@ -213,6 +219,46 @@ func NewServiceServer(m *ServiceManager) *ServiceServer { return service.NewServ
 // NewServiceClient returns a client for a factcheck-server at base, e.g.
 // "http://127.0.0.1:8080".
 func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
+// Workload simulation and load testing (internal/workload; the
+// factcheck-loadtest command is the CLI front end).
+type (
+	// WorkloadScenario declares a load-test: an arrival process, a
+	// fleet of behavior profiles, and the session configuration.
+	WorkloadScenario = workload.Scenario
+	// WorkloadBehavior is one fleet behavior profile (oracle,
+	// erroneous, skipping, expert, crowd, abandoning, bursty).
+	WorkloadBehavior = workload.Behavior
+	// WorkloadTarget is where a fleet's sessions run: in-process
+	// (NewWorkloadLibraryTarget) or a live server (NewWorkloadHTTPTarget).
+	WorkloadTarget = workload.Target
+	// WorkloadResult is a run's report plus informational latencies.
+	WorkloadResult = workload.Result
+	// WorkloadReport is the (virtual-mode deterministic) run report.
+	WorkloadReport = workload.Report
+)
+
+// LoadWorkloadScenario reads and validates a scenario JSON file.
+func LoadWorkloadScenario(path string) (*WorkloadScenario, error) {
+	return workload.LoadScenario(path)
+}
+
+// NewWorkloadLibraryTarget builds an in-process target over a fresh
+// session manager with the given worker budget (0 = GOMAXPROCS).
+func NewWorkloadLibraryTarget(workers, maxSessions int) WorkloadTarget {
+	return workload.NewLibraryTarget(workers, maxSessions)
+}
+
+// NewWorkloadHTTPTarget builds a target driving a live factcheck-server.
+func NewWorkloadHTTPTarget(base string) WorkloadTarget {
+	return workload.NewClientTarget(base)
+}
+
+// RunWorkload executes a scenario against a target under the
+// scenario's clock mode (deterministic virtual time, or wall time).
+func RunWorkload(sc *WorkloadScenario, target WorkloadTarget) (*WorkloadResult, error) {
+	return workload.Run(sc, target)
+}
 
 // Durable session storage (ServiceConfig.Store).
 type (

@@ -9,7 +9,54 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factcheck/internal/stats"
 )
+
+// RetryPolicy bounds the client's retry-with-jittered-backoff on
+// transient transport errors (connection refused/reset, a server
+// restarting mid-request). Only transport-level failures are retried:
+// an HTTP response — any status — means the server made a decision, and
+// replaying a non-idempotent request it already applied would corrupt
+// the session protocol (the expected-claim check turns such a replay
+// into a 409, but there is no reason to provoke it).
+//
+// The applied-but-response-lost window remains, as in any retry scheme
+// without server-side idempotency keys: a connection torn down after
+// the server committed the request looks like a transport failure, so
+// the replay can duplicate it. The protocol bounds the damage — a
+// replayed answer trips the expected-claim check (409), and a replayed
+// open strands an extra session that idle-TTL eviction reclaims — which
+// is why the policy is opt-in rather than default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included);
+	// values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it (0 = 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 2s).
+	MaxDelay time.Duration
+	// Seed drives the jitter stream (0 = 1); fixed so that loadtest
+	// runs with a pinned seed draw reproducible backoff schedules.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
 
 // Client is a Go client for the factcheck-server HTTP API. Its methods
 // mirror the endpoints one-to-one; a zero HTTPClient uses
@@ -20,12 +67,26 @@ type Client struct {
 	BaseURL string
 	// HTTPClient optionally overrides the transport.
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries requests that failed with a
+	// transport error under the policy's jittered exponential backoff.
+	// Off by default; the load-testing harness turns it on so a fleet
+	// run rides out transient connection failures.
+	Retry *RetryPolicy
+
+	retries atomic.Int64
+
+	jmu    sync.Mutex
+	jitter *stats.RNG
 }
 
 // NewClient returns a client for the server at base.
 func NewClient(base string) *Client {
 	return &Client{BaseURL: strings.TrimRight(base, "/")}
 }
+
+// Retries returns the number of retried requests so far (0 unless a
+// Retry policy is set).
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Open creates a new session.
 func (c *Client) Open(req OpenRequest) (SessionInfo, error) {
@@ -91,14 +152,72 @@ func (c *Client) Health() (Health, error) {
 	return h, err
 }
 
+// Metrics scrapes the server's serving telemetry; withBuckets adds the
+// raw answer-latency histogram buckets.
+func (c *Client) Metrics(withBuckets bool) (Metrics, error) {
+	var m Metrics
+	p := "/metrics"
+	if withBuckets {
+		p += "?buckets=1"
+	}
+	err := c.do(http.MethodGet, p, nil, &m)
+	return m, err
+}
+
+// backoff returns the jittered delay before retry attempt (1-based):
+// full jitter over an exponentially growing, capped window.
+func (c *Client) backoff(p RetryPolicy, attempt int) time.Duration {
+	window := p.BaseDelay << (attempt - 1)
+	if window > p.MaxDelay || window <= 0 {
+		window = p.MaxDelay
+	}
+	c.jmu.Lock()
+	if c.jitter == nil {
+		c.jitter = stats.NewRNG(p.Seed)
+	}
+	u := c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(u * float64(window))
+}
+
 func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		buf, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	attempts := 1
+	var policy RetryPolicy
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		policy = c.Retry.withDefaults()
+		attempts = policy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			time.Sleep(c.backoff(policy, attempt-1))
+		}
+		err := c.doOnce(method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if _, transient := err.(*url.Error); !transient {
+			// An HTTP-level error: the server answered; do not replay.
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, rd)
 	if err != nil {

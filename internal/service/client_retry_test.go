@@ -1,0 +1,109 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler drops the first fail connections on the floor (a
+// transport-level failure, as a crashing or restarting server would
+// produce) and serves the wrapped handler afterwards.
+func flakyHandler(fail int64, next http.Handler) http.Handler {
+	var seen atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= fail {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // slam the connection: the client sees EOF/reset
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func retryTestPolicy(attempts int) *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 7}
+}
+
+func TestClientRetriesTransientConnectionErrors(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	srv := httptest.NewServer(flakyHandler(2, NewServer(m).Handler()))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retry = retryTestPolicy(4)
+	h, err := client.Health()
+	if err != nil {
+		t.Fatalf("health with retry: %v", err)
+	}
+	if h.WorkersTotal != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if got := client.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestClientRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	srv := httptest.NewServer(flakyHandler(1_000_000, NewServer(m).Handler()))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retry = retryTestPolicy(3)
+	if _, err := client.Health(); err == nil {
+		t.Fatal("expected an error once every attempt failed")
+	}
+	if got := client.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2 (attempts 2 and 3)", got)
+	}
+}
+
+func TestClientRetryOffByDefault(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	srv := httptest.NewServer(flakyHandler(1, NewServer(m).Handler()))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	if _, err := client.Health(); err == nil {
+		t.Fatal("default client must not retry a dropped connection")
+	}
+	if got := client.Retries(); got != 0 {
+		t.Fatalf("Retries() = %d, want 0", got)
+	}
+	// The next request goes through: the failure was per-connection.
+	if _, err := client.Health(); err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+}
+
+func TestClientDoesNotRetryHTTPErrors(t *testing.T) {
+	// A 404 is a server decision, not a transport failure: replaying a
+	// non-idempotent request the server already saw would be unsafe, so
+	// HTTP-level errors must pass through untouched.
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retry = retryTestPolicy(5)
+	if _, err := client.State("no-such-session", false); err == nil {
+		t.Fatal("expected a 404 error")
+	}
+	if got := client.Retries(); got != 0 {
+		t.Fatalf("Retries() = %d, want 0 for an HTTP-level error", got)
+	}
+}

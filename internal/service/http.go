@@ -17,6 +17,8 @@ import (
 //	GET    /sessions/{id}/snapshot    durable SessionSnapshot
 //	DELETE /sessions/{id}             close and remove the session
 //	GET    /healthz                   liveness + load
+//	GET    /metrics                   serving telemetry (Metrics);
+//	                                  ?buckets=1 adds the raw latency buckets
 //
 // Errors are {"error": "..."} with 400 (bad request), 404 (unknown
 // session), 409 (answer for the wrong claim, or answering a finished
@@ -43,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/snapshot", s.snapshot)
 	mux.HandleFunc("DELETE /sessions/{id}", s.delete)
 	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -141,6 +144,13 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		WorkersTotal:   s.m.Budget().Total(),
 		WorkersGranted: s.m.Budget().InUse(),
 	})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	// ParseBool keeps the documented ?buckets=1 contract honest:
+	// buckets=0/false (or garbage) stays digest-only.
+	withBuckets, _ := strconv.ParseBool(r.URL.Query().Get("buckets"))
+	writeJSON(w, http.StatusOK, s.m.Metrics(withBuckets))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

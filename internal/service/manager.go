@@ -51,6 +51,7 @@ import (
 	"factcheck/internal/em"
 	"factcheck/internal/guidance"
 	"factcheck/internal/persist"
+	"factcheck/internal/stats"
 	"factcheck/internal/synth"
 )
 
@@ -191,6 +192,27 @@ type Health struct {
 	WorkersGranted int `json:"workersGranted"`
 }
 
+// Metrics is the GET /metrics payload, the load-telemetry superset of
+// Health that factcheck-loadtest scrapes: session and worker-lane load,
+// cumulative operation counters, and the server-side answer-latency
+// histogram (seconds, measured around the whole Answer path — lock
+// wait, inference, persistence).
+type Metrics struct {
+	Sessions       int `json:"sessions"`
+	Spilled        int `json:"spilled"`
+	WorkersTotal   int `json:"workersTotal"`
+	WorkersGranted int `json:"workersGranted"`
+	// SessionsOpened counts sessions opened or restored since boot
+	// (revivals of spilled sessions are not re-counted).
+	SessionsOpened int64 `json:"sessionsOpened"`
+	// AnswersServed counts successfully answered requests since boot.
+	AnswersServed int64 `json:"answersServed"`
+	// AnswerLatency digests the per-answer latency histogram.
+	AnswerLatency stats.Summary `json:"answerLatency"`
+	// AnswerLatencyBuckets is the raw log-bucketed histogram.
+	AnswerLatencyBuckets []stats.HistBucket `json:"answerLatencyBuckets,omitempty"`
+}
+
 // Config tunes a Manager.
 type Config struct {
 	// Workers is the shared worker-lane budget all sessions multiplex
@@ -243,6 +265,15 @@ type Manager struct {
 	store  persist.Store
 	nowFn  func() time.Time // test hook
 
+	// telemetry guards the cumulative serving counters behind /metrics;
+	// it is separate from mu so scrapes never contend with routing.
+	telemetry struct {
+		sync.Mutex
+		sessionsOpened int64
+		answersServed  int64
+		answerLatency  *stats.LogHist
+	}
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	// reviving counts in-flight revivals per id; tombstoned marks ids
@@ -285,6 +316,7 @@ func NewManager(cfg Config) *Manager {
 		tombstoned: make(map[string]bool),
 		stop:       make(chan struct{}),
 	}
+	m.telemetry.answerLatency = stats.NewLogHist()
 	if cfg.IdleTTL > 0 {
 		m.wg.Add(1)
 		go m.janitor()
@@ -297,6 +329,36 @@ func (m *Manager) Store() persist.Store { return m.store }
 
 // Budget exposes the shared worker budget (for monitoring).
 func (m *Manager) Budget() *Budget { return m.budget }
+
+// Metrics assembles the load-telemetry snapshot behind GET /metrics.
+// withBuckets adds the raw answer-latency buckets to the digest.
+func (m *Manager) Metrics(withBuckets bool) Metrics {
+	out := Metrics{
+		Sessions:       m.Len(),
+		Spilled:        m.Spilled(),
+		WorkersTotal:   m.budget.Total(),
+		WorkersGranted: m.budget.InUse(),
+	}
+	t := &m.telemetry
+	t.Lock()
+	defer t.Unlock()
+	out.SessionsOpened = t.sessionsOpened
+	out.AnswersServed = t.answersServed
+	out.AnswerLatency = t.answerLatency.Summary()
+	if withBuckets {
+		out.AnswerLatencyBuckets = t.answerLatency.Buckets()
+	}
+	return out
+}
+
+// recordAnswer folds one successful answer into the telemetry.
+func (m *Manager) recordAnswer(seconds float64) {
+	t := &m.telemetry
+	t.Lock()
+	t.answersServed++
+	t.answerLatency.Add(seconds)
+	t.Unlock()
+}
 
 // Len returns the number of open sessions.
 func (m *Manager) Len() int {
@@ -493,8 +555,13 @@ const (
 	maxCorpusSources   = 200_000
 )
 
-// buildCorpus generates the session corpus from the request.
-func buildCorpus(req OpenRequest) (*synth.Corpus, error) {
+// BuildCorpus generates the session corpus a request opens over,
+// applying the scale normalisation and the admission caps. It is
+// exported because the workload subsystem must regenerate the same
+// corpus client-side (synthetic corpora are a pure function of the
+// request) to know the ground truth its simulated users answer from —
+// sharing the constructor is what guarantees the two sides agree.
+func BuildCorpus(req OpenRequest) (*synth.Corpus, error) {
 	prof, err := synth.ByName(req.Profile)
 	if err != nil {
 		return nil, err
@@ -552,7 +619,7 @@ func (m *Manager) buildSession(id string, req OpenRequest, snap *core.Snapshot) 
 	if err != nil {
 		return nil, err
 	}
-	corpus, err := buildCorpus(req)
+	corpus, err := BuildCorpus(req)
 	if err != nil {
 		return nil, err
 	}
@@ -607,6 +674,9 @@ func (m *Manager) open(req OpenRequest, replay *core.Snapshot) (SessionInfo, err
 	}
 	m.sessions[s.id] = s
 	m.mu.Unlock()
+	m.telemetry.Lock()
+	m.telemetry.sessionsOpened++
+	m.telemetry.Unlock()
 	return SessionInfo{
 		ID:        s.id,
 		Profile:   s.corpus.Profile.Name,
@@ -935,6 +1005,7 @@ func (s *Session) budgetExhausted() bool {
 // most an answer whose response the client never saw, and resubmitting
 // it after recovery is consistent.
 func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
+	start := m.nowFn()
 	var resp StateResponse
 	err := m.withSession(id, true, func(s *Session) error {
 		from := s.core.TranscriptLen()
@@ -945,6 +1016,9 @@ func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
 		}
 		return m.persistTail(s, from)
 	})
+	if err == nil {
+		m.recordAnswer(m.nowFn().Sub(start).Seconds())
+	}
 	return resp, err
 }
 

@@ -48,7 +48,7 @@ func TestServedTraceBitIdenticalToLibrary(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Workers = 1
-	corpus, err := buildCorpus(req)
+	corpus, err := BuildCorpus(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,16 +468,16 @@ func TestBudgetGrantsAndBlocks(t *testing.T) {
 }
 
 func TestGenerateCorpusProfileValidation(t *testing.T) {
-	if _, err := buildCorpus(OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
+	if _, err := BuildCorpus(OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
 		t.Fatal("negative scale accepted")
 	}
-	if _, err := buildCorpus(OpenRequest{Profile: ""}); err == nil {
+	if _, err := BuildCorpus(OpenRequest{Profile: ""}); err == nil {
 		t.Fatal("empty profile accepted")
 	}
-	if _, err := buildCorpus(OpenRequest{Profile: "snopes", Scale: 1e5}); err == nil {
+	if _, err := BuildCorpus(OpenRequest{Profile: "snopes", Scale: 1e5}); err == nil {
 		t.Fatal("oversized scale accepted — one request could exhaust server memory")
 	}
-	c, err := buildCorpus(OpenRequest{Profile: "wiki", Scale: 0.05, Seed: 1})
+	c, err := BuildCorpus(OpenRequest{Profile: "wiki", Scale: 0.05, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"factcheck/internal/stats"
+)
+
+// TestWorkerDeterministicAcrossSeeds pins the response-time sampling
+// contract the workload subsystem builds on: the same seed reproduces
+// the exact (verdict, seconds) stream, and different seeds diverge.
+func TestWorkerDeterministicAcrossSeeds(t *testing.T) {
+	a := NewWorker(0.9, 30, 0.4, 41)
+	b := NewWorker(0.9, 30, 0.4, 41)
+	c := NewWorker(0.9, 30, 0.4, 42)
+	sameAsC := false
+	for i := 0; i < 200; i++ {
+		va, sa := a.Answer(i%2 == 0)
+		vb, sb := b.Answer(i%2 == 0)
+		vc, sc := c.Answer(i%2 == 0)
+		if va != vb || sa != sb {
+			t.Fatalf("same-seed workers diverged at draw %d: (%v,%v) vs (%v,%v)", i, va, sa, vb, sb)
+		}
+		if sa == sc {
+			sameAsC = true
+		}
+		_ = vc
+	}
+	if sameAsC {
+		t.Fatal("different seeds reproduced an identical response time")
+	}
+}
+
+// TestWorkerMedianResponseTime checks the log-normal location: the
+// sample median must land on MedianSeconds (the median of a log-normal
+// is exp(µ), independent of σ).
+func TestWorkerMedianResponseTime(t *testing.T) {
+	const median = 45.0
+	w := NewWorker(1, median, 0.6, 43)
+	n := 20000
+	secs := make([]float64, n)
+	for i := range secs {
+		_, secs[i] = w.Answer(true)
+	}
+	got := stats.Quantile(secs, 0.5)
+	if math.Abs(got-median)/median > 0.05 {
+		t.Fatalf("sample median = %v, want within 5%% of %v", got, median)
+	}
+}
+
+// TestWorkerLogNormalQuantiles checks the shape: for log-normal times,
+// log(q84/median) ≈ σ and the distribution is symmetric in log space
+// (q84/median ≈ median/q16), which separates it from, say, a shifted
+// normal or an exponential with the same median.
+func TestWorkerLogNormalQuantiles(t *testing.T) {
+	const (
+		median = 20.0
+		sigma  = 0.5
+	)
+	w := NewWorker(1, median, sigma, 47)
+	n := 40000
+	secs := make([]float64, n)
+	for i := range secs {
+		_, secs[i] = w.Answer(true)
+		if secs[i] <= 0 {
+			t.Fatal("non-positive response time")
+		}
+	}
+	// Φ(1) ≈ 0.8413: one σ in log space.
+	q84 := stats.Quantile(secs, 0.8413)
+	q16 := stats.Quantile(secs, 1-0.8413)
+	if got := math.Log(q84 / median); math.Abs(got-sigma) > 0.04 {
+		t.Fatalf("log(q84/median) = %v, want ~%v", got, sigma)
+	}
+	if got := math.Log(median / q16); math.Abs(got-sigma) > 0.04 {
+		t.Fatalf("log(median/q16) = %v, want ~%v", got, sigma)
+	}
+	// Log-normal skew: the mean exceeds the median by ~exp(σ²/2).
+	mean := stats.Mean(secs)
+	if want := median * math.Exp(sigma*sigma/2); math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("sample mean = %v, want ~%v", mean, want)
+	}
+}
+
+// TestPopulationWorkerStreamsIndependent: a population's workers carry
+// split seeds, so their time streams must not be lockstep copies.
+func TestPopulationWorkerStreamsIndependent(t *testing.T) {
+	p := NewCrowdPopulation(4, 0.8, 20, 51)
+	if len(p.Workers) != 4 {
+		t.Fatalf("workers = %d", len(p.Workers))
+	}
+	_, s0 := p.Workers[0].Answer(true)
+	_, s1 := p.Workers[1].Answer(true)
+	if s0 == s1 {
+		t.Fatal("sibling workers drew identical response times")
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// histGrowth is the geometric growth factor between LogHist bucket
+// boundaries: 2^(1/8), i.e. eight buckets per doubling (~9% relative
+// resolution) — plenty for latency percentiles while keeping the bucket
+// set tiny (a microsecond-to-minute range spans ~210 buckets).
+const histGrowth = 1.0905077326652577 // 2^(1/8)
+
+// histFloor clamps non-positive or denormal observations; one latency
+// nanosecond is far below anything the serving stack can produce.
+const histFloor = 1e-9
+
+// LogHist is a log-bucketed histogram for positive, heavy-tailed
+// measurements (latencies, response times): counts land in buckets whose
+// boundaries grow geometrically, so quantile estimates carry a bounded
+// relative error at every magnitude — unlike the fixed-width Histogram
+// function in this package, which needs the range up front. The zero
+// value is not ready; use NewLogHist. Not safe for concurrent use;
+// callers guard it.
+type LogHist struct {
+	counts   map[int]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// NewLogHist returns an empty histogram.
+func NewLogHist() *LogHist {
+	return &LogHist{counts: make(map[int]int64)}
+}
+
+// bucketIndex returns the bucket holding x: floor(log_growth(x)).
+func bucketIndex(x float64) int {
+	return int(math.Floor(math.Log(x) / math.Log(histGrowth)))
+}
+
+// bucketLo returns the lower boundary of bucket i.
+func bucketLo(i int) float64 {
+	return math.Pow(histGrowth, float64(i))
+}
+
+// Add incorporates one observation. Non-positive and NaN values are
+// clamped to a nanoseconds-scale floor so a clock glitch cannot poison
+// the histogram.
+func (h *LogHist) Add(x float64) {
+	if !(x > histFloor) { // catches NaN too
+		x = histFloor
+	}
+	h.counts[bucketIndex(x)]++
+	if h.count == 0 || x < h.min {
+		h.min = x
+	}
+	if h.count == 0 || x > h.max {
+		h.max = x
+	}
+	h.count++
+	h.sum += x
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *LogHist) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *LogHist) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Merge adds every observation of o into h.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the buckets:
+// the geometric midpoint of the bucket holding the target rank, clamped
+// to the exact observed [min, max]. The estimate's relative error is
+// bounded by half the bucket growth (~4.5%). Empty histograms yield 0.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// Rank of the target observation, 1-based, ceil as in nearest-rank.
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, i := range h.bucketOrder() {
+		cum += h.counts[i]
+		if cum >= rank {
+			mid := bucketLo(i) * math.Sqrt(histGrowth)
+			return Clamp(mid, h.min, h.max)
+		}
+	}
+	return h.max
+}
+
+// bucketOrder returns the occupied bucket indices in ascending order.
+func (h *LogHist) bucketOrder() []int {
+	idx := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// HistBucket is one exported histogram bucket: observations with
+// Lo <= x < Hi.
+type HistBucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int64   `json:"count"`
+}
+
+// Buckets returns the occupied buckets in ascending order.
+func (h *LogHist) Buckets() []HistBucket {
+	out := make([]HistBucket, 0, len(h.counts))
+	for _, i := range h.bucketOrder() {
+		out = append(out, HistBucket{Lo: bucketLo(i), Hi: bucketLo(i + 1), Count: h.counts[i]})
+	}
+	return out
+}
+
+// Summary is the percentile digest of a LogHist, the JSON shape shared
+// by the loadtest report and the server's /metrics endpoint. All values
+// carry the unit of the observations (seconds, for latencies).
+type Summary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary digests the histogram into count, mean and the standard
+// latency percentiles.
+func (h *LogHist) Summary() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogHistEmpty(t *testing.T) {
+	h := NewLogHist()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if len(h.Buckets()) != 0 {
+		t.Fatal("empty histogram has buckets")
+	}
+}
+
+func TestLogHistQuantileAccuracy(t *testing.T) {
+	// Against known uniform data the bucketed quantiles must land within
+	// the documented relative error of the exact quantiles.
+	h := NewLogHist()
+	var xs []float64
+	r := NewRNG(5)
+	for i := 0; i < 20000; i++ {
+		x := 0.001 + 0.999*r.Float64() // spread over three decades
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.06 {
+			t.Fatalf("q%.2f: hist %v vs exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles must be the exact min/max")
+	}
+}
+
+func TestLogHistMeanMinMax(t *testing.T) {
+	h := NewLogHist()
+	for _, x := range []float64{0.5, 1.5, 4.0} {
+		h.Add(x)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-2.0) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 0.5 || h.Max() != 4.0 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestLogHistClampsBadValues(t *testing.T) {
+	h := NewLogHist()
+	h.Add(0)
+	h.Add(-3)
+	h.Add(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() > 1e-8 {
+		t.Fatalf("clamped max = %v", h.Max())
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) || q < 0 {
+		t.Fatalf("quantile of clamped data = %v", q)
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a, b, all := NewLogHist(), NewLogHist(), NewLogHist()
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		x := math.Exp(2 * r.NormFloat64())
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(b)
+	a.Merge(nil)          // no-op
+	a.Merge(NewLogHist()) // empty no-op
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge digest mismatch: %+v vs %+v", a.Summary(), all.Summary())
+	}
+	if a.Quantile(0.9) != all.Quantile(0.9) {
+		t.Fatalf("merged p90 %v != combined p90 %v", a.Quantile(0.9), all.Quantile(0.9))
+	}
+}
+
+func TestLogHistBuckets(t *testing.T) {
+	h := NewLogHist()
+	h.Add(1.0)
+	h.Add(1.0)
+	h.Add(100.0)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	var total int64
+	for i, b := range bs {
+		if b.Hi <= b.Lo {
+			t.Fatalf("bucket %d has Hi <= Lo: %+v", i, b)
+		}
+		if i > 0 && b.Lo < bs[i-1].Hi {
+			t.Fatal("buckets out of order")
+		}
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// Each observation lies inside its bucket.
+	if !(bs[0].Lo <= 1.0 && 1.0 < bs[0].Hi) {
+		t.Fatalf("1.0 outside first bucket %+v", bs[0])
+	}
+	if !(bs[1].Lo <= 100.0 && 100.0 < bs[1].Hi) {
+		t.Fatalf("100.0 outside last bucket %+v", bs[1])
+	}
+}

@@ -1,0 +1,504 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"factcheck/internal/service"
+)
+
+// fastEM keeps test inference cheap; determinism holds at any budget.
+func fastEM() *service.EMBudgets {
+	return &service.EMBudgets{BurnIn: 4, Samples: 8, IncBurnIn: 2, IncSamples: 4, EMIters: 1, HypoBurn: 1, HypoSamples: 2}
+}
+
+// testScenario is a small, fast fleet for unit tests.
+func testScenario() *Scenario {
+	return &Scenario{
+		Name:            "test",
+		Seed:            11,
+		DurationSeconds: 120,
+		MaxUsers:        12,
+		AnswersPerUser:  2,
+		Arrival:         ArrivalSpec{Kind: ArrivalPoisson, Rate: 0.2},
+		Session: service.OpenRequest{
+			Profile:       "wiki",
+			Scale:         0.03,
+			Seed:          900,
+			CandidatePool: 4,
+			EM:            fastEM(),
+		},
+		Fleet: []FleetGroup{
+			{Behavior: Behavior{Kind: KindOracle, ThinkMedianSeconds: 5}},
+		},
+	}
+}
+
+func runLibrary(t *testing.T, sc *Scenario) *Result {
+	t.Helper()
+	target := NewLibraryTarget(2, 0)
+	defer target.Close()
+	res, err := Run(sc, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVirtualRunBasics(t *testing.T) {
+	sc := testScenario()
+	res := runLibrary(t, sc)
+	r := &res.Report
+	if r.Mode != ModeVirtual || r.Target != "library" || r.Seed != sc.Seed {
+		t.Fatalf("report header = %+v", r)
+	}
+	if r.UsersStarted == 0 || r.Answers == 0 {
+		t.Fatalf("no work done: %+v", r)
+	}
+	if r.UsersStarted != r.UsersCompleted+r.UsersAbandoned+r.UsersFailed+r.UsersActiveAtEnd {
+		t.Fatalf("user accounting does not add up: %+v", r)
+	}
+	if r.Errors != 0 || r.UsersFailed != 0 {
+		t.Fatalf("errors in a clean in-process run: %+v", r)
+	}
+	if r.Latency != nil || r.Server != nil {
+		t.Fatal("virtual report must exclude wall-clock sections")
+	}
+	if len(res.WallLatency) == 0 {
+		t.Fatal("wall latencies must still be measured for the table")
+	}
+	if r.AnswersPerSecond <= 0 || math.Abs(r.AnswersPerSecond-float64(r.Answers)/r.DurationSeconds) > 1e-12 {
+		t.Fatalf("throughput inconsistent: %+v", r)
+	}
+	// Two answers per user: completed users drove exactly 2.
+	if r.OpCounts[opAnswer] < int64(r.UsersCompleted)*2 {
+		t.Fatalf("answer ops = %d with %d completed users", r.OpCounts[opAnswer], r.UsersCompleted)
+	}
+	// Quality curve starts at the pre-validation baseline and carries
+	// every answer index up to the cap.
+	if len(r.Quality) != 3 {
+		t.Fatalf("quality curve = %+v", r.Quality)
+	}
+	if r.Quality[0].Answers != 0 || r.Quality[0].MeanGain != 0 {
+		t.Fatalf("curve baseline = %+v", r.Quality[0])
+	}
+	if r.Quality[1].Sessions < r.UsersCompleted {
+		t.Fatalf("curve sessions = %+v", r.Quality)
+	}
+}
+
+// TestVirtualRunBitReproducible is the acceptance pin: the same
+// scenario file and seed must produce byte-identical JSON reports, run
+// to run, including across distinct in-process targets.
+func TestVirtualRunBitReproducible(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "scenarios", "mixed-fleet.json")
+	encode := func() []byte {
+		sc, err := LoadScenario(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLibrary(t, sc)
+		buf, err := res.Report.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("virtual reports differ across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	// And a different seed must actually change the run.
+	sc, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed++
+	res := runLibrary(t, sc)
+	buf, err := res.Report.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, buf) {
+		t.Fatal("changing the seed did not change the report")
+	}
+}
+
+func TestShippedScenarios(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("want at least 5 shipped scenarios, found %d", len(paths))
+	}
+	arrivalKinds := map[string]bool{}
+	behaviorKinds := map[string]bool{}
+	names := map[string]bool{}
+	for _, p := range paths {
+		sc, err := LoadScenario(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		arrivalKinds[sc.Arrival.Kind] = true
+		for _, g := range sc.Fleet {
+			behaviorKinds[g.Behavior.Kind] = true
+		}
+	}
+	for _, k := range []string{ArrivalPoisson, ArrivalClosed, ArrivalRamp} {
+		if !arrivalKinds[k] {
+			t.Errorf("no shipped scenario uses arrival kind %q", k)
+		}
+	}
+	for _, k := range []string{KindOracle, KindErroneous, KindSkipping, KindExpert, KindCrowd, KindAbandoning, KindBursty} {
+		if !behaviorKinds[k] {
+			t.Errorf("no shipped scenario uses behavior kind %q", k)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no name", func(sc *Scenario) { sc.Name = "" }},
+		{"bad mode", func(sc *Scenario) { sc.Mode = "warp" }},
+		{"no duration", func(sc *Scenario) { sc.DurationSeconds = 0 }},
+		{"negative maxUsers", func(sc *Scenario) { sc.MaxUsers = -1 }},
+		{"negative timescale", func(sc *Scenario) { sc.WallTimeScale = -2 }},
+		{"bad arrival kind", func(sc *Scenario) { sc.Arrival.Kind = "burst" }},
+		{"poisson without rate", func(sc *Scenario) { sc.Arrival.Rate = 0 }},
+		{"closed without concurrency", func(sc *Scenario) { sc.Arrival = ArrivalSpec{Kind: ArrivalClosed} }},
+		{"ramp without endRate", func(sc *Scenario) { sc.Arrival = ArrivalSpec{Kind: ArrivalRamp, Rate: 1} }},
+		{"ramp negative rampSeconds", func(sc *Scenario) {
+			sc.Arrival = ArrivalSpec{Kind: ArrivalRamp, Rate: 1, EndRate: 2, RampSeconds: -1}
+		}},
+		{"empty fleet", func(sc *Scenario) { sc.Fleet = nil }},
+		{"bad behavior kind", func(sc *Scenario) { sc.Fleet[0].Behavior.Kind = "sleepy" }},
+		{"probability out of range", func(sc *Scenario) { sc.Fleet[0].Behavior.ErrorP = 1.5 }},
+		{"negative think", func(sc *Scenario) { sc.Fleet[0].Behavior.ThinkMedianSeconds = -1 }},
+		{"negative weight", func(sc *Scenario) { sc.Fleet[0].Weight = -1 }},
+		{"unknown profile", func(sc *Scenario) { sc.Session.Profile = "moonbase" }},
+	}
+	for _, c := range cases {
+		sc := testScenario()
+		c.mutate(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+	if err := testScenario().Validate(); err != nil {
+		t.Fatalf("base scenario invalid: %v", err)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"name":"x","durationSeconds":1,"arival":{}}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	if _, err := ParseScenario([]byte(`{broken`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := LoadScenario("/no/such/scenario.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPoissonArrivalRate(t *testing.T) {
+	sc := testScenario()
+	sc.DurationSeconds = 10_000
+	sc.Arrival = ArrivalSpec{Kind: ArrivalPoisson, Rate: 0.05}
+	a := newArrivals(sc)
+	n, t0 := 0, 0.0
+	for {
+		next, ok := a.next(t0)
+		if !ok {
+			break
+		}
+		if next <= t0 {
+			t.Fatalf("arrival did not advance: %v -> %v", t0, next)
+		}
+		t0 = next
+		n++
+	}
+	want := sc.Arrival.Rate * sc.DurationSeconds // 500 expected
+	if math.Abs(float64(n)-want) > 4*math.Sqrt(want) {
+		t.Fatalf("poisson arrivals = %d, want ~%v", n, want)
+	}
+}
+
+func TestRampArrivalIntensifies(t *testing.T) {
+	sc := testScenario()
+	sc.DurationSeconds = 1000
+	sc.Arrival = ArrivalSpec{Kind: ArrivalRamp, Rate: 0.01, EndRate: 1.0}
+	a := newArrivals(sc)
+	var firstHalf, secondHalf int
+	t0 := 0.0
+	for {
+		next, ok := a.next(t0)
+		if !ok {
+			break
+		}
+		t0 = next
+		if t0 < sc.DurationSeconds/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if secondHalf <= 2*firstHalf {
+		t.Fatalf("ramp did not intensify: %d then %d", firstHalf, secondHalf)
+	}
+	// The mean of a linear 0.01→1.0 ramp is ~0.5/s over 1000s.
+	total := float64(firstHalf + secondHalf)
+	if total < 350 || total > 700 {
+		t.Fatalf("ramp arrivals = %v, want ~500", total)
+	}
+}
+
+func TestFleetPickerWeights(t *testing.T) {
+	sc := testScenario()
+	sc.Fleet = []FleetGroup{
+		{Behavior: Behavior{Kind: KindOracle}, Weight: 3},
+		{Behavior: Behavior{Kind: KindCrowd}, Weight: 1},
+	}
+	p := newFleetPicker(sc)
+	counts := [2]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[p.pick()]++
+	}
+	frac := float64(counts[0]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("group 0 fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestClosedLoopKeepsConcurrency(t *testing.T) {
+	sc := testScenario()
+	sc.Arrival = ArrivalSpec{Kind: ArrivalClosed, Concurrency: 3}
+	sc.MaxUsers = 9
+	sc.DurationSeconds = 10_000 // long enough that the cap, not time, ends it
+	res := runLibrary(t, sc)
+	r := &res.Report
+	if r.UsersStarted != 9 {
+		t.Fatalf("started %d users, want the cap of 9", r.UsersStarted)
+	}
+	if r.UsersCompleted != 9 {
+		t.Fatalf("completed %d of 9", r.UsersCompleted)
+	}
+}
+
+func TestAbandoningUsersLeaveSessionsBehind(t *testing.T) {
+	sc := testScenario()
+	sc.Fleet = []FleetGroup{{Behavior: Behavior{Kind: KindAbandoning, AbandonP: 0.9, ThinkMedianSeconds: 2}}}
+	sc.AnswersPerUser = 50
+	target := NewLibraryTarget(2, 0)
+	defer target.Close()
+	res, err := Run(sc, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &res.Report
+	if r.UsersAbandoned == 0 {
+		t.Fatalf("no user abandoned at p=0.9: %+v", r)
+	}
+	// Abandoned sessions are left open on the server — the whole point
+	// of the profile is to exercise idle eviction.
+	if live := target.Manager().Len(); live < r.UsersAbandoned {
+		t.Fatalf("manager holds %d sessions, want at least the %d abandoned", live, r.UsersAbandoned)
+	}
+}
+
+func TestSkippingUsersSkip(t *testing.T) {
+	sc := testScenario()
+	sc.Seed = 21
+	sc.MaxUsers = 8
+	sc.Arrival.Rate = 0.5
+	sc.AnswersPerUser = 3
+	sc.Fleet = []FleetGroup{{Behavior: Behavior{Kind: KindSkipping, SkipP: 0.5, ThinkMedianSeconds: 2}}}
+	res := runLibrary(t, sc)
+	if res.Report.Skips == 0 {
+		t.Fatalf("no skips at skipP=0.5: %+v", res.Report)
+	}
+	if res.Report.Errors != 0 {
+		t.Fatalf("skip protocol errors: %+v", res.Report)
+	}
+}
+
+func TestErroneousFleetDegradesQuality(t *testing.T) {
+	base := testScenario()
+	base.MaxUsers = 6
+	base.AnswersPerUser = 3
+	noisy := testScenario()
+	noisy.MaxUsers = 6
+	noisy.AnswersPerUser = 3
+	noisy.Fleet = []FleetGroup{{Behavior: Behavior{Kind: KindErroneous, ErrorP: 0.5, ThinkMedianSeconds: 5}}}
+	a, b := runLibrary(t, base), runLibrary(t, noisy)
+	last := func(r *Report) CurvePoint { return r.Quality[len(r.Quality)-1] }
+	if last(&b.Report).MeanPrecision >= last(&a.Report).MeanPrecision {
+		t.Fatalf("50%% erroneous fleet (%v) not worse than oracle fleet (%v)",
+			last(&b.Report).MeanPrecision, last(&a.Report).MeanPrecision)
+	}
+}
+
+func TestBurstyUserDrawsLongGaps(t *testing.T) {
+	sc := testScenario()
+	sc.Fleet = []FleetGroup{{Behavior: Behavior{Kind: KindBursty, BurstLen: 2, BurstGapSeconds: 500, ThinkMedianSeconds: 1}}}
+	u, err := newFleetUser(sc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim indices only drive verdict lookup; any valid one works.
+	var thinks []float64
+	for i := 0; i < 6; i++ {
+		_, think := u.respond(0)
+		thinks = append(thinks, think)
+	}
+	// Every second answer ends a burst: gaps at indices 1, 3, 5.
+	for i, th := range thinks {
+		if i%2 == 1 {
+			if th < 50 {
+				t.Fatalf("burst-ending answer %d got a short gap %v", i, th)
+			}
+		} else if th > 50 {
+			t.Fatalf("mid-burst answer %d got a gap-sized think %v", i, th)
+		}
+	}
+}
+
+func TestBehaviorDefaults(t *testing.T) {
+	for _, kind := range []string{KindOracle, KindErroneous, KindSkipping, KindExpert, KindCrowd, KindAbandoning, KindBursty} {
+		b := Behavior{Kind: kind}.withDefaults()
+		if b.ThinkMedianSeconds <= 0 || b.ThinkSigma <= 0 {
+			t.Fatalf("%s: think defaults missing: %+v", kind, b)
+		}
+		switch kind {
+		case KindExpert:
+			if b.Reliability != 0.97 {
+				t.Fatalf("expert reliability = %v", b.Reliability)
+			}
+		case KindCrowd:
+			if b.Reliability != 0.80 {
+				t.Fatalf("crowd reliability = %v", b.Reliability)
+			}
+		case KindSkipping:
+			if b.SkipP != 0.1 {
+				t.Fatalf("skip default = %v", b.SkipP)
+			}
+		case KindAbandoning:
+			if b.AbandonP != 0.25 {
+				t.Fatalf("abandon default = %v", b.AbandonP)
+			}
+		case KindBursty:
+			if b.BurstLen != 3 || b.BurstGapSeconds != 10*b.ThinkMedianSeconds {
+				t.Fatalf("bursty defaults = %+v", b)
+			}
+		}
+	}
+	// Expert think times dominate crowd think times by default.
+	e := Behavior{Kind: KindExpert}.withDefaults()
+	c := Behavior{Kind: KindCrowd}.withDefaults()
+	if e.ThinkMedianSeconds <= c.ThinkMedianSeconds {
+		t.Fatal("experts should think longer than crowd by default")
+	}
+}
+
+func TestUserTruthMatchesServerCorpus(t *testing.T) {
+	req := service.OpenRequest{Profile: "wiki", Scale: 0.05, Seed: 77, EM: fastEM()}
+	truth, err := userTruth(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewLibraryTarget(1, 0)
+	defer target.Close()
+	_, info, err := target.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Claims != len(truth) {
+		t.Fatalf("client-side truth has %d claims, server corpus %d", len(truth), info.Claims)
+	}
+	if _, err := userTruth(service.OpenRequest{Profile: "nope"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := userTruth(service.OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	res := runLibrary(t, testScenario())
+	var buf bytes.Buffer
+	res.RenderTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"scenario test", "answers", "quality-vs-effort", "op latency", "informational"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	long := make([]CurvePoint, 100)
+	for i := range long {
+		long[i].Answers = i
+	}
+	got := sampleCurve(long, 12)
+	if len(got) < 10 || len(got) > 13 {
+		t.Fatalf("sampled to %d points", len(got))
+	}
+	if got[0].Answers != 0 || got[len(got)-1].Answers != 99 {
+		t.Fatalf("sample must keep endpoints: %v..%v", got[0].Answers, got[len(got)-1].Answers)
+	}
+	if n := len(sampleCurve(long[:5], 12)); n != 5 {
+		t.Fatalf("short curve resampled to %d", n)
+	}
+}
+
+func TestFmtSec(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		12e-6:  "12.0µs",
+		3.5e-3: "3.50ms",
+		2.25:   "2.250s",
+	}
+	for in, want := range cases {
+		if got := fmtSec(in); got != want {
+			t.Fatalf("fmtSec(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStreamSeedsAreStable(t *testing.T) {
+	// Two identically-built users must carry identical random streams.
+	sc := testScenario()
+	a, err := newFleetUser(sc, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newFleetUser(sc, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.drawThink() != b.drawThink() {
+			t.Fatal("think streams diverged for identical users")
+		}
+	}
+	c, err := newFleetUser(sc, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.drawThink() == c.drawThink() {
+		t.Fatal("distinct users share a think stream")
+	}
+}

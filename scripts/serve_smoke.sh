@@ -101,6 +101,18 @@ answers=0
 answer_loop 6
 [ "$answers" -ge 1 ] || fail "no answers driven"
 
+# The /metrics endpoint must report the served answers and a populated
+# answer-latency histogram (this is what factcheck-loadtest scrapes).
+metrics=$(curl -sf "$base/metrics?buckets=1") || fail "/metrics scrape rejected"
+served=$(echo "$metrics" | grep -o '"answersServed":[0-9]*' | cut -d: -f2)
+[ -n "$served" ] || fail "metrics missing answersServed: $metrics"
+[ "$served" -eq "$answers" ] || fail "metrics served $served answers, drove $answers: $metrics"
+echo "$metrics" | grep -q '"answerLatency":{"count":'"$answers"',' \
+  || fail "metrics latency digest missing or miscounted: $metrics"
+echo "$metrics" | grep -q '"answerLatencyBuckets":\[{"lo":' \
+  || fail "metrics missing latency buckets: $metrics"
+echo "smoke: /metrics reports $served served answers with a latency histogram"
+
 snap_before=$(curl -sf "$base/sessions/$id/snapshot") || fail "snapshot before kill rejected"
 n_before=$(echo "$snap_before" | grep -o '"claim":' | wc -l)
 echo "smoke: snapshot holds $n_before elicitations; killing server with SIGKILL"
