@@ -5,8 +5,9 @@ GO ?= go
 
 # Hot-path benchmarks gated against bench_baseline.json. Kept to the
 # performance-critical substrates (scoring round, Gibbs sweep,
-# incremental inference) so the gate is fast and focused.
-BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference
+# incremental inference, per-answer dirty-component re-ranking) so the
+# gate is fast and focused.
+BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank
 
 .PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
 	bench-smoke bench bench-json bench-gate bench-baseline
@@ -31,10 +32,12 @@ test:
 # Race-enabled coverage of the concurrent subsystems: the multi-session
 # service (64 auto-driven sessions multiplexing onto one shared worker
 # budget, plus crash-recovery and spill/revive paths), the streaming
-# engine (interleaved arrivals/validations), and the workload runner
-# (a 64-user closed-loop fleet driving a real HTTP server in wall mode).
+# engine (interleaved arrivals/validations), the workload runner (a
+# 64-user closed-loop fleet driving a real HTTP server in wall mode),
+# and the core session loop (the incremental-vs-full ranking property
+# test across worker counts).
 race:
-	$(GO) test -race -count=1 ./internal/service/... ./internal/stream/... ./internal/workload/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/service/... ./internal/stream/... ./internal/workload/...
 
 # Coverage gate over the implementation packages; the floor lives in
 # scripts/cover_check.sh and only ratchets up.

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"factcheck/internal/core"
 	"factcheck/internal/crf"
 	"factcheck/internal/em"
 	"factcheck/internal/experiments"
@@ -18,6 +19,7 @@ import (
 	"factcheck/internal/gibbs"
 	"factcheck/internal/guidance"
 	"factcheck/internal/optimize"
+	"factcheck/internal/sim"
 	"factcheck/internal/stats"
 	"factcheck/internal/stream"
 	"factcheck/internal/synth"
@@ -320,6 +322,62 @@ func BenchmarkGuidanceScoring(b *testing.B) {
 				top = guidance.Select(guidance.InfoGain{}, ctx)
 			}
 			b.ReportMetric(float64(top), "top-claim")
+		})
+	}
+}
+
+// BenchmarkIncrementalRank prices the per-answer cost of the guidance
+// loop — post-answer inference plus the re-ranking round — on a
+// multi-component wiki-profile corpus (12 communities), comparing the
+// cross-answer gain cache (mode=incremental: only the answered claim's
+// component is re-swept and re-scored, clean components merge cached
+// gains) against a from-scratch re-score of every candidate each round
+// (mode=full, via SetFullRecompute). Selections are bit-identical
+// between the modes — the cache is exact — so the delta is pure cost.
+// Sessions run the serving cadence (one full EM sweep every 16 answers)
+// and are reopened outside the timer as the corpus runs out.
+func BenchmarkIncrementalRank(b *testing.B) {
+	corpus := synth.GenerateCommunities(synth.Wikipedia.Scaled(2), 12, 7)
+	if corpus.DB.NumComponents() < 12 {
+		b.Fatalf("corpus has %d components", corpus.DB.NumComponents())
+	}
+	for _, mode := range []string{"incremental", "full"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			oracle := &sim.Oracle{Truth: corpus.Truth}
+			var s *core.Session
+			open := func() {
+				var err error
+				s, err = core.OpenSession(corpus.DB, core.Options{
+					Seed: 11, Workers: 1, FullSweepEvery: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "full" {
+					s.GainCache().SetFullRecompute(true)
+				}
+				// Warm past the full-sweep warm-up into steady state.
+				for i := 0; i < 17; i++ {
+					s.Step(oracle)
+					if _, err := s.Pending(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			open()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.State.NumLabeled() > corpus.DB.NumClaims*3/4 {
+					b.StopTimer()
+					open()
+					b.StartTimer()
+				}
+				s.Step(oracle)
+				if _, err := s.Pending(1); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -150,6 +150,12 @@ type (
 	HybridStrategy = guidance.Hybrid
 	// BatchSelector assembles greedy submodular top-k batches (§6.2).
 	BatchSelector = guidance.BatchSelector
+	// GainCache is the cross-answer gain/entropy cache behind the
+	// incremental dirty-component re-ranking path; sessions own one
+	// (Session.GainCache; nil in batch mode and at FullSweepEvery = 1)
+	// and it is exact — cached rankings are bit-identical to a
+	// from-scratch recompute.
+	GainCache = guidance.GainCache
 )
 
 // Early termination (§6.1).
@@ -307,6 +313,15 @@ var (
 	Health    = synth.Health
 	Snopes    = synth.Snopes
 )
+
+// GenerateCommunityCorpus builds a multi-community corpus: parts
+// independent replicas of the profile at 1/parts size merged over
+// disjoint id spaces, yielding at least parts connected components —
+// the structure the component-sharded inference and the incremental
+// dirty-component re-ranking path feed on.
+func GenerateCommunityCorpus(p CorpusProfile, parts int, seed int64) *Corpus {
+	return synth.GenerateCommunities(p, parts, seed)
+}
 
 // GenerateCorpus builds a corpus from a profile; identical (profile,
 // seed) pairs yield identical corpora. It panics on a malformed profile;

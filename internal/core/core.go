@@ -49,11 +49,33 @@ type Options struct {
 	// fraction of |C| has been validated since the previous check
 	// (e.g. 0.01 per §8.5); 0 disables the check.
 	ConfirmEvery float64
+	// FullSweepEvery is the cadence of full EM parameter sweeps in
+	// single-claim mode. Between full sweeps each answer triggers only a
+	// component-restricted, frozen-θ resample of the answered claim's
+	// connected component, and the guidance layer re-scores only that
+	// dirty component (the cross-answer gain cache) — the per-answer
+	// path the serving stack rides. Full sweeps also run for the first
+	// FullSweepEvery answers, while the anchoring ramp still moves θ
+	// substantially per label, and whenever a confirmation check repairs
+	// labels. 1 reproduces the paper's per-answer EM exactly — the
+	// session then creates no gain cache at all and runs the historical
+	// scoring path, per-round RNG draws included, which is also what
+	// keeps pre-version-2 snapshots replayable (the experiment harness
+	// pins it). 0 selects DefaultFullSweepEvery. Selection traces
+	// remain bit-identical across worker counts and across cache modes
+	// for any value.
+	FullSweepEvery int
 	// EM configures the inference engine.
 	EM em.Config
 	// Seed drives all session randomness.
 	Seed int64
 }
+
+// DefaultFullSweepEvery is the full-EM cadence a zero
+// Options.FullSweepEvery selects: one parameter sweep every four
+// answers, with the three answers in between served by the incremental
+// dirty-component path.
+const DefaultFullSweepEvery = 4
 
 func (o Options) withDefaults() Options {
 	if o.Strategy == nil {
@@ -61,6 +83,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchW == 0 {
 		o.BatchW = 4
+	}
+	if o.FullSweepEvery == 0 {
+		o.FullSweepEvery = DefaultFullSweepEvery
+	}
+	if o.FullSweepEvery < 1 {
+		o.FullSweepEvery = 1
 	}
 	// The zero-value check deliberately ignores EM.Workers: setting only
 	// the parallelism knob must not suppress the default budgets, or the
@@ -92,16 +120,18 @@ type Session struct {
 	State  *factdb.State
 	Engine *em.Engine
 
-	opts      Options
-	rng       *stats.RNG
-	pool      *guidance.Pool   // persistent what-if scoring pool
-	hybrid    *guidance.Hybrid // non-nil when the strategy is hybrid
-	grounding factdb.Grounding
-	prevGnd   factdb.Grounding
-	zScore    float64
-	iter      int
-	history   []Validation
-	lastCheck int // labels at the previous confirmation check
+	opts       Options
+	rng        *stats.RNG
+	pool       *guidance.Pool      // persistent what-if scoring pool
+	gains      *guidance.GainCache // cross-answer gain cache (nil in batch mode / cadence 1)
+	sinceSweep int                 // answers since the last full EM sweep
+	hybrid     *guidance.Hybrid    // non-nil when the strategy is hybrid
+	grounding  factdb.Grounding
+	prevGnd    factdb.Grounding
+	zScore     float64
+	iter       int
+	history    []Validation
+	lastCheck  int // labels at the previous confirmation check
 	// prompted records the verdict a claim held the last time a
 	// confirmation check re-elicited it, bounding repeated re-elicitation
 	// of the same verdict.
@@ -156,6 +186,15 @@ func OpenSession(db *factdb.DB, opts Options) (*Session, error) {
 		prompted: make(map[int]bool),
 	}
 	s.pool = guidance.NewPool(s.Engine)
+	if opts.BatchSize < 2 && opts.FullSweepEvery != 1 {
+		// Batch assembly re-scores interactively in the marginal-gain
+		// sense, and a cadence of 1 runs a full EM sweep per answer, so
+		// in both cases nothing is ever reusable — no cache is created.
+		// That makes FullSweepEvery=1 the exact legacy path, per-round
+		// RNG scoring draws included: it replays pre-version-2 snapshots
+		// bit-identically.
+		s.gains = guidance.NewGainCache(opts.Seed)
+	}
 	if h, ok := opts.Strategy.(*guidance.Hybrid); ok {
 		s.hybrid = h
 	}
@@ -194,7 +233,47 @@ func (s *Session) ctx() *guidance.Context {
 		CandidatePool: s.opts.CandidatePool,
 		Workers:       s.opts.Workers,
 		Pool:          s.pool,
+		Gains:         s.gains,
 	}
+}
+
+// GainCache exposes the session's cross-answer gain cache (nil in
+// batch mode and at FullSweepEvery = 1, where nothing is ever
+// reusable). Tests and benchmarks flip it to full-recompute mode to assert
+// — and price — the cache's exactness; call SetFullRecompute before the
+// first Step so both modes see identical epochs from the start.
+func (s *Session) GainCache() *guidance.GainCache { return s.gains }
+
+// inferAfterLabels runs the post-answer inference of Alg. 1 line 15.
+// When exactly one label landed and the full-sweep cadence permits, the
+// engine resamples only the answered claim's connected component under
+// frozen parameters and the gain cache marks just that component dirty;
+// otherwise (batch answers, warm-up, cadence reached, or an engine that
+// cannot patch incrementally) a full EM sweep runs and everything is
+// invalidated.
+func (s *Session) inferAfterLabels(labeled []int) {
+	if s.gains != nil && len(labeled) == 1 {
+		s.sinceSweep++
+		every := s.opts.FullSweepEvery
+		if s.sinceSweep < every && s.State.NumLabeled() > every {
+			comp := s.DB.ComponentOf(labeled[0])
+			s.gains.InvalidateComponent(comp)
+			if s.Engine.InferComponent(s.State, comp, s.gains.SweepSeed(comp)) {
+				return
+			}
+		}
+	}
+	s.fullSweep()
+}
+
+// fullSweep runs a full EM inference and invalidates every cached gain
+// — the fallback of the incremental path and the periodic θ refresh.
+func (s *Session) fullSweep() {
+	s.Engine.InferIncremental(s.State)
+	if s.gains != nil {
+		s.gains.InvalidateAll()
+	}
+	s.sinceSweep = 0
 }
 
 // Step runs one iteration of Alg. 1 (lines 7-19); done reports that no
@@ -248,14 +327,17 @@ func (s *Session) Step(user User) (done bool) {
 	// (2) Record input and compute the error rate ε_i (lines 10-13).
 	s.invalidatePending()
 	var eps float64
+	labeled := make([]int, 0, len(picks))
 	for _, p := range picks {
 		eps = guidance.ErrorRate(s.State.P(p.c), s.grounding[p.c])
 		s.State.SetLabel(p.c, p.v)
 		s.history = append(s.history, Validation{Claim: p.c, Verdict: p.v, Iter: s.iter})
+		labeled = append(labeled, p.c)
 	}
 
-	// (3) Infer implications (line 15).
-	s.Engine.InferIncremental(s.State)
+	// (3) Infer implications (line 15) — component-restricted when the
+	// answer's reach allows it, a full EM sweep otherwise.
+	s.inferAfterLabels(labeled)
 
 	// (4) Decide on the grounding (line 16).
 	s.prevGnd = s.grounding
@@ -357,8 +439,10 @@ func (s *Session) ConfirmationCheck(user User) CheckResult {
 		}
 	}
 	if changed {
+		// Repairs rewrite already-anchored labels; their reach through the
+		// M-step is global, so take the full-invalidation fallback.
 		s.invalidatePending()
-		s.Engine.InferIncremental(s.State)
+		s.fullSweep()
 		s.prevGnd = s.grounding
 		s.grounding = s.Engine.Grounding(s.State)
 	}

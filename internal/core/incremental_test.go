@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"factcheck/internal/guidance"
+	"factcheck/internal/sim"
+	"factcheck/internal/synth"
+)
+
+// communityCorpus builds a genuinely multi-component corpus so the
+// dirty-component path exercises partial re-scoring with real cache
+// hits; the stock synthetic corpora are (nearly) fully connected.
+func communityCorpus(t *testing.T, seed int64) *synth.Corpus {
+	t.Helper()
+	c := synth.GenerateCommunities(synth.Wikipedia.Scaled(0.6), 4, seed)
+	if c.DB.NumComponents() < 4 {
+		t.Fatalf("community corpus has %d components, want >= 4", c.DB.NumComponents())
+	}
+	return c
+}
+
+// TestIncrementalRankTraceBitIdentical is the exactness property of the
+// cross-answer gain cache: for every what-if strategy, seed and worker
+// count, a session that merges cached gains for clean components must
+// produce a selection trace — history, transcript, marginals, grounding,
+// hybrid score — bit-identical to one that re-scores every candidate
+// from scratch each round (SetFullRecompute), including across a
+// mid-session snapshot/restore of the incremental session.
+func TestIncrementalRankTraceBitIdentical(t *testing.T) {
+	strategies := map[string]func() guidance.Strategy{
+		"info":   func() guidance.Strategy { return guidance.InfoGain{} },
+		"source": func() guidance.Strategy { return guidance.SourceGain{} },
+		"hybrid": func() guidance.Strategy { return &guidance.Hybrid{} },
+	}
+	corpus := communityCorpus(t, 71)
+	for name, mk := range strategies {
+		for _, seed := range []int64{101, 102, 103} {
+			for _, workers := range []int{1, 4} {
+				t.Run(name, func(t *testing.T) {
+					opts := fastOpts(seed)
+					opts.Workers = workers
+					opts.CandidatePool = 12
+
+					mkSession := func() *Session {
+						o := opts
+						o.Strategy = mk() // fresh instance: Hybrid mutates Z
+						s, err := OpenSession(corpus.DB, o)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return s
+					}
+					inc := mkSession()
+					full := mkSession()
+					full.GainCache().SetFullRecompute(true)
+
+					// Phase 1: identical-seeded erroneous skippers drive both
+					// sessions, making the transcript non-trivial (wrong
+					// answers and skips).
+					userFor := func() User {
+						return sim.NewSkipper(sim.NewErroneous(corpus.Truth, 0.2, seed+7), 0.25, seed+8)
+					}
+					ua, ub := userFor(), userFor()
+					const phase1 = 6
+					for i := 0; i < phase1; i++ {
+						inc.Step(ua)
+						full.Step(ub)
+					}
+					assertSessionsEqual(t, inc, full)
+
+					// Phase 2: restore the incremental session from its
+					// snapshot and continue all three with a stateless oracle.
+					restored, err := RestoreSession(corpus.DB, withStrategy(opts, mk()), inc.Snapshot())
+					if err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					oracle := &sim.Oracle{Truth: corpus.Truth}
+					for i := 0; i < 6; i++ {
+						inc.Step(oracle)
+						full.Step(oracle)
+						restored.Step(oracle)
+					}
+					assertSessionsEqual(t, inc, full)
+					assertSessionsEqual(t, inc, restored)
+
+					// The equality must not be vacuous: the incremental
+					// session has to have served gains from cache.
+					if inc.GainCache().Hits() == 0 {
+						t.Fatal("incremental session never hit the gain cache")
+					}
+					if full.GainCache().Hits() != 0 {
+						t.Fatal("full-recompute session must never hit the cache")
+					}
+				})
+			}
+		}
+	}
+}
+
+func withStrategy(o Options, s guidance.Strategy) Options {
+	o.Strategy = s
+	return o
+}
+
+// TestIncrementalLegacyCadenceIsCacheFree pins that FullSweepEvery=1
+// disables the incremental path entirely: no gain cache is created, so
+// the session runs the exact legacy scoring path (per-round RNG draws)
+// — the property that keeps pre-version-2 snapshots replayable.
+func TestIncrementalLegacyCadenceIsCacheFree(t *testing.T) {
+	corpus := communityCorpus(t, 72)
+	opts := fastOpts(5)
+	opts.FullSweepEvery = 1
+	s, err := OpenSession(corpus.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GainCache() != nil {
+		t.Fatal("FullSweepEvery=1 must not create a gain cache")
+	}
+	oracle := &sim.Oracle{Truth: corpus.Truth}
+	for i := 0; i < 8; i++ {
+		s.Step(oracle)
+	}
+	if len(s.History()) != 8 {
+		t.Fatalf("history = %d validations, want 8", len(s.History()))
+	}
+}

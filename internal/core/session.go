@@ -26,8 +26,17 @@ type Elicitation struct {
 // it; a snapshot from a newer build (a higher version) is rejected with
 // a descriptive error instead of silently replaying under changed
 // semantics. Version 0 is the pre-versioned encoding and is read as
-// version 1.
-const SnapshotVersion = 1
+// version 1. Version 2 marks the incremental-inference default
+// (Options.FullSweepEvery = 4 with epoch-seeded what-if scoring):
+// replaying a version ≤ 1 snapshot under the default diverges and
+// fails loud in the replay check. To restore one, pin
+// FullSweepEvery = 1 — that configuration runs the exact legacy path
+// (no gain cache, per-round RNG scoring draws) and replays pre-v2
+// transcripts bit-identically. Served sessions persist their opening
+// request, which on records written by older builds carries no
+// fullSweepEvery field, so their revival fails loud rather than
+// silently diverging.
+const SnapshotVersion = 2
 
 // Snapshot is a serialisable record of a session's progress: the full
 // elicitation transcript. Because every other part of a session — claim

@@ -189,6 +189,33 @@ func (e *Engine) InferIncremental(state *factdb.State) {
 	e.infer(state, e.cfg.IncBurnIn, e.cfg.IncSamples)
 }
 
+// InferComponent is the component-restricted incremental inference path
+// behind dirty-component re-ranking: after a label lands in component
+// comp, only that component's conditional distribution changes (the
+// claim graph factorises over connected components and the model
+// parameters stay frozen between full EM sweeps), so the engine clamps
+// the new labels and resamples just that component — Ω* and the state
+// marginals of every other component are left bit-for-bit untouched.
+// The sweep draws from a detached stream seeded by seed (supplied by
+// the caller's epoch bookkeeping), so the refresh is a pure function of
+// (chain state, component, seed): deterministic under replay and
+// independent of worker counts. It reports false — and does nothing —
+// when the engine has no full inference to patch yet; the caller falls
+// back to a full sweep.
+func (e *Engine) InferComponent(state *factdb.State, comp int, seed int64) bool {
+	if !e.inited || e.samples == nil || e.samples.NumSamples() == 0 {
+		return false
+	}
+	e.chain.SyncLabels(state)
+	e.chain.RefreshComponent(e.samples, comp, e.cfg.IncBurnIn, seed)
+	for _, c := range e.db.ComponentMembers(comp) {
+		if !state.Labeled(int(c)) {
+			state.SetP(int(c), e.samples.Marginal(int(c)))
+		}
+	}
+	return true
+}
+
 // infer alternates E and M steps (Eq. 6-8).
 func (e *Engine) infer(state *factdb.State, burn, samples int) {
 	iters := e.cfg.EMIters

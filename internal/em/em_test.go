@@ -400,3 +400,97 @@ func TestMarginalUncertaintyDropsWithLabels(t *testing.T) {
 		t.Fatal("NaN entropy")
 	}
 }
+
+// disjointDB builds two isolated claim components (disjoint sources),
+// each with corroborating documents, for incremental-isolation tests.
+func disjointDB(t *testing.T) *factdb.DB {
+	t.Helper()
+	db := &factdb.DB{NumClaims: 6}
+	for s := 0; s < 2; s++ {
+		db.Sources = append(db.Sources, factdb.Source{ID: s, Features: []float64{0}})
+	}
+	docID := 0
+	for c := 0; c < 6; c++ {
+		src := 0
+		if c >= 3 {
+			src = 1
+		}
+		for k := 0; k < 2; k++ {
+			db.Documents = append(db.Documents, factdb.Document{
+				ID: docID, Source: src, Features: []float64{0.5},
+				Refs: []factdb.ClaimRef{{Claim: c, Stance: factdb.Support}},
+			})
+			docID++
+		}
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInferComponentIsolatesComponents(t *testing.T) {
+	db := disjointDB(t)
+	if db.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", db.NumComponents())
+	}
+	e := NewEngine(db, DefaultConfig(), 31)
+	state := factdb.NewState(db.NumClaims)
+	e.InferFull(state)
+
+	compA := db.ComponentOf(0)
+	var before []float64
+	for c := 3; c < 6; c++ { // component B marginals
+		before = append(before, state.P(c))
+	}
+	gBefore := e.Grounding(state)
+
+	state.SetLabel(0, true)
+	if !e.InferComponent(state, compA, 77) {
+		t.Fatal("InferComponent refused after a full inference")
+	}
+
+	// Component B must be bit-for-bit untouched — marginals, samples,
+	// grounding.
+	for i, c := 0, 3; c < 6; c, i = c+1, i+1 {
+		if state.P(c) != before[i] {
+			t.Fatalf("foreign claim %d marginal moved: %v -> %v", c, before[i], state.P(c))
+		}
+	}
+	gAfter := e.Grounding(state)
+	for c := 3; c < 6; c++ {
+		if gAfter[c] != gBefore[c] {
+			t.Fatalf("foreign claim %d grounding flipped", c)
+		}
+	}
+	// The labelled claim is pinned and its component refreshed.
+	if state.P(0) != 1 {
+		t.Fatalf("label not pinned: P(0) = %v", state.P(0))
+	}
+	if !gAfter[0] {
+		t.Fatal("grounding ignores the new label")
+	}
+
+	// Determinism: an identically driven engine lands on identical
+	// marginals everywhere.
+	e2 := NewEngine(db, DefaultConfig(), 31)
+	state2 := factdb.NewState(db.NumClaims)
+	e2.InferFull(state2)
+	state2.SetLabel(0, true)
+	e2.InferComponent(state2, compA, 77)
+	for c := 0; c < db.NumClaims; c++ {
+		if state.P(c) != state2.P(c) {
+			t.Fatalf("claim %d: not deterministic (%v vs %v)", c, state.P(c), state2.P(c))
+		}
+	}
+}
+
+func TestInferComponentBeforeFullRefuses(t *testing.T) {
+	db := disjointDB(t)
+	e := NewEngine(db, DefaultConfig(), 33)
+	state := factdb.NewState(db.NumClaims)
+	state.SetLabel(0, true)
+	if e.InferComponent(state, db.ComponentOf(0), 1) {
+		t.Fatal("InferComponent must refuse before the first full inference")
+	}
+}

@@ -53,10 +53,11 @@ func RunAblationWarmStart(cfg Config) AblationResult {
 	budget := corpus.DB.NumClaims / 2
 	run := func(cold bool) AblationRow {
 		s := core.NewSession(corpus.DB, core.Options{
-			Seed:          cfg.Seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
-			Budget:        budget,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
+			Budget:         budget,
 		})
 		user := &sim.Oracle{Truth: corpus.Truth}
 		start := time.Now()
@@ -98,11 +99,12 @@ func RunAblationTrustCoupling(cfg Config) AblationResult {
 		emCfg := em.DefaultConfig()
 		emCfg.DisableTrust = disable
 		s := core.NewSession(corpus.DB, core.Options{
-			Seed:          cfg.Seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
-			Budget:        budget,
-			EM:            emCfg,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
+			Budget:         budget,
+			EM:             emCfg,
 		})
 		start := time.Now()
 		s.Run(&sim.Oracle{Truth: corpus.Truth})
@@ -130,10 +132,11 @@ func RunAblationEntropy(cfg Config) AblationResult {
 	cfg = cfg.withDefaults()
 	corpus := ablationCorpus(cfg)
 	s := core.NewSession(corpus.DB, core.Options{
-		Seed:          cfg.Seed + 7,
-		CandidatePool: cfg.CandidatePool,
-		Workers:       cfg.Workers,
-		Budget:        corpus.DB.NumClaims / 2,
+		FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+		Seed:           cfg.Seed + 7,
+		CandidatePool:  cfg.CandidatePool,
+		Workers:        cfg.Workers,
+		Budget:         corpus.DB.NumClaims / 2,
 	})
 	var exactVals, approxVals []float64
 	var exactTime, approxTime time.Duration
@@ -167,9 +170,10 @@ func RunAblationCandidatePool(cfg Config) AblationResult {
 	res := AblationResult{Name: "candidate pool size"}
 	for _, pool := range []int{4, 16, 64} {
 		s := core.NewSession(corpus.DB, core.Options{
-			Seed:          cfg.Seed + 7,
-			CandidatePool: pool,
-			Workers:       cfg.Workers,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  pool,
+			Workers:        cfg.Workers,
 			Goal: func(sess *core.Session) bool {
 				return sess.Precision(corpus.Truth) >= 0.9
 			},
@@ -196,11 +200,12 @@ func RunAblationBatchGreedy(cfg Config) AblationResult {
 	const k = 5
 	greedy := func() AblationRow {
 		s := core.NewSession(corpus.DB, core.Options{
-			Seed:          cfg.Seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
-			Budget:        budget,
-			BatchSize:     k,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
+			Budget:         budget,
+			BatchSize:      k,
 		})
 		start := time.Now()
 		s.Run(&sim.Oracle{Truth: corpus.Truth})

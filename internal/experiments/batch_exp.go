@@ -57,10 +57,11 @@ func RunFig10(cfg Config) Fig10Result {
 				corpus := synth.Generate(prof, seed)
 				budget := corpus.DB.NumClaims / 2
 				opts := core.Options{
-					Seed:          seed + 7,
-					CandidatePool: cfg.CandidatePool,
-					Workers:       cfg.Workers,
-					Budget:        budget,
+					FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+					Seed:           seed + 7,
+					CandidatePool:  cfg.CandidatePool,
+					Workers:        cfg.Workers,
+					Budget:         budget,
 				}
 				if k > 1 {
 					opts.BatchSize = k
@@ -163,9 +164,10 @@ func RunFig11(cfg Config) Fig11Result {
 				seed := cfg.Seed + int64(run)*1000
 				corpus := synth.Generate(prof, seed)
 				opts := core.Options{
-					Seed:          seed + 7,
-					CandidatePool: cfg.CandidatePool,
-					Workers:       cfg.Workers,
+					FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+					Seed:           seed + 7,
+					CandidatePool:  cfg.CandidatePool,
+					Workers:        cfg.Workers,
 				}
 				if k > 1 {
 					opts.BatchSize = k

@@ -41,11 +41,12 @@ func runTrace(corpus *synth.Corpus, strat guidance.Strategy, user core.User,
 	cfg Config, seed int64, stopAt float64, confirmEvery float64) ([]CurvePoint, *core.Session) {
 
 	opts := core.Options{
-		Strategy:      strat,
-		Seed:          seed,
-		CandidatePool: cfg.CandidatePool,
-		Workers:       cfg.Workers,
-		ConfirmEvery:  confirmEvery,
+		FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+		Strategy:       strat,
+		Seed:           seed,
+		CandidatePool:  cfg.CandidatePool,
+		Workers:        cfg.Workers,
+		ConfirmEvery:   confirmEvery,
 	}
 	if stopAt > 0 {
 		opts.Goal = func(sess *core.Session) bool {
@@ -212,10 +213,11 @@ func RunFig5(cfg Config) Fig5Result {
 			seed := cfg.Seed + int64(run)*1000
 			corpus := synth.Generate(prof, seed)
 			opts := core.Options{
-				Strategy:      guidance.InfoGain{},
-				Seed:          seed + 3,
-				CandidatePool: cfg.CandidatePool,
-				Workers:       cfg.Workers,
+				FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+				Strategy:       guidance.InfoGain{},
+				Seed:           seed + 3,
+				CandidatePool:  cfg.CandidatePool,
+				Workers:        cfg.Workers,
 				Goal: func(s *core.Session) bool {
 					return s.Precision(corpus.Truth) >= 1
 				},
@@ -455,11 +457,12 @@ func RunFig4(cfg Config) Fig4Result {
 		corpus := synth.Generate(prof, seed)
 		user := &sim.Oracle{Truth: corpus.Truth}
 		opts := core.Options{
-			Strategy:      &guidance.Hybrid{},
-			Seed:          seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
-			Budget:        int(0.45*float64(corpus.DB.NumClaims)) + 1,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Strategy:       &guidance.Hybrid{},
+			Seed:           seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
+			Budget:         int(0.45*float64(corpus.DB.NumClaims)) + 1,
 		}
 		s := core.NewSession(corpus.DB, opts)
 		record := func(level int) {

@@ -149,9 +149,10 @@ func RunFig2(cfg Config) Fig2Result {
 		for _, v := range Variants() {
 			corpus := synth.Generate(prof, cfg.Seed)
 			s := core.NewSession(corpus.DB, core.Options{
-				Seed:          cfg.Seed + 7,
-				CandidatePool: cfg.CandidatePool,
-				Workers:       cfg.Workers,
+				FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+				Seed:           cfg.Seed + 7,
+				CandidatePool:  cfg.CandidatePool,
+				Workers:        cfg.Workers,
 			})
 			rng := stats.NewRNG(cfg.Seed + 23)
 			var total time.Duration
@@ -219,9 +220,10 @@ func RunFig3(cfg Config) Fig3Result {
 	for _, v := range Variants() {
 		corpus := synth.Generate(prof, cfg.Seed)
 		s := core.NewSession(corpus.DB, core.Options{
-			Seed:          cfg.Seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
 		})
 		rng := stats.NewRNG(cfg.Seed + 29)
 		binTime := make([]time.Duration, len(bins))
@@ -305,9 +307,10 @@ func RunFig9(cfg Config) Fig9Result {
 	corpus := synth.Generate(prof, cfg.Seed)
 	user := &sim.Oracle{Truth: corpus.Truth}
 	s := core.NewSession(corpus.DB, core.Options{
-		Seed:          cfg.Seed + 7,
-		CandidatePool: cfg.CandidatePool,
-		Workers:       cfg.Workers,
+		FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+		Seed:           cfg.Seed + 7,
+		CandidatePool:  cfg.CandidatePool,
+		Workers:        cfg.Workers,
 	})
 	p0 := s.Precision(corpus.Truth)
 	tracker := newIndicatorTracker(s, corpus)

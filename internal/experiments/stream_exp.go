@@ -110,6 +110,7 @@ func RunTable2(cfg Config) Table2Result {
 // argument bounds the number of validations (1.0 = all).
 func validationSequence(corpus *synth.Corpus, cfg Config, initTheta []float64, fraction float64) []int {
 	opts := core.Options{
+		FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
 		// The sequence comparison needs a deterministic-ish selector:
 		// the hybrid roulette and the Gibbs-sampled what-if gains would
 		// dominate Kendall's τ_b with selection noise, measuring seed
@@ -160,10 +161,11 @@ func streamingValidationSequence(corpus *synth.Corpus, cfg Config, period float6
 		prefix := corpus.ClaimOrder[:arrived]
 		sub, toOrig := synth.Subset(corpus, prefix)
 		opts := core.Options{
-			Strategy:      guidance.Uncertainty{},
-			Seed:          cfg.Seed + 7,
-			CandidatePool: cfg.CandidatePool,
-			Workers:       cfg.Workers,
+			FullSweepEvery: 1, // paper-faithful per-answer EM: figures reproduce §8
+			Strategy:       guidance.Uncertainty{},
+			Seed:           cfg.Seed + 7,
+			CandidatePool:  cfg.CandidatePool,
+			Workers:        cfg.Workers,
 		}
 		s := core.NewSession(sub.DB, opts)
 		s.Engine.SetTheta(streamEng.Theta())

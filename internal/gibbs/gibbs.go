@@ -51,6 +51,10 @@ type Chain struct {
 	order  []int32  // scratch for sweep ordering
 	counts []int32  // scratch for RunComponentInto sample counting
 	snap   Snapshot // scratch for SnapshotComponentScratch
+	// shardRNG is the detached stream scratch of RefreshComponent; it is
+	// reseeded per call, so keeping it on the chain only saves the
+	// allocation.
+	shardRNG *stats.RNG
 }
 
 // NewChain builds a chain over db seeded by rng. The initial assignment
@@ -363,6 +367,36 @@ func (ch *Chain) RunSharded(burn, samples, workers int) *SampleSet {
 	}
 	wg.Wait()
 	return ss
+}
+
+// RefreshComponent resamples one component of ss in place: burn
+// discarded sweeps followed by one recorded sweep per existing sample,
+// all restricted to the component's members and driven by a detached
+// RNG stream seeded from seed — the chain's own stream does not advance,
+// so refreshing a component never perturbs later full sweeps. This is
+// the sampling kernel of the per-answer incremental inference path: a
+// new label only changes the distribution of its own connected component
+// (components share no claims or sources, and the model parameters stay
+// frozen between EM sweeps), so only that component's slice of Ω* needs
+// replacing.
+func (ch *Chain) RefreshComponent(ss *SampleSet, comp, burn int, seed int64) {
+	members := ch.db.ComponentMembers(comp)
+	if cap(ch.order) < len(members) {
+		ch.order = make([]int32, len(members))
+	}
+	order := ch.order[:len(members)]
+	if ch.shardRNG == nil {
+		ch.shardRNG = stats.NewRNG(seed)
+	} else {
+		ch.shardRNG.Reseed(seed)
+	}
+	for i := 0; i < burn; i++ {
+		ch.sweepShard(members, order, ch.shardRNG)
+	}
+	for k := 0; k < ss.NumSamples(); k++ {
+		ch.sweepShard(members, order, ch.shardRNG)
+		ss.SetShard(k, members, ch.x)
+	}
 }
 
 // sweepShard performs one Gibbs pass over the given component members in

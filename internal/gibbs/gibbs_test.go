@@ -707,3 +707,103 @@ func TestFreezeUnfreeze(t *testing.T) {
 		t.Fatal("unfrozen claim should follow strong negative bias")
 	}
 }
+
+// twoComponentDB builds two isolated components (disjoint sources and
+// claims) for isolation tests of the incremental refresh path.
+func twoComponentDB(t *testing.T) *factdb.DB {
+	t.Helper()
+	db := &factdb.DB{
+		Sources:   []factdb.Source{{ID: 0}, {ID: 1}},
+		NumClaims: 4,
+	}
+	db.Documents = []factdb.Document{
+		{ID: 0, Source: 0, Refs: []factdb.ClaimRef{{Claim: 0, Stance: factdb.Support}}},
+		{ID: 1, Source: 0, Refs: []factdb.ClaimRef{{Claim: 1, Stance: factdb.Refute}}},
+		{ID: 2, Source: 1, Refs: []factdb.ClaimRef{{Claim: 2, Stance: factdb.Support}}},
+		{ID: 3, Source: 1, Refs: []factdb.ClaimRef{{Claim: 3, Stance: factdb.Support}}},
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSetShardKeepsCountsConsistent(t *testing.T) {
+	db := twoComponentDB(t)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(23))
+	ch.SetModel(m)
+	ss := ch.Run(5, 16)
+	// Overwrite component A's bits in every sample with a fixed pattern,
+	// then verify the counts still equal a recount from the raw bits.
+	members := db.ComponentMembers(db.ComponentOf(0))
+	x := make([]bool, db.NumClaims)
+	for k := 0; k < ss.NumSamples(); k++ {
+		for i, c := range members {
+			x[c] = (k+i)%2 == 0
+		}
+		ss.SetShard(k, members, x)
+	}
+	for c := 0; c < db.NumClaims; c++ {
+		n := 0
+		for k := 0; k < ss.NumSamples(); k++ {
+			if ss.bit(k, c) {
+				n++
+			}
+		}
+		want := float64(n) / float64(ss.NumSamples())
+		if got := ss.Marginal(c); got != want {
+			t.Fatalf("claim %d: Marginal = %v, recount = %v", c, got, want)
+		}
+	}
+}
+
+func TestRefreshComponentOnlyTouchesComponent(t *testing.T) {
+	db := twoComponentDB(t)
+	m := crf.New(db)
+	ch := NewChain(db, stats.NewRNG(29))
+	ch.SetModel(m)
+	ss := ch.Run(5, 12)
+	compA, compB := db.ComponentOf(0), db.ComponentOf(2)
+	if compA == compB {
+		t.Fatal("expected two components")
+	}
+	// Record component B's bits and the chain's B state.
+	membersB := db.ComponentMembers(compB)
+	bitsBefore := make([][]bool, ss.NumSamples())
+	for k := range bitsBefore {
+		for _, c := range membersB {
+			bitsBefore[k] = append(bitsBefore[k], ss.bit(k, int(c)))
+		}
+	}
+	xBefore := []bool{ch.Value(2), ch.Value(3)}
+	rngBefore := *ch.rng
+
+	ch.RefreshComponent(ss, compA, 4, 99)
+
+	for k := range bitsBefore {
+		for i, c := range membersB {
+			if ss.bit(k, int(c)) != bitsBefore[k][i] {
+				t.Fatalf("sample %d: foreign claim %d bit changed", k, c)
+			}
+		}
+	}
+	if ch.Value(2) != xBefore[0] || ch.Value(3) != xBefore[1] {
+		t.Fatal("RefreshComponent touched foreign claims")
+	}
+	if *ch.rng != rngBefore {
+		t.Fatal("RefreshComponent advanced the chain's own RNG stream")
+	}
+
+	// Determinism: the same (state, component, seed) refresh on an
+	// identically prepared chain yields identical bits.
+	ch2 := NewChain(db, stats.NewRNG(29))
+	ch2.SetModel(m)
+	ss2 := ch2.Run(5, 12)
+	ch2.RefreshComponent(ss2, compA, 4, 99)
+	for c := 0; c < db.NumClaims; c++ {
+		if ss.Marginal(c) != ss2.Marginal(c) {
+			t.Fatalf("claim %d: refresh not deterministic (%v vs %v)", c, ss.Marginal(c), ss2.Marginal(c))
+		}
+	}
+}

@@ -70,6 +70,31 @@ func (ss *SampleSet) recordShard(k int, members []int32, x []bool) {
 	}
 }
 
+// SetShard overwrites sample k's bits for the given component members
+// from x, keeping the per-claim counts consistent. Unlike recordShard it
+// both clears and sets bits (the sample already holds a configuration
+// for these claims) and runs single-threaded, so no atomics are needed.
+// It is the write path of the component-restricted incremental refresh:
+// after a label lands in one component, only that component's slice of
+// Ω* is resampled while every other component's bits stay untouched.
+func (ss *SampleSet) SetShard(k int, members []int32, x []bool) {
+	words := ss.samples[k]
+	for _, c := range members {
+		mask := uint64(1) << (uint(c) % 64)
+		was := words[c/64]&mask != 0
+		if x[c] == was {
+			continue
+		}
+		if x[c] {
+			words[c/64] |= mask
+			ss.counts[c]++
+		} else {
+			words[c/64] &^= mask
+			ss.counts[c]--
+		}
+	}
+}
+
 // NumSamples returns |Ω|.
 func (ss *SampleSet) NumSamples() int { return len(ss.samples) }
 

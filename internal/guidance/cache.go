@@ -1,0 +1,193 @@
+package guidance
+
+import (
+	"factcheck/internal/stats"
+)
+
+// gainKind indexes the two what-if gain families held by a GainCache.
+type gainKind int
+
+const (
+	gainInfo gainKind = iota
+	gainSource
+	numGainKinds
+)
+
+// GainCache is the cross-answer gain/entropy cache behind incremental
+// dirty-component re-ranking. The what-if strategies score candidates
+// per connected component: a candidate's gain is a pure function of its
+// component's frozen state (chain assignment, marginals, grounding,
+// labels), the model parameters, and a deterministic per-candidate seed.
+// Between full EM sweeps a single user answer perturbs only the answered
+// claim's component, so the gains of every other component are still
+// exact — the cache keeps them and the strategies re-score only the
+// dirty component.
+//
+// Exactness is what preserves the repository's standing invariant that
+// selection traces are bit-identical across configurations: every cache
+// entry is keyed by a (global, per-component) epoch pair, the per-
+// candidate scoring seed is derived from the same epoch pair (never from
+// a per-round RNG draw), and invalidation bumps the epoch. A cached gain
+// is therefore byte-identical to what a from-scratch recompute would
+// produce — SetFullRecompute(true) forces that recompute (same seeds,
+// no reuse) and is the A/B lever the property tests and benchmarks use.
+//
+// Epochs move on three triggers, driven by core.Session: the answered
+// claim's component (per-answer dirty marking), a global bump on full EM
+// parameter sweeps and confirmation-check repairs (θ and every
+// component's samples changed), and implicitly on restore — replay
+// re-executes the same invalidation sequence, rebuilding identical
+// epochs. A GainCache is owned by one session and is not safe for
+// concurrent use.
+type GainCache struct {
+	base   uint64
+	full   bool
+	global uint64   // bumped by InvalidateAll; starts at 1 so zero entries never match
+	local  []uint64 // per-component epoch, bumped by InvalidateComponent
+
+	gains     [numGainKinds][]gainEntry // per claim
+	entropies [numGainKinds][]hEntry    // per component ("before" entropy)
+
+	hits, misses int64 // lookup telemetry (gains only)
+}
+
+// gainEntry is one cached candidate gain, valid while its epoch pair
+// matches the component's current epochs.
+type gainEntry struct {
+	global, local uint64
+	gain          float64
+}
+
+// hEntry is one cached per-component "before" entropy.
+type hEntry struct {
+	global, local uint64
+	h             float64
+}
+
+// gainCacheStream separates the cache's seed universe from every other
+// StreamSeed consumer of the session seed.
+const gainCacheStream = 0x6761696e63616368 // "gaincach"
+
+// NewGainCache creates an empty cache whose deterministic seed universe
+// derives from seed (a session passes its Options.Seed, so restored
+// sessions rebuild the identical universe).
+func NewGainCache(seed int64) *GainCache {
+	return &GainCache{
+		base:   uint64(stats.StreamSeed(uint64(seed), gainCacheStream)),
+		global: 1,
+	}
+}
+
+// SetFullRecompute switches the cache into full-recompute mode: epochs
+// and seeds are maintained exactly as before, but lookups always miss,
+// so every candidate is re-scored every round. Because cached values are
+// exact, rankings are bit-identical with the mode on or off — it exists
+// so tests can assert that property and benchmarks can price the cache.
+func (g *GainCache) SetFullRecompute(on bool) { g.full = on }
+
+// FullRecompute reports whether full-recompute mode is on.
+func (g *GainCache) FullRecompute() bool { return g.full }
+
+// InvalidateAll marks every component dirty — the fallback taken on full
+// EM parameter sweeps, confirmation-check repairs and any other change
+// with non-local reach.
+func (g *GainCache) InvalidateAll() { g.global++ }
+
+// InvalidateComponent marks one component dirty — the per-answer path.
+func (g *GainCache) InvalidateComponent(comp int) {
+	g.growLocal(comp)
+	g.local[comp]++
+}
+
+func (g *GainCache) growLocal(comp int) {
+	for len(g.local) <= comp {
+		g.local = append(g.local, 0)
+	}
+}
+
+func (g *GainCache) localOf(comp int) uint64 {
+	if comp < len(g.local) {
+		return g.local[comp]
+	}
+	return 0
+}
+
+// epochSeed is the deterministic seed root of the component's current
+// epoch: a pure function of (session seed, global epoch, component,
+// local epoch), so a cached gain and a from-scratch recompute of the
+// same epoch always draw identical what-if streams.
+func (g *GainCache) epochSeed(comp int) uint64 {
+	s := uint64(stats.StreamSeed(g.base, g.global))
+	s = uint64(stats.StreamSeed(s, uint64(comp)))
+	return uint64(stats.StreamSeed(s, g.localOf(comp)))
+}
+
+// SweepSeed returns the seed of the component's incremental inference
+// sweep for the current epoch; a distinct stream id keeps it disjoint
+// from the scoring seeds of the same epoch.
+func (g *GainCache) SweepSeed(comp int) int64 {
+	return stats.StreamSeed(g.epochSeed(comp), 1)
+}
+
+// scoreBase returns the per-epoch base of the component's candidate
+// scoring seeds for one gain family; candidate c reseeds its what-if
+// chain from StreamSeed(scoreBase, c). The kind is mixed in so the
+// information- and source-gain estimators draw independent Monte Carlo
+// streams — the hybrid roulette compares the two families, and shared
+// sampling noise would correlate their errors.
+func (g *GainCache) scoreBase(kind gainKind, comp int) uint64 {
+	return uint64(stats.StreamSeed(g.epochSeed(comp), 2+uint64(kind)))
+}
+
+// Hits returns the number of candidate-gain lookups served from cache.
+func (g *GainCache) Hits() int64 { return g.hits }
+
+// Misses returns the number of candidate-gain lookups that required a
+// fresh what-if scoring round (in full-recompute mode, all of them).
+func (g *GainCache) Misses() int64 { return g.misses }
+
+// gain returns the cached gain of a candidate when its entry matches the
+// component's current epoch (always a miss in full-recompute mode).
+func (g *GainCache) gain(kind gainKind, claim, comp int) (float64, bool) {
+	if g.full {
+		g.misses++
+		return 0, false
+	}
+	es := g.gains[kind]
+	if claim < len(es) {
+		e := es[claim]
+		if e.global == g.global && e.local == g.localOf(comp) {
+			g.hits++
+			return e.gain, true
+		}
+	}
+	g.misses++
+	return 0, false
+}
+
+// storeGain records a freshly scored gain under the component's current
+// epoch.
+func (g *GainCache) storeGain(kind gainKind, claim, comp int, v float64) {
+	for len(g.gains[kind]) <= claim {
+		g.gains[kind] = append(g.gains[kind], gainEntry{})
+	}
+	g.gains[kind][claim] = gainEntry{global: g.global, local: g.localOf(comp), gain: v}
+}
+
+// entropyFor returns the component's cached "before" entropy for the
+// current epoch, computing and storing it on a miss. Entropy reuse stays
+// on even in full-recompute mode: the value is an exact pure function of
+// unchanged component state, and what the mode exists to re-price is the
+// what-if scoring.
+func (g *GainCache) entropyFor(kind gainKind, comp int, compute func() float64) float64 {
+	for len(g.entropies[kind]) <= comp {
+		g.entropies[kind] = append(g.entropies[kind], hEntry{})
+	}
+	e := &g.entropies[kind][comp]
+	if e.global == g.global && e.local == g.localOf(comp) {
+		return e.h
+	}
+	h := compute()
+	*e = hEntry{global: g.global, local: g.localOf(comp), h: h}
+	return h
+}

@@ -39,6 +39,14 @@ type Context struct {
 	// Pool is the persistent scoring pool; sessions share one across
 	// iterations. A nil Pool is created (and cached) on first use.
 	Pool *Pool
+	// Gains is the optional cross-answer gain cache. When set, what-if
+	// scoring seeds derive from per-component epochs (not from a
+	// per-round RNG draw) and the strategies re-score only components
+	// whose epoch moved since they were last scored, merging cached
+	// gains for clean ones. When nil, every round re-scores everything
+	// under a fresh base draw — the historical behaviour, kept for
+	// transient contexts (experiments, batch assembly).
+	Gains *GainCache
 }
 
 // Strategy ranks unlabelled claims by expected validation benefit.
@@ -164,33 +172,117 @@ func (InfoGain) Rank(ctx *Context, k int) []int {
 
 // InformationGains returns IG_C(c) (Eq. 15) for each candidate.
 func InformationGains(ctx *Context, cand []int) []float64 {
-	// The "before" entropy depends only on the component and the frozen
-	// state of this iteration, so compute it once per distinct component —
-	// candidates sharing a component share the value.
-	compH := currentComponentEntropy(ctx, cand)
-	return ctx.pool().Score(ctx, cand, func(w *Worker, c int) float64 {
-		comp := ctx.DB.ComponentOf(c)
-		hCur := compH[comp]
-		plus := w.Hypo(ctx.Engine, c, true)
-		minus := w.Hypo(ctx.Engine, c, false)
-		hPlus := hypoClaimEntropy(ctx.State, plus, c)
-		hMinus := hypoClaimEntropy(ctx.State, minus, c)
-		p := ctx.State.P(c)
-		return hCur - (p*hPlus + (1-p)*hMinus)
-	})
+	return whatIfGains(ctx, cand, gainInfo)
 }
 
-// currentComponentEntropy computes the Eq. 13 claim entropy of every
-// distinct component among the candidates, keyed by component id.
-func currentComponentEntropy(ctx *Context, cand []int) map[int]float64 {
-	compH := make(map[int]float64)
-	for _, c := range cand {
-		comp := ctx.DB.ComponentOf(c)
-		if _, ok := compH[comp]; !ok {
-			compH[comp] = entropy.ApproxClaims(ctx.State, ctx.DB.ComponentMembers(comp))
+// beforeEntropy computes a component's "before" entropy for a gain kind:
+// the Eq. 13 claim entropy for the information-driven strategy, the
+// Eq. 17-derived source entropy under the previous grounding for the
+// source-driven one. Both depend only on the component's frozen state
+// for this epoch, so candidates sharing a component share the value and
+// the gain cache may carry it across answers while the component stays
+// clean.
+func beforeEntropy(ctx *Context, kind gainKind, comp int) float64 {
+	if kind == gainInfo {
+		return entropy.ApproxClaims(ctx.State, ctx.DB.ComponentMembers(comp))
+	}
+	h := 0.0
+	for _, s := range ctx.DB.ComponentSources(comp) {
+		h += stats.BinaryEntropy(sourceTrustGrounded(ctx.DB, int(s), ctx.Grounding))
+	}
+	return h
+}
+
+// whatIfGain scores one candidate with the worker's what-if chains; hCur
+// is the candidate's component "before" entropy.
+func whatIfGain(ctx *Context, kind gainKind, w *Worker, c int, hCur float64) float64 {
+	plus := w.Hypo(ctx.Engine, c, true)
+	minus := w.Hypo(ctx.Engine, c, false)
+	p := ctx.State.P(c)
+	var hPlus, hMinus float64
+	if kind == gainInfo {
+		hPlus = hypoClaimEntropy(ctx.State, plus, c)
+		hMinus = hypoClaimEntropy(ctx.State, minus, c)
+	} else {
+		srcs := ctx.DB.ComponentSources(ctx.DB.ComponentOf(c))
+		hPlus = hypoSourceEntropy(ctx, srcs, plus, c, true)
+		hMinus = hypoSourceEntropy(ctx, srcs, minus, c, false)
+	}
+	return hCur - (p*hPlus + (1-p)*hMinus)
+}
+
+// whatIfGains evaluates a gain family over the candidates. Without a
+// gain cache every candidate is scored under a fresh per-round base
+// draw (the historical path). With one, gains cached for clean
+// components are merged in and only the remainder — candidates whose
+// component epoch moved, typically just the answered claim's component —
+// is scored, under epoch-derived seeds that make each gain an exact,
+// reproducible function of the component's state. The two paths inside
+// a cached session (reuse on or SetFullRecompute) are bit-identical by
+// construction.
+func whatIfGains(ctx *Context, cand []int, kind gainKind) []float64 {
+	if len(cand) == 0 {
+		return nil
+	}
+	gc := ctx.Gains
+	var gains []float64   // allocated only on the cached path
+	need := cand          // candidates requiring a scoring round
+	needIdx := []int(nil) // positions of need within gains; nil = identity
+	if gc != nil {
+		gains = make([]float64, len(cand))
+		need = make([]int, 0, len(cand))
+		needIdx = make([]int, 0, len(cand))
+		for i, c := range cand {
+			comp := ctx.DB.ComponentOf(c)
+			if g, ok := gc.gain(kind, c, comp); ok {
+				gains[i] = g
+				continue
+			}
+			need = append(need, c)
+			needIdx = append(needIdx, i)
+		}
+		if len(need) == 0 {
+			return gains
 		}
 	}
-	return compH
+
+	// "Before" entropies, one per distinct component being scored. They
+	// are resolved up front (through the cache when present) so the
+	// scoring closure below only reads this map — workers never touch
+	// shared cache state concurrently.
+	compH := make(map[int]float64)
+	for _, c := range need {
+		comp := ctx.DB.ComponentOf(c)
+		if _, ok := compH[comp]; ok {
+			continue
+		}
+		if gc != nil {
+			compH[comp] = gc.entropyFor(kind, comp, func() float64 { return beforeEntropy(ctx, kind, comp) })
+		} else {
+			compH[comp] = beforeEntropy(ctx, kind, comp)
+		}
+	}
+
+	fn := func(w *Worker, c int) float64 {
+		return whatIfGain(ctx, kind, w, c, compH[ctx.DB.ComponentOf(c)])
+	}
+	var scored []float64
+	if gc != nil {
+		scored = ctx.pool().ScoreSeeded(ctx, need, func(c int) int64 {
+			comp := ctx.DB.ComponentOf(c)
+			return stats.StreamSeed(gc.scoreBase(kind, comp), uint64(c))
+		}, fn)
+	} else {
+		scored = ctx.pool().Score(ctx, need, fn)
+	}
+	if needIdx == nil {
+		return scored
+	}
+	for j, v := range scored {
+		gc.storeGain(kind, need[j], ctx.DB.ComponentOf(need[j]), v)
+		gains[needIdx[j]] = v
+	}
+	return gains
 }
 
 // hypoClaimEntropy computes the Eq. 13 entropy of a component under
@@ -232,30 +324,7 @@ func (SourceGain) Rank(ctx *Context, k int) []int {
 // entropy. Components are closed under shared sources, so only the
 // candidate's component contributes to the difference.
 func SourceGains(ctx *Context, cand []int) []float64 {
-	// The "before" source entropy depends only on the component and the
-	// previous grounding, so compute it once per distinct component.
-	compH := make(map[int]float64)
-	for _, c := range cand {
-		comp := ctx.DB.ComponentOf(c)
-		if _, ok := compH[comp]; !ok {
-			h := 0.0
-			for _, s := range ctx.DB.ComponentSources(comp) {
-				h += stats.BinaryEntropy(sourceTrustGrounded(ctx.DB, int(s), ctx.Grounding))
-			}
-			compH[comp] = h
-		}
-	}
-	return ctx.pool().Score(ctx, cand, func(w *Worker, c int) float64 {
-		comp := ctx.DB.ComponentOf(c)
-		srcs := ctx.DB.ComponentSources(comp)
-		hCur := compH[comp]
-		plus := w.Hypo(ctx.Engine, c, true)
-		minus := w.Hypo(ctx.Engine, c, false)
-		hPlus := hypoSourceEntropy(ctx, srcs, plus, c, true)
-		hMinus := hypoSourceEntropy(ctx, srcs, minus, c, false)
-		p := ctx.State.P(c)
-		return hCur - (p*hPlus + (1-p)*hMinus)
-	})
+	return whatIfGains(ctx, cand, gainSource)
 }
 
 // sourceTrustGrounded is Eq. 17 for a single source.

@@ -338,3 +338,135 @@ func TestCandidatePoolCap(t *testing.T) {
 		t.Fatalf("pool = %d, want all %d", len(got), ctx.DB.NumClaims)
 	}
 }
+
+func TestGainCacheEpochSemantics(t *testing.T) {
+	g := NewGainCache(3)
+	g.storeGain(gainInfo, 5, 2, 0.25)
+	if v, ok := g.gain(gainInfo, 5, 2); !ok || v != 0.25 {
+		t.Fatalf("stored gain not returned: %v %v", v, ok)
+	}
+	// The other kind is a separate namespace.
+	if _, ok := g.gain(gainSource, 5, 2); ok {
+		t.Fatal("kind namespaces leaked")
+	}
+	// Dirtying the component invalidates its entries and moves its seeds.
+	seedBefore := g.scoreBase(gainInfo, 2)
+	sweepBefore := g.SweepSeed(2)
+	otherBefore := g.scoreBase(gainInfo, 3)
+	g.InvalidateComponent(2)
+	if _, ok := g.gain(gainInfo, 5, 2); ok {
+		t.Fatal("entry survived component invalidation")
+	}
+	if g.scoreBase(gainInfo, 2) == seedBefore || g.SweepSeed(2) == sweepBefore {
+		t.Fatal("component epoch bump did not move its seeds")
+	}
+	if g.scoreBase(gainInfo, 3) != otherBefore {
+		t.Fatal("component epoch bump moved a clean component's seed")
+	}
+	// A global invalidation clears everything.
+	g.storeGain(gainInfo, 5, 2, 0.5)
+	g.InvalidateAll()
+	if _, ok := g.gain(gainInfo, 5, 2); ok {
+		t.Fatal("entry survived global invalidation")
+	}
+	// Full-recompute mode: identical seeds, lookups always miss.
+	g2 := NewGainCache(3)
+	if g2.scoreBase(gainSource, 1) != NewGainCache(3).scoreBase(gainSource, 1) {
+		t.Fatal("seed universe not a pure function of the session seed")
+	}
+	if g2.scoreBase(gainInfo, 1) == g2.scoreBase(gainSource, 1) {
+		t.Fatal("info and source scoring streams must be independent")
+	}
+	g2.storeGain(gainSource, 1, 1, 0.75)
+	g2.SetFullRecompute(true)
+	if _, ok := g2.gain(gainSource, 1, 1); ok {
+		t.Fatal("full-recompute mode served a cached gain")
+	}
+	if g2.Hits() != 0 || g2.Misses() == 0 {
+		t.Fatalf("telemetry: hits=%d misses=%d", g2.Hits(), g2.Misses())
+	}
+}
+
+func TestCachedGainsExactAcrossRounds(t *testing.T) {
+	// Over a multi-component corpus, a second scoring round with an
+	// untouched cache must serve every gain from cache — and both rounds,
+	// plus a full-recompute context over the same engine, must agree
+	// bit-for-bit.
+	corpus := synth.GenerateCommunities(synth.Wikipedia.Scaled(0.5), 4, 21)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	engine := em.NewEngine(corpus.DB, em.DefaultConfig(), 22)
+	engine.InferFull(state)
+	ctx := &Context{
+		DB: corpus.DB, State: state, Engine: engine,
+		Grounding: engine.Grounding(state),
+		RNG:       stats.NewRNG(23), Workers: 2,
+		CandidatePool: 16,
+		Gains:         NewGainCache(24),
+	}
+	cand := candidates(ctx)
+	for _, strat := range []func(*Context, []int) []float64{InformationGains, SourceGains} {
+		first := strat(ctx, cand)
+		missesAfter := ctx.Gains.Misses()
+		again := strat(ctx, cand)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("gain[%d] changed across rounds: %v vs %v", i, first[i], again[i])
+			}
+		}
+		if ctx.Gains.Misses() != missesAfter {
+			t.Fatalf("second round missed the cache %d times", ctx.Gains.Misses()-missesAfter)
+		}
+
+		full := *ctx
+		full.Gains = NewGainCache(24)
+		full.Gains.SetFullRecompute(true)
+		full.Pool = nil
+		recomputed := strat(&full, cand)
+		for i := range first {
+			if first[i] != recomputed[i] {
+				t.Fatalf("cached gain[%d] = %v, full recompute = %v", i, first[i], recomputed[i])
+			}
+		}
+	}
+	if ctx.Gains.Hits() == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestDirtyComponentRescoresOnlyThatComponent(t *testing.T) {
+	corpus := synth.GenerateCommunities(synth.Wikipedia.Scaled(0.5), 4, 31)
+	state := factdb.NewState(corpus.DB.NumClaims)
+	engine := em.NewEngine(corpus.DB, em.DefaultConfig(), 32)
+	engine.InferFull(state)
+	ctx := &Context{
+		DB: corpus.DB, State: state, Engine: engine,
+		Grounding: engine.Grounding(state),
+		RNG:       stats.NewRNG(33), Workers: 1,
+		CandidatePool: 16,
+		Gains:         NewGainCache(34),
+	}
+	cand := candidates(ctx)
+	first := InformationGains(ctx, cand)
+	dirty := ctx.DB.ComponentOf(cand[0])
+	ctx.Gains.InvalidateComponent(dirty)
+	second := InformationGains(ctx, cand)
+	for i, c := range cand {
+		clean := ctx.DB.ComponentOf(c) != dirty
+		if clean && first[i] != second[i] {
+			t.Fatalf("clean candidate %d re-scored differently: %v vs %v", c, first[i], second[i])
+		}
+	}
+	// The dirty component was genuinely re-scored: its candidates missed.
+	var dirtyCands int64
+	for _, c := range cand {
+		if ctx.DB.ComponentOf(c) == dirty {
+			dirtyCands++
+		}
+	}
+	if dirtyCands == 0 {
+		t.Skip("candidate pool missed the dirty component")
+	}
+	if hits := ctx.Gains.Hits(); hits != int64(len(cand))-dirtyCands {
+		t.Fatalf("hits = %d, want %d clean candidates", hits, int64(len(cand))-dirtyCands)
+	}
+}

@@ -31,6 +31,12 @@ import (
 type Pool struct {
 	engine  *em.Engine
 	workers []Worker
+	// legacyBase feeds legacySeed, the pool-cached per-round seed
+	// closure of the cache-less Score path: rebuilding the closure per
+	// round would put one heap allocation back on a scoring path that
+	// is advertised — and benchmark-gated — as allocation-free.
+	legacyBase uint64
+	legacySeed func(c int) int64
 }
 
 // Worker is one scoring lane of a Pool: a persistent worker chain plus
@@ -109,6 +115,24 @@ func workerCount(requested, nTasks int) int {
 // stream — and hence the selection trace — identical across parallelism
 // settings.
 func (p *Pool) Score(ctx *Context, cand []int, fn func(w *Worker, c int) float64) []float64 {
+	p.legacyBase = ctx.RNG.Uint64()
+	if p.legacySeed == nil {
+		p.legacySeed = func(c int) int64 {
+			return stats.StreamSeed(p.legacyBase, uint64(c))
+		}
+	}
+	return p.ScoreSeeded(ctx, cand, p.legacySeed, fn)
+}
+
+// ScoreSeeded is Score with caller-controlled per-candidate seeds and no
+// RNG draw of its own. The gain-cache scoring path uses it with seeds
+// derived from per-component epochs instead of a per-round draw, which
+// is what makes a candidate's gain reproducible across rounds while its
+// component is clean — the exactness the cross-answer cache depends on.
+// Determinism across worker counts is unchanged: a candidate's chain is
+// reseeded from seedOf(c) wherever it runs, and every what-if excursion
+// is rolled back.
+func (p *Pool) ScoreSeeded(ctx *Context, cand []int, seedOf func(c int) int64, fn func(w *Worker, c int) float64) []float64 {
 	if len(cand) == 0 {
 		return nil
 	}
@@ -122,10 +146,9 @@ func (p *Pool) Score(ctx *Context, cand []int, fn func(w *Worker, c int) float64
 	for i := range ws {
 		ws[i].Chain = chains[i]
 	}
-	base := ctx.RNG.Uint64()
 	score := func(w *Worker, i int) {
 		c := cand[i]
-		w.Chain.Reseed(stats.StreamSeed(base, uint64(c)))
+		w.Chain.Reseed(seedOf(c))
 		gains[i] = fn(w, c)
 	}
 	if n == 1 {

@@ -19,18 +19,17 @@ import (
 // RetryPolicy bounds the client's retry-with-jittered-backoff on
 // transient transport errors (connection refused/reset, a server
 // restarting mid-request). Only transport-level failures are retried:
-// an HTTP response — any status — means the server made a decision, and
-// replaying a non-idempotent request it already applied would corrupt
-// the session protocol (the expected-claim check turns such a replay
-// into a 409, but there is no reason to provoke it).
+// an HTTP response — any status — means the server made a decision and
+// is never replayed.
 //
-// The applied-but-response-lost window remains, as in any retry scheme
-// without server-side idempotency keys: a connection torn down after
-// the server committed the request looks like a transport failure, so
-// the replay can duplicate it. The protocol bounds the damage — a
-// replayed answer trips the expected-claim check (409), and a replayed
-// open strands an extra session that idle-TTL eviction reclaims — which
-// is why the policy is opt-in rather than default.
+// The applied-but-response-lost window (a connection torn down after
+// the server committed the request, making the retry look like a fresh
+// submission) is closed for answer submission by server-side
+// idempotency: the server memoises the last applied answer and replays
+// its stored response to an exact duplicate, and clients that echo
+// NextResponse.Seq into AnswerRequest.Seq get the stale-sequence check
+// on top. A replayed open can still strand an extra session, which
+// idle-TTL eviction reclaims — the reason the policy stays opt-in.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts (first try included);
 	// values below 2 disable retrying.

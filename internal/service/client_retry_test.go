@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -105,5 +106,99 @@ func TestClientDoesNotRetryHTTPErrors(t *testing.T) {
 	}
 	if got := client.Retries(); got != 0 {
 		t.Fatalf("Retries() = %d, want 0 for an HTTP-level error", got)
+	}
+}
+
+// applyThenDropHandler serves the first POST …/answer on the real
+// handler via a recorder — so the manager fully applies it — then slams
+// the connection without sending the response: the worst-case transport
+// failure, committed server-side but lost on the wire. Every other
+// request passes through.
+func applyThenDropHandler(next http.Handler) http.Handler {
+	var done atomic.Bool
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/answer") && done.CompareAndSwap(false, true) {
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			if rec.Code/100 != 2 {
+				panic("apply-then-drop: the dropped request was not applied")
+			}
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func TestAnswerRetryAfterAppliedResponseLostIsIdempotent(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	srv := httptest.NewServer(applyThenDropHandler(NewServer(m).Handler()))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retry = retryTestPolicy(4)
+	info, err := client.Open(fastOpen("wiki", 0.08, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != 0 {
+		t.Fatalf("fresh session Seq = %d, want 0", next.Seq)
+	}
+
+	// The first attempt is applied and then dropped; the retry must be
+	// recognised as a duplicate and served the stored response instead
+	// of a 409 — and the transcript must hold the answer exactly once.
+	seq := next.Seq
+	st, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq})
+	if err != nil {
+		t.Fatalf("retried answer: %v", err)
+	}
+	if client.Retries() == 0 {
+		t.Fatal("the drop handler never forced a retry")
+	}
+	if st.Labeled != 1 {
+		t.Fatalf("labeled = %d, want 1", st.Labeled)
+	}
+	snap, err := client.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Elicitations) != 1 {
+		t.Fatalf("transcript holds %d elicitations after the retry, want exactly 1: %+v",
+			len(snap.Elicitations), snap.Elicitations)
+	}
+
+	// The session continues normally from the response's sequence.
+	next, err = client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != st.Seq || next.Seq != 1 {
+		t.Fatalf("sequence after retry: next=%d state=%d, want 1", next.Seq, st.Seq)
+	}
+	seq2 := next.Seq
+	if _, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq2}); err != nil {
+		t.Fatalf("follow-up answer: %v", err)
+	}
+
+	// A genuinely stale sequence (not a duplicate of the last applied
+	// request) is a conflict, not a silent replay.
+	stale := 0
+	_, err = client.Answer(info.ID, AnswerRequest{Claim: 0, Verdict: true, Seq: &stale})
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("stale sequence: want HTTP 409, got %v", err)
 	}
 }

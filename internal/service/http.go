@@ -168,7 +168,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone):
+	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone), errors.Is(err, ErrSeq):
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, err)

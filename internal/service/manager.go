@@ -62,6 +62,10 @@ var (
 	// ErrWrongClaim reports an answer that does not address the claim
 	// the guidance loop is currently asking about.
 	ErrWrongClaim = errors.New("service: answer does not address the expected claim")
+	// ErrSeq reports an answer whose client-declared transcript sequence
+	// neither matches the transcript's current length nor identifies the
+	// most recently applied request (a stale or out-of-order client).
+	ErrSeq = errors.New("service: answer sequence does not match the transcript")
 	// ErrDone reports an answer submitted to a finished session.
 	ErrDone = errors.New("service: session has no unlabelled claims left")
 	// ErrFull reports that the manager's session cap is reached.
@@ -107,6 +111,17 @@ type OpenRequest struct {
 	// auto-skipped on the server path, since the ask/answer protocol has
 	// no synchronous re-elicitation channel.
 	ConfirmEvery float64 `json:"confirmEvery,omitempty"`
+	// Communities, when >= 2, opens the session over a multi-community
+	// corpus: that many independent replicas of the profile at 1/N size,
+	// merged over disjoint id spaces (synth.GenerateCommunities). The
+	// component structure is what the per-answer dirty-component path
+	// feeds on; single-community profiles are (nearly) fully connected.
+	Communities int `json:"communities,omitempty"`
+	// FullSweepEvery sets the cadence of full EM parameter sweeps
+	// (core.Options.FullSweepEvery): answers in between run the
+	// component-restricted incremental inference + re-ranking path.
+	// 0 selects the core default; 1 restores per-answer EM.
+	FullSweepEvery int `json:"fullSweepEvery,omitempty"`
 	// EM overrides individual inference budgets.
 	EM *EMBudgets `json:"em,omitempty"`
 }
@@ -151,6 +166,9 @@ type NextResponse struct {
 	Iteration  int         `json:"iteration"`
 	Candidates []Candidate `json:"candidates"`
 	Done       bool        `json:"done"`
+	// Seq is the transcript sequence the next answer will commit at;
+	// echo it in AnswerRequest.Seq to make the submission idempotent.
+	Seq int `json:"seq"`
 }
 
 // AnswerRequest submits a verdict for the currently expected claim.
@@ -164,6 +182,15 @@ type AnswerRequest struct {
 	Verdict bool `json:"verdict"`
 	Skip    bool `json:"skip,omitempty"`
 	Oracle  bool `json:"oracle,omitempty"`
+	// Seq, when set, is the transcript sequence the client expects this
+	// answer to commit at (from NextResponse.Seq / StateResponse.Seq).
+	// It makes submission idempotent against transport-level replays: a
+	// connection torn down after the server applied the answer makes the
+	// retry look like a fresh request, and without the sequence the
+	// server could only answer it with a spurious conflict. A duplicate
+	// of the most recently applied request returns that request's stored
+	// response; a genuinely stale sequence is rejected with ErrSeq.
+	Seq *int `json:"seq,omitempty"`
 }
 
 // StateResponse reports a session's progress. Expected is the claim the
@@ -171,16 +198,19 @@ type AnswerRequest struct {
 // the first ranking is computed); answer loops can follow it without an
 // extra GET /next round-trip.
 type StateResponse struct {
-	ID         string    `json:"id"`
-	Iterations int       `json:"iterations"`
-	Labeled    int       `json:"labeled"`
-	Claims     int       `json:"claims"`
-	Effort     float64   `json:"effort"`
-	Z          float64   `json:"z"`
-	Precision  float64   `json:"precision"`
-	Done       bool      `json:"done"`
-	Expected   int       `json:"expected"`
-	Marginals  []float64 `json:"marginals,omitempty"`
+	ID         string  `json:"id"`
+	Iterations int     `json:"iterations"`
+	Labeled    int     `json:"labeled"`
+	Claims     int     `json:"claims"`
+	Effort     float64 `json:"effort"`
+	Z          float64 `json:"z"`
+	Precision  float64 `json:"precision"`
+	Done       bool    `json:"done"`
+	Expected   int     `json:"expected"`
+	// Seq is the transcript sequence the next answer will commit at (see
+	// AnswerRequest.Seq).
+	Seq       int       `json:"seq"`
+	Marginals []float64 `json:"marginals,omitempty"`
 }
 
 // Health is the GET /healthz payload: live and spilled session counts
@@ -254,6 +284,16 @@ type Session struct {
 	// walLen counts elicitations appended to the store since the last
 	// checkpoint; reaching Config.CheckpointEvery triggers compaction.
 	walLen int
+	// lastApplied memoises the most recently applied answer request and
+	// its response. A retried POST whose first response was lost on the
+	// wire (connection reset after the server committed) arrives as an
+	// exact duplicate; replaying the stored response instead of
+	// re-judging the request keeps the transcript single-writer and the
+	// client protocol in sync. The memo does not survive a crash or
+	// spill — a retry racing a revival gets the historical conflict
+	// answer, but never a double-applied transcript (the WAL is appended
+	// before any response leaves).
+	lastApplied *appliedAnswer
 
 	lastUsed time.Time // guarded by the manager's mu
 }
@@ -538,14 +578,21 @@ func buildOptions(req OpenRequest) (core.Options, error) {
 		}
 	}
 	return core.Options{
-		Strategy:      strat,
-		Budget:        req.Budget,
-		CandidatePool: req.CandidatePool,
-		ConfirmEvery:  req.ConfirmEvery,
-		EM:            cfg,
-		Seed:          req.Seed,
+		Strategy:       strat,
+		Budget:         req.Budget,
+		CandidatePool:  req.CandidatePool,
+		ConfirmEvery:   req.ConfirmEvery,
+		FullSweepEvery: req.FullSweepEvery,
+		EM:             cfg,
+		Seed:           req.Seed,
 	}, nil
 }
+
+// BuildOptions translates an OpenRequest into the core session options
+// the server would run it with. It is exported for tools (trace
+// checkers, benchmarks) that must reproduce a served session's exact
+// selection trace through the in-process library path.
+func BuildOptions(req OpenRequest) (core.Options, error) { return buildOptions(req) }
 
 // Admission bounds on a generated session corpus: one oversized open
 // request must not be able to exhaust the server's memory.
@@ -577,13 +624,29 @@ func BuildCorpus(req OpenRequest) (*synth.Corpus, error) {
 	if scale != 1 {
 		p = prof.Scaled(scale)
 	}
-	if p.Claims > maxCorpusClaims || p.Documents > maxCorpusDocuments || p.Sources > maxCorpusSources {
+	parts := req.Communities
+	if parts < 0 {
+		return nil, fmt.Errorf("service: negative community count %d", parts)
+	}
+	if parts <= 1 {
+		parts = 1
+	}
+	// Admission sizes the merged corpus: parts replicas of the
+	// per-community sub-profile (whose floors can round sizes up).
+	sub := synth.CommunityProfile(p, parts)
+	if sub.Claims*parts > maxCorpusClaims || sub.Documents*parts > maxCorpusDocuments || sub.Sources*parts > maxCorpusSources {
 		return nil, fmt.Errorf(
-			"service: scale %v yields %d claims / %d documents / %d sources, above the serving cap (%d/%d/%d)",
-			scale, p.Claims, p.Documents, p.Sources,
+			"service: scale %v × %d communities yields %d claims / %d documents / %d sources, above the serving cap (%d/%d/%d)",
+			scale, parts, sub.Claims*parts, sub.Documents*parts, sub.Sources*parts,
 			maxCorpusClaims, maxCorpusDocuments, maxCorpusSources)
 	}
-	return synth.GenerateChecked(p, req.Seed)
+	if parts == 1 {
+		return synth.GenerateChecked(p, req.Seed)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	return synth.GenerateCommunities(p, parts, req.Seed), nil
 }
 
 func newID() string {
@@ -935,7 +998,7 @@ func (m *Manager) Next(id string, k int) (NextResponse, error) {
 }
 
 func (s *Session) next(k int) NextResponse {
-	resp := NextResponse{ID: s.id, Iteration: s.core.Iterations()}
+	resp := NextResponse{ID: s.id, Iteration: s.core.Iterations(), Seq: s.core.TranscriptLen()}
 	if s.budgetExhausted() {
 		// Checked before ranking: a finished session must not pay for
 		// (and then discard) a scoring round.
@@ -1050,7 +1113,40 @@ func (m *Manager) persistTail(s *Session, from int) error {
 	return nil
 }
 
+// appliedAnswer memoises one applied answer for duplicate detection:
+// the request, the transcript sequence it was applied at, and the
+// response the client may never have received.
+type appliedAnswer struct {
+	req  AnswerRequest
+	seq  int
+	resp StateResponse
+}
+
+// duplicateOf reports whether req is a replay of the memoised request:
+// identical in every field and pointing at the sequence the original
+// was applied at. Only sequence-carrying requests participate — the
+// declared sequence is the client's idempotency key; without it a
+// resubmission keeps the historical conflict semantics, since content
+// alone cannot distinguish a retry from a deliberate second submission.
+func (la *appliedAnswer) duplicateOf(req AnswerRequest) bool {
+	if la == nil || req.Seq == nil || *req.Seq != la.seq {
+		return false
+	}
+	a, b := la.req, req
+	return a.Claim == b.Claim && a.Verdict == b.Verdict && a.Skip == b.Skip && a.Oracle == b.Oracle
+}
+
 func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
+	// Idempotency: a replay of the most recently applied request (a
+	// client retry after its response was lost in transit) returns the
+	// stored response instead of double-submitting or conflicting.
+	if s.lastApplied.duplicateOf(req) {
+		return s.lastApplied.resp, nil
+	}
+	if req.Seq != nil && *req.Seq != s.core.TranscriptLen() {
+		return StateResponse{}, fmt.Errorf("%w: expected sequence %d, got %d",
+			ErrSeq, s.core.TranscriptLen(), *req.Seq)
+	}
 	if s.budgetExhausted() {
 		return StateResponse{}, ErrDone
 	}
@@ -1067,6 +1163,8 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 		verdict = s.corpus.Truth[req.Claim]
 	}
 
+	seqAtApply := s.core.TranscriptLen()
+
 	if req.Skip && !s.skipped && len(rank) > 1 {
 		// First skip: the question moves to the second-best candidate
 		// (§8.5); nothing reaches the model yet. With a single
@@ -1074,7 +1172,9 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 		// and the loop accepts the model value, exactly like the
 		// library path.
 		s.skipped = true
-		return s.state(false), nil
+		resp := s.state(false)
+		s.lastApplied = &appliedAnswer{req: req, seq: seqAtApply, resp: resp}
+		return resp, nil
 	}
 
 	// Assemble the scripted responses this Step will consume: the
@@ -1099,7 +1199,9 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 	if !s.budgetExhausted() {
 		_ = s.ranking()
 	}
-	return s.state(false), nil
+	resp := s.state(false)
+	s.lastApplied = &appliedAnswer{req: req, seq: seqAtApply, resp: resp}
+	return resp, nil
 }
 
 // scriptUser answers the Alg. 1 loop from a fixed queue; elicitations
@@ -1145,6 +1247,7 @@ func (s *Session) state(withMarginals bool) StateResponse {
 		Z:          cs.ZScore(),
 		Precision:  cs.Precision(s.corpus.Truth),
 		Expected:   -1,
+		Seq:        cs.TranscriptLen(),
 	}
 	resp.Done = cs.State.NumLabeled() >= s.corpus.DB.NumClaims || s.budgetExhausted()
 	if rank, ok := s.cachedRanking(); ok {

@@ -488,3 +488,73 @@ func TestGenerateCorpusProfileValidation(t *testing.T) {
 		t.Fatalf("unexpected profile %q", c.Profile.Name)
 	}
 }
+
+// TestServedCommunityTraceMatchesLibrary extends the trace-fidelity
+// guarantee to the incremental serving path: a session over a
+// multi-community (multi-component) corpus, running the default
+// dirty-component re-ranking cadence, must match the in-process library
+// path answer for answer.
+func TestServedCommunityTraceMatchesLibrary(t *testing.T) {
+	req := fastOpen("wiki", 0.4, 17)
+	req.Communities = 4
+	req.CandidatePool = 8
+
+	opts, err := BuildOptions(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	corpus, err := BuildCorpus(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.DB.NumComponents() < 4 {
+		t.Fatalf("community corpus has %d components, want >= 4", corpus.DB.NumComponents())
+	}
+	ref, err := core.OpenSession(corpus.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: corpus.Truth}
+	const steps = 10
+	for i := 0; i < steps; i++ {
+		ref.Step(oracle)
+	}
+	if ref.GainCache().Hits() == 0 {
+		t.Fatal("library reference never hit the gain cache — test is vacuous")
+	}
+
+	client, _ := newTestServer(t, Config{Workers: 2})
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		seq := next.Seq
+		if _, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq}); err != nil {
+			t.Fatal(err)
+		}
+		next, err = client.Next(info.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := client.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := ref.History()
+	if len(snap.Elicitations) != len(hist) {
+		t.Fatalf("trace lengths differ: served %d, library %d", len(snap.Elicitations), len(hist))
+	}
+	for i, e := range snap.Elicitations {
+		if e.Claim != hist[i].Claim || e.Verdict != hist[i].Verdict {
+			t.Fatalf("trace diverged at %d: served (%d,%v), library (%d,%v)",
+				i, e.Claim, e.Verdict, hist[i].Claim, hist[i].Verdict)
+		}
+	}
+}

@@ -20,8 +20,9 @@ const histFloor = 1e-9
 // boundaries grow geometrically, so quantile estimates carry a bounded
 // relative error at every magnitude — unlike the fixed-width Histogram
 // function in this package, which needs the range up front. The zero
-// value is not ready; use NewLogHist. Not safe for concurrent use;
-// callers guard it.
+// value is an empty histogram ready for use (the bucket map is created
+// lazily); NewLogHist remains for callers that prefer a pointer. Not
+// safe for concurrent use; callers guard it.
 type LogHist struct {
 	counts   map[int]int64
 	count    int64
@@ -34,9 +35,39 @@ func NewLogHist() *LogHist {
 	return &LogHist{counts: make(map[int]int64)}
 }
 
-// bucketIndex returns the bucket holding x: floor(log_growth(x)).
+// ensure lazily creates the bucket map, making the zero-value LogHist
+// usable: `var h LogHist; h.Add(x)` must count x, not panic on a nil
+// map write.
+func (h *LogHist) ensure() {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+}
+
+// boundaryEps is the snap tolerance of bucketIndex: a value whose
+// log-ratio lands within this distance below an integer index is treated
+// as sitting exactly on the boundary. Bucket indices span roughly
+// [-210, +210] for the supported range, where float64 log arithmetic is
+// accurate to ~1e-13, so 1e-9 comfortably covers libm rounding without
+// ever absorbing a genuine interior value (adjacent buckets are ~9%
+// apart, i.e. a full 1.0 in index space).
+const boundaryEps = 1e-9
+
+// bucketIndex returns the bucket holding x: floor(log_growth(x)), with a
+// boundary snap. Exact bucket boundaries g^k are not exactly
+// representable, and log(x)/log(g) for such values may round to just
+// below k on one libm and just above it on another — shifting the value
+// into bucket k−1 on some machines and k on others, which in turn moves
+// quantile estimates by a whole bucket across platforms. Snapping
+// near-integer ratios up makes the boundary assignment deterministic:
+// g^k always lands in bucket k.
 func bucketIndex(x float64) int {
-	return int(math.Floor(math.Log(x) / math.Log(histGrowth)))
+	r := math.Log(x) / math.Log(histGrowth)
+	i := math.Floor(r)
+	if r-i >= 1-boundaryEps {
+		i++
+	}
+	return int(i)
 }
 
 // bucketLo returns the lower boundary of bucket i.
@@ -51,6 +82,7 @@ func (h *LogHist) Add(x float64) {
 	if !(x > histFloor) { // catches NaN too
 		x = histFloor
 	}
+	h.ensure()
 	h.counts[bucketIndex(x)]++
 	if h.count == 0 || x < h.min {
 		h.min = x
@@ -89,11 +121,13 @@ func (h *LogHist) Max() float64 {
 	return h.max
 }
 
-// Merge adds every observation of o into h.
+// Merge adds every observation of o into h. Both a nil/empty o and a
+// zero-value receiver are handled: merging into `var h LogHist` works.
 func (h *LogHist) Merge(o *LogHist) {
 	if o == nil || o.count == 0 {
 		return
 	}
+	h.ensure()
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}

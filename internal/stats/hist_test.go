@@ -130,3 +130,65 @@ func TestLogHistBuckets(t *testing.T) {
 		t.Fatalf("100.0 outside last bucket %+v", bs[1])
 	}
 }
+
+func TestLogHistZeroValueUsable(t *testing.T) {
+	// The zero value must behave like NewLogHist(): Add and Merge used to
+	// panic on the nil bucket map.
+	var h LogHist
+	h.Add(0.25)
+	h.Add(4)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Min() != 0.25 || h.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+
+	var dst LogHist
+	src := NewLogHist()
+	src.Add(1)
+	src.Add(2)
+	dst.Merge(src)
+	if dst.Count() != 2 || dst.Min() != 1 || dst.Max() != 2 {
+		t.Fatalf("merge into zero value: %+v", dst.Summary())
+	}
+
+	// Merging a zero-value (and a nil) source is a no-op, not a panic.
+	var empty LogHist
+	dst.Merge(&empty)
+	dst.Merge(nil)
+	if dst.Count() != 2 {
+		t.Fatalf("Count after empty merges = %d, want 2", dst.Count())
+	}
+}
+
+func TestLogHistBucketBoundariesExact(t *testing.T) {
+	// Exact bucket boundaries g^k must land in bucket k on every libm:
+	// without the snap guard, floor(log(g^k)/log(g)) flips to k-1 when
+	// the quotient rounds just below k, shifting quantiles by a bucket
+	// across machines.
+	for k := -60; k <= 60; k++ {
+		x := math.Pow(histGrowth, float64(k))
+		if got := bucketIndex(x); got != k {
+			t.Fatalf("bucketIndex(g^%d) = %d, want %d", k, got, k)
+		}
+		// The bucket's exported bounds must contain the boundary value.
+		h := NewLogHist()
+		h.Add(x)
+		b := h.Buckets()
+		if len(b) != 1 {
+			t.Fatalf("k=%d: %d buckets", k, len(b))
+		}
+		if !(b[0].Lo <= x*(1+1e-12)) || !(x < b[0].Hi) {
+			t.Fatalf("k=%d: %v outside [%v, %v)", k, x, b[0].Lo, b[0].Hi)
+		}
+	}
+	// Interior values are untouched by the snap: the geometric midpoint
+	// of bucket k stays in bucket k.
+	for k := -60; k <= 60; k++ {
+		mid := math.Pow(histGrowth, float64(k)+0.5)
+		if got := bucketIndex(mid); got != k {
+			t.Fatalf("bucketIndex(midpoint of %d) = %d", k, got)
+		}
+	}
+}

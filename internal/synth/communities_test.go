@@ -1,0 +1,58 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateCommunitiesIsMultiComponent(t *testing.T) {
+	parts := 8
+	c := GenerateCommunities(Wikipedia, parts, 7)
+	db := c.DB
+	if db.NumComponents() < parts {
+		t.Fatalf("components = %d, want >= %d", db.NumComponents(), parts)
+	}
+	if db.NumClaims != len(c.Truth) || db.NumClaims != len(c.ClaimOrder) {
+		t.Fatalf("sizes inconsistent: %d claims, %d truth, %d order",
+			db.NumClaims, len(c.Truth), len(c.ClaimOrder))
+	}
+	if len(c.SourceTrust) != len(db.Sources) {
+		t.Fatalf("source trust length %d for %d sources", len(c.SourceTrust), len(db.Sources))
+	}
+	// The merged profile reports the merged sizes.
+	if c.Profile.Claims != db.NumClaims || c.Profile.Sources != len(db.Sources) {
+		t.Fatalf("profile sizes %d/%d vs db %d/%d",
+			c.Profile.Claims, c.Profile.Sources, db.NumClaims, len(db.Sources))
+	}
+	// ClaimOrder must remain a permutation of the merged claim space.
+	seen := make([]bool, db.NumClaims)
+	for _, cl := range c.ClaimOrder {
+		if cl < 0 || cl >= db.NumClaims || seen[cl] {
+			t.Fatalf("ClaimOrder not a permutation at claim %d", cl)
+		}
+		seen[cl] = true
+	}
+}
+
+func TestGenerateCommunitiesDeterministic(t *testing.T) {
+	a := GenerateCommunities(Wikipedia.Scaled(0.5), 4, 11)
+	b := GenerateCommunities(Wikipedia.Scaled(0.5), 4, 11)
+	if !reflect.DeepEqual(a.Truth, b.Truth) || !reflect.DeepEqual(a.ClaimOrder, b.ClaimOrder) {
+		t.Fatal("same (profile, parts, seed) produced different corpora")
+	}
+	if !reflect.DeepEqual(a.DB.Documents, b.DB.Documents) {
+		t.Fatal("documents diverged")
+	}
+	c := GenerateCommunities(Wikipedia.Scaled(0.5), 4, 12)
+	if reflect.DeepEqual(a.Truth, c.Truth) {
+		t.Fatal("different seeds produced identical truth")
+	}
+}
+
+func TestGenerateCommunitiesSinglePartFallsBack(t *testing.T) {
+	a := GenerateCommunities(Wikipedia.Scaled(0.25), 1, 5)
+	b := Generate(Wikipedia.Scaled(0.25), 5)
+	if !reflect.DeepEqual(a.Truth, b.Truth) {
+		t.Fatal("parts=1 must be plain Generate")
+	}
+}

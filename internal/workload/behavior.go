@@ -193,6 +193,11 @@ func (u *fleetUser) round(rec *recorder) (think float64, done bool) {
 		return 0, true
 	}
 	req, think := u.respond(next.Candidates[0].Claim)
+	// Declare the expected transcript sequence so a retried submission
+	// (client retry is on by default in loadtest fleets) is idempotent
+	// server-side instead of tripping a conflict.
+	seq := next.Seq
+	req.Seq = &seq
 	var st service.StateResponse
 	err = rec.timed(opAnswer, func() error {
 		var err error

@@ -71,6 +71,7 @@ answer_loop() {
     st=$(curl -sf -X POST "$base/sessions/$id/answer" \
       -H 'Content-Type: application/json' \
       -d "{\"claim\":$claim,\"oracle\":true}") || fail "answer $i rejected"
+    trace="$trace $claim"
     answers=$((answers + 1))
     precision=$(echo "$st" | grep -o '"precision":[0-9.]*' | cut -d: -f2)
     echo "smoke: answer $answers -> precision $precision"
@@ -86,9 +87,13 @@ start_server server1.log
 grep -q 'recovered 0 stored session(s)' "$server_log" \
   || fail "fresh data dir did not announce an empty recovery"
 
+# The session opens over a 3-community corpus: multiple connected
+# components make the default incremental dirty-component re-ranking
+# path (DESIGN.md §12) do real partial re-scoring, which the library
+# trace comparison below then validates end to end.
 open=$(curl -sf -X POST "$base/sessions" \
   -H 'Content-Type: application/json' \
-  -d '{"profile":"wiki","scale":0.1,"seed":42,"candidatePool":8}') \
+  -d '{"profile":"wiki","scale":0.1,"seed":42,"candidatePool":8,"communities":3}') \
   || fail "open request rejected"
 id=$(echo "$open" | grep -o '"id":"[^"]*"' | cut -d'"' -f4)
 [ -n "$id" ] || fail "no session id in: $open"
@@ -98,6 +103,7 @@ next=$(curl -sf "$base/sessions/$id/next?k=1") || fail "first /next rejected"
 claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
 [ -n "$claim" ] || fail "no candidate in: $next"
 answers=0
+trace=""
 answer_loop 6
 [ "$answers" -ge 1 ] || fail "no answers driven"
 
@@ -142,6 +148,18 @@ claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
 [ -n "$claim" ] || fail "no candidate after recovery in: $next"
 answer_loop 4
 [ "$answers" -ge 7 ] || fail "resumed session only reached $answers answers"
+
+# Trace fidelity across the incremental path and the crash: the claims
+# the served session asked (before and after the SIGKILL) must be the
+# exact sequence the in-process library path produces for the same
+# configuration.
+want_trace=$(go run ./scripts/tracecheck -profile wiki -scale 0.1 -communities 3 \
+  -seed 42 -pool 8 -steps "$answers") || fail "tracecheck failed"
+got_trace=$(echo $trace)
+[ "$got_trace" = "$want_trace" ] || fail "served trace diverged from the library path:
+served:  $got_trace
+library: $want_trace"
+echo "smoke: served trace matches the library path ($answers answers)"
 
 snap=$(curl -sf "$base/sessions/$id/snapshot") || fail "final snapshot rejected"
 n=$(echo "$snap" | grep -o '"claim":' | wc -l)

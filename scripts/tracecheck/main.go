@@ -1,0 +1,65 @@
+// tracecheck prints the oracle-answered selection trace the in-process
+// library path produces for a served session's opening configuration.
+// serve_smoke.sh drives the same configuration over HTTP and asserts the
+// two claim sequences are identical — the trace-fidelity guarantee of
+// DESIGN.md §8 extended to the incremental dirty-component re-ranking
+// path (§12), checked end to end through a real server process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"factcheck/internal/core"
+	"factcheck/internal/service"
+	"factcheck/internal/sim"
+)
+
+func main() {
+	profile := flag.String("profile", "wiki", "corpus profile name")
+	scale := flag.Float64("scale", 1, "profile scale")
+	seed := flag.Int64("seed", 42, "session seed")
+	pool := flag.Int("pool", 0, "candidate pool bound")
+	communities := flag.Int("communities", 0, "multi-community corpus parts")
+	steps := flag.Int("steps", 8, "oracle answers to trace")
+	flag.Parse()
+
+	req := service.OpenRequest{
+		Profile:       *profile,
+		Scale:         *scale,
+		Seed:          *seed,
+		CandidatePool: *pool,
+		Communities:   *communities,
+	}
+	opts, err := service.BuildOptions(req)
+	if err != nil {
+		fatal(err)
+	}
+	corpus, err := service.BuildCorpus(req)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.OpenSession(corpus.DB, opts)
+	if err != nil {
+		fatal(err)
+	}
+	oracle := &sim.Oracle{Truth: corpus.Truth}
+	for i := 0; i < *steps; i++ {
+		if s.Step(oracle) {
+			break
+		}
+	}
+	for i, e := range s.Snapshot().Elicitations {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(e.Claim)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}
