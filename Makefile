@@ -10,9 +10,9 @@ GO ?= go
 BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank
 
 .PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
-	bench-smoke bench bench-json bench-gate bench-baseline
+	router-smoke bench-smoke bench bench-json bench-gate bench-baseline
 
-ci: fmt-check vet build test race cover bench-gate serve-smoke loadtest-smoke
+ci: fmt-check vet build test race cover bench-gate serve-smoke loadtest-smoke router-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
@@ -31,13 +31,14 @@ test:
 
 # Race-enabled coverage of the concurrent subsystems: the multi-session
 # service (64 auto-driven sessions multiplexing onto one shared worker
-# budget, plus crash-recovery and spill/revive paths), the streaming
-# engine (interleaved arrivals/validations), the workload runner (a
-# 64-user closed-loop fleet driving a real HTTP server in wall mode),
-# and the core session loop (the incremental-vs-full ranking property
-# test across worker counts).
+# budget, plus crash-recovery and spill/revive paths), the shard router
+# (drain migrations raced against answers, SIGKILL failover), the
+# streaming engine (interleaved arrivals/validations), the workload
+# runner (a 64-user closed-loop fleet driving a real HTTP server in
+# wall mode), and the core session loop (the incremental-vs-full
+# ranking property test across worker counts).
 race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/service/... ./internal/stream/... ./internal/workload/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/router/... ./internal/service/... ./internal/stream/... ./internal/workload/...
 
 # Coverage gate over the implementation packages; the floor lives in
 # scripts/cover_check.sh and only ratchets up.
@@ -57,6 +58,14 @@ serve-smoke:
 # two runs are byte-identical; then run every shipped scenario preset.
 loadtest-smoke:
 	./scripts/loadtest_smoke.sh
+
+# Boot three backends on one shared data dir behind factcheck-router,
+# SIGKILL the owning backend mid-session, drain the next owner via
+# /fleet/leave, and assert the served trace stayed bit-identical to the
+# library path; then a wall-mode loadtest through the router with a
+# mid-run drain, asserting the fleet-aggregated /metrics scrape.
+router-smoke:
+	./scripts/router_smoke.sh
 
 # A short benchmark invocation that exercises the parallel scoring hot
 # path without the full experiment sweep.

@@ -1,0 +1,120 @@
+// Command factcheck-router is the placement layer of a scaled-out
+// fact-checking fleet: it spreads sessions across N factcheck-server
+// backends with a consistent-hash ring (virtual nodes), health-probes
+// the fleet, and serves the exact single-server HTTP API — so
+// service.Client, factcheck-loadtest, curl scripts, and anything else
+// written against one server drives a whole fleet unchanged.
+//
+// On top of the proxied session API it adds a control plane:
+//
+//	GET  /fleet        fleet membership, health, per-backend load
+//	POST /fleet/join   {"url": "http://backend"} — add a backend and
+//	                   rebalance (misplaced sessions migrate live)
+//	POST /fleet/leave  {"url": "http://backend"} — drain a backend:
+//	                   every session it owns migrates to its new ring
+//	                   owner, then it leaves the fleet
+//	GET  /healthz      fleet-summed health
+//	GET  /metrics      fleet-aggregated serving telemetry
+//
+// Sessions move between backends as their portable checkpoint+WAL
+// records (export → import → tombstone), rebuilt by the same replay
+// path crash recovery uses — selection traces stay bit-identical
+// across a migration. Requests that land mid-migration get 503 with
+// Retry-After, which service.Client rides out transparently. If a
+// backend dies outright (SIGKILL), the router drops it from the ring
+// on the first transport error; with backends sharing one -data-dir,
+// the new ring owner revives the session from the write-ahead log and
+// the trace continues without a gap.
+//
+// Usage:
+//
+//	factcheck-router -addr 127.0.0.1:9090 \
+//	    -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	factcheck-router -addr 127.0.0.1:0 -backends ...   # free port, announced
+//
+// SIGTERM drains gracefully: in-flight requests finish, then the
+// router exits. Sessions stay on their backends — the router holds no
+// session state, so restarting it (with the same backend set) restores
+// identical placement.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"factcheck/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+		backends = flag.String("backends", "", "comma-separated backend base URLs to join at boot")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = 64)")
+		probe    = flag.Duration("probe-interval", 2*time.Second, "health-probe period")
+		failN    = flag.Int("fail-after", 2, "consecutive failed probes before a backend leaves the ring")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stdout, "", log.LstdFlags)
+	rt := router.New(router.Config{
+		VNodes:        *vnodes,
+		ProbeInterval: *probe,
+		FailAfter:     *failN,
+		Logf:          logger.Printf,
+	})
+	defer rt.Close()
+
+	joined := 0
+	for _, b := range strings.Split(*backends, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if err := rt.Join(b); err != nil {
+			fmt.Fprintf(os.Stderr, "factcheck-router: %v\n", err)
+			os.Exit(1)
+		}
+		joined++
+	}
+
+	server := &http.Server{Handler: rt.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Announce the bound address (not the requested one) so scripts can
+	// use -addr host:0 and parse the port.
+	fmt.Printf("factcheck-router listening on http://%s (backends=%d vnodes=%d probe=%s)\n",
+		ln.Addr(), joined, *vnodes, *probe)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("factcheck-router: %s, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}()
+
+	if err := server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+	rt.Close()
+	fmt.Println("factcheck-router: stopped")
+}

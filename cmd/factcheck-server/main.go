@@ -56,6 +56,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		backendID   = flag.String("id", "", "backend id reported in /metrics, so a shard router's fleet view can attribute load (empty = anonymous)")
 		workers     = flag.Int("workers", 0, "shared worker-lane budget across all sessions (0 = GOMAXPROCS)")
 		idleTTL     = flag.Duration("idle-ttl", 30*time.Minute, "spill sessions idle this long to the snapshot store (0 disables eviction)")
 		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently live sessions (spilled sessions don't count)")
@@ -74,6 +75,7 @@ func main() {
 		store = fs
 	}
 	manager := service.NewManager(service.Config{
+		BackendID:       *backendID,
 		Workers:         *workers,
 		MaxSessions:     *maxSessions,
 		IdleTTL:         *idleTTL,

@@ -62,6 +62,17 @@ func NewFileStore(dir string) (*FileStore, error) {
 // Dir returns the store's directory.
 func (f *FileStore) Dir() string { return f.dir }
 
+// Location identifies the store by its absolute directory (Locator);
+// two FileStores on the same directory share records. Falls back to
+// the raw configured path if it cannot be made absolute.
+func (f *FileStore) Location() string {
+	abs, err := filepath.Abs(f.dir)
+	if err != nil {
+		return f.dir
+	}
+	return abs
+}
+
 // validID guards the filesystem namespace: session ids become file
 // names, so anything but [A-Za-z0-9_-] (e.g. a path separator) is
 // rejected rather than interpreted.

@@ -86,6 +86,16 @@ type Store interface {
 	Close() error
 }
 
+// Locator is an optional Store extension: a non-empty Location
+// identifies the storage the records live in (the absolute data
+// directory for FileStore), such that two stores reporting the same
+// location read and write the same records. A shard router uses this
+// to tell backends sharing one data directory from backends with
+// private stores — the two need different migration tombstoning.
+type Locator interface {
+	Location() string
+}
+
 // MemStore is the in-memory Store: records survive session eviction but
 // not the process. It is the session manager's default backend and the
 // conformance reference for FileStore.

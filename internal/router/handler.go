@@ -1,0 +1,300 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Handler returns the router's HTTP handler: the single-server session
+// API proxied to ring owners, the fleet aggregates of /healthz and
+// /metrics, and the /fleet control plane. A service.Client, the
+// workload harness, and every smoke script drive it exactly as they
+// drive one factcheck-server.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", rt.create)
+	mux.HandleFunc("GET /sessions", rt.listSessions)
+	mux.HandleFunc("/sessions/{id}", rt.proxySession)
+	mux.HandleFunc("/sessions/{id}/{rest...}", rt.proxySession)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, rt.AggregateHealth())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.AggregateMetrics(r.URL.Query().Get("buckets") != ""))
+	})
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, rt.Fleet())
+	})
+	mux.HandleFunc("POST /fleet/join", rt.fleetJoin)
+	mux.HandleFunc("POST /fleet/leave", rt.fleetLeave)
+	return mux
+}
+
+// create handles POST /sessions. The router, not the backend, draws
+// the session id: placement is a pure function of the id, so the id
+// must exist before an owner can be chosen. The chosen id is injected
+// into the forwarded body, which the execution layer honors
+// (createPayload.ID), keeping the externally visible contract — POST
+// returns the id you then address — identical to a single server.
+func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
+	var body map[string]any
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		body = map[string]any{}
+	} else if err := json.Unmarshal(raw, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		id = newID()
+		body["id"] = id
+	}
+	if rt.isMigrating(id) {
+		unavailable(w, "session is migrating")
+		return
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One re-resolve after a transport failure: marking the dead owner
+	// down reshapes the ring, so the second resolve places the session
+	// on a live backend.
+	for attempt := 0; attempt < 2; attempt++ {
+		b := rt.acquireOwner(id)
+		if b == nil {
+			unavailable(w, "no backends in the fleet")
+			return
+		}
+		resp, err := rt.send(b, r, "/sessions", buf)
+		if err != nil {
+			b.inflight.Done()
+			rt.markDown(b)
+			continue
+		}
+		copyResponse(w, resp)
+		b.inflight.Done()
+		return
+	}
+	writeError(w, http.StatusBadGateway, errors.New("router: no backend could open the session"))
+}
+
+// proxySession forwards one session request to the id's ring owner,
+// buffering the body so the request can be replayed if the owner turns
+// out to be dead. Mid-migration sessions answer 503 + Retry-After —
+// the client-side retry rides the gap out. /export and /import are
+// control-plane endpoints the router itself drives; proxying them
+// would move sessions behind the placement layer's back.
+func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rest := r.PathValue("rest")
+	if rest == "export" || rest == "import" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("router: export/import are migration internals; drive migrations via /fleet"))
+		return
+	}
+	if rt.isMigrating(id) {
+		unavailable(w, "session is migrating")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prev := ""
+	for attempt := 0; attempt < 3; attempt++ {
+		b := rt.ownerBackend(id)
+		if b == nil {
+			unavailable(w, "no backends in the fleet")
+			return
+		}
+		if b.base == prev {
+			break
+		}
+		prev = b.base
+		resp, err := rt.send(b, r, r.URL.RequestURI(), body)
+		if err != nil {
+			// The owner is unreachable: take it out of the ring and
+			// re-resolve. With a shared store the new owner revives the
+			// session from the record the WAL kept current; the PR-5
+			// answer idempotency absorbs a request the dead owner
+			// applied but never acknowledged.
+			rt.markDown(b)
+			prev = ""
+			continue
+		}
+		if resp.StatusCode == http.StatusGone {
+			// The backend exported this session: a migration completed
+			// between our flag check and the forward. Re-resolving now
+			// sees the post-migration ring and finds the new owner.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if rt.isMigrating(id) {
+				unavailable(w, "session is migrating")
+				return
+			}
+			continue
+		}
+		copyResponse(w, resp)
+		return
+	}
+	writeError(w, http.StatusBadGateway, errors.New("router: no reachable owner for the session"))
+}
+
+// listSessions aggregates GET /sessions across the fleet. Stored
+// records are deduplicated: with a shared store every backend lists
+// the same ones.
+func (rt *Router) listSessions(w http.ResponseWriter, _ *http.Request) {
+	live := map[string]bool{}
+	stored := map[string]bool{}
+	for _, b := range rt.upBackends() {
+		sl, err := b.client.Sessions()
+		if err != nil {
+			continue
+		}
+		for _, id := range sl.Live {
+			live[id] = true
+		}
+		for _, id := range sl.Stored {
+			stored[id] = true
+		}
+	}
+	out := struct {
+		Live   []string `json:"live"`
+		Stored []string `json:"stored"`
+	}{Live: []string{}, Stored: []string{}}
+	for id := range live {
+		out.Live = append(out.Live, id)
+	}
+	for id := range stored {
+		if !live[id] {
+			out.Stored = append(out.Stored, id)
+		}
+	}
+	sort.Strings(out.Live)
+	sort.Strings(out.Stored)
+	writeJSON(w, http.StatusOK, out)
+}
+
+type fleetRequest struct {
+	URL string `json:"url"`
+}
+
+func (rt *Router) fleetJoin(w http.ResponseWriter, r *http.Request) {
+	var req fleetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`router: body must be {"url": "http://backend"}`))
+		return
+	}
+	if err := rt.Join(req.URL); err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Fleet())
+}
+
+func (rt *Router) fleetLeave(w http.ResponseWriter, r *http.Request) {
+	var req fleetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`router: body must be {"url": "http://backend"}`))
+		return
+	}
+	if err := rt.Leave(req.URL); err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Fleet())
+}
+
+// isMigrating reports whether id is mid-migration.
+func (rt *Router) isMigrating(id string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.migrating[id]
+}
+
+// ownerBackend resolves id's ring owner to its backend.
+func (rt *Router) ownerBackend(id string) *backend {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	base, ok := rt.ring.Owner(id)
+	if !ok {
+		return nil
+	}
+	return rt.backends[base]
+}
+
+// acquireOwner resolves id's owner and registers an in-flight create
+// against it under the same lock, closing the race between a create's
+// placement decision and a concurrent drain's ring flip (the drain
+// waits for in-flight creates before its final sweep). The caller must
+// call inflight.Done.
+func (rt *Router) acquireOwner(id string) *backend {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	base, ok := rt.ring.Owner(id)
+	if !ok {
+		return nil
+	}
+	b := rt.backends[base]
+	if b != nil {
+		b.inflight.Add(1)
+	}
+	return b
+}
+
+// send forwards the request's method and body to one backend.
+func (rt *Router) send(b *backend, r *http.Request, uri string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(r.Method, b.base+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	} else if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return rt.hc.Do(req)
+}
+
+// copyResponse relays a backend response: status, the headers that
+// matter to this API (content type and the Retry-After backpressure
+// hint), and the body.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// unavailable answers 503 with the Retry-After hint the service client
+// honors.
+func unavailable(w http.ResponseWriter, why string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("router: "+why))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,573 @@
+package router
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"factcheck/internal/service"
+	"factcheck/internal/stats"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// VNodes is the virtual nodes per backend on the hash ring
+	// (<=0 = 64).
+	VNodes int
+	// ProbeInterval is the health-probe period (<=0 = 2s).
+	ProbeInterval time.Duration
+	// FailAfter is the consecutive probe failures before a backend is
+	// marked down and removed from the ring (<=0 = 2). A transport
+	// error on a proxied request marks it down immediately — the proxy
+	// has better evidence than the prober.
+	FailAfter int
+	// HTTPClient optionally overrides the transport used for proxying
+	// and control calls (nil = a client with a 60s timeout, enough for
+	// the slowest session open the profiles produce).
+	HTTPClient *http.Client
+	// Logf receives operational events: backends joining, leaving,
+	// failing, sessions migrating (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// backend is one fleet member: its control client plus the placement
+// layer's view of its health.
+type backend struct {
+	base   string
+	client *service.Client
+	// id is the backend's self-reported BackendID ("" = anonymous).
+	id string
+	// store is the backend's store location from /healthz; equal
+	// non-empty locations mean shared records (see persist.Locator).
+	store string
+	down  bool
+	fails int
+	// health is the last successful probe's payload, for the fleet
+	// view.
+	health service.Health
+	// inflight tracks create requests targeted at this backend, so a
+	// drain can wait for the create/ring race to settle before its
+	// final straggler sweep.
+	inflight sync.WaitGroup
+}
+
+// Router is the placement layer: a consistent-hash ring over a
+// registry of factcheck-server backends. It serves the single-server
+// HTTP API (see Handler) plus a /fleet control plane, and owns session
+// migration. All exported methods are safe for concurrent use.
+type Router struct {
+	cfg  Config
+	hc   *http.Client
+	logf func(format string, args ...any)
+
+	// opMu serializes control-plane operations (Join, Leave,
+	// rebalances): concurrent topology changes would race their
+	// migration plans. The data plane only takes mu.
+	opMu sync.Mutex
+
+	mu        sync.Mutex
+	ring      *Ring
+	backends  map[string]*backend
+	migrating map[string]bool
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns a router with no backends and starts its health-probe
+// loop. Close stops the loop.
+func New(cfg Config) *Router {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		cfg:       cfg,
+		hc:        hc,
+		logf:      logf,
+		ring:      NewRing(cfg.VNodes),
+		backends:  make(map[string]*backend),
+		migrating: make(map[string]bool),
+		stop:      make(chan struct{}),
+	}
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt
+}
+
+// Close stops the probe loop. Backends keep serving their sessions —
+// closing the router abandons placement, not execution.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+// Join registers a backend and rebalances: sessions whose ring owner
+// changed are migrated onto their new owners. The backend must answer
+// a health probe first — joining an unreachable backend is refused
+// rather than letting the ring route sessions into a black hole.
+// Rejoining a down backend resets its health state.
+func (rt *Router) Join(base string) error {
+	base = strings.TrimRight(base, "/")
+	if base == "" {
+		return errors.New("router: empty backend URL")
+	}
+	rt.opMu.Lock()
+	defer rt.opMu.Unlock()
+
+	cl := &service.Client{BaseURL: base, HTTPClient: rt.hc}
+	h, err := cl.Health()
+	if err != nil {
+		return fmt.Errorf("router: backend %s failed its join probe: %w", base, err)
+	}
+	id := base
+	if m, err := cl.Metrics(false); err == nil && m.BackendID != "" {
+		id = m.BackendID
+	}
+
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return errors.New("router: closed")
+	}
+	if b, ok := rt.backends[base]; ok && !b.down {
+		rt.mu.Unlock()
+		return fmt.Errorf("router: backend %s already joined", base)
+	}
+	rt.backends[base] = &backend{base: base, client: cl, id: id, store: h.Store, health: h}
+	rt.ring.Add(base)
+	rt.mu.Unlock()
+	rt.logf("router: backend %s (%s) joined, %d in ring", base, id, rt.Ring().Len())
+
+	rt.rebalance()
+	return nil
+}
+
+// Leave drains a backend and removes it from the fleet: every session
+// it owns is migrated to its new ring owner, with requests for a
+// session mid-move answered 503 + Retry-After instead of being routed
+// into the gap. The order matters — sessions are flagged before the
+// ring flips, so no request can reach a new owner that does not hold
+// the session yet.
+func (rt *Router) Leave(base string) error {
+	base = strings.TrimRight(base, "/")
+	rt.opMu.Lock()
+	defer rt.opMu.Unlock()
+
+	rt.mu.Lock()
+	b, ok := rt.backends[base]
+	rt.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("router: unknown backend %s", base)
+	}
+
+	// List before flipping the ring: the backend is still serving, and
+	// we need the ids to flag.
+	ids, err := rt.ownedSessions(b)
+	if err != nil {
+		return fmt.Errorf("router: cannot drain %s: %w", base, err)
+	}
+
+	rt.mu.Lock()
+	for _, id := range ids {
+		rt.migrating[id] = true
+	}
+	rt.ring.Remove(base)
+	rt.mu.Unlock()
+	rt.logf("router: draining backend %s (%s): %d session(s)", base, b.id, len(ids))
+
+	// Creates that resolved their owner before the ring flipped may
+	// still be in flight toward the leaving backend; wait for them so
+	// the straggler sweep below sees everything.
+	b.inflight.Wait()
+
+	failures := rt.migrateAll(b, ids)
+
+	// Straggler sweep: sessions created on b between our listing and
+	// the ring flip. The ring no longer places anything on b, so a few
+	// bounded rounds settle it.
+	for round := 0; round < 5; round++ {
+		more, err := rt.ownedSessions(b)
+		if err != nil || len(more) == 0 {
+			break
+		}
+		rt.mu.Lock()
+		for _, id := range more {
+			rt.migrating[id] = true
+		}
+		rt.mu.Unlock()
+		failures += rt.migrateAll(b, more)
+	}
+
+	rt.mu.Lock()
+	delete(rt.backends, base)
+	rt.mu.Unlock()
+	rt.logf("router: backend %s left, %d in ring", base, rt.Ring().Len())
+	if failures > 0 {
+		return fmt.Errorf("router: drained %s with %d failed migration(s); see router log", base, failures)
+	}
+	return nil
+}
+
+// ownedSessions lists the sessions pinned to b: its live ones, plus
+// its stored records when no other fleet member shares b's store (with
+// a shared store, stored records are reachable from every member and
+// need no migration; with a private store, a stored record's only
+// bytes live on b and must move with it).
+func (rt *Router) ownedSessions(b *backend) ([]string, error) {
+	sl, err := b.client.Sessions()
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	shared := false
+	for _, o := range rt.backends {
+		if o.base != b.base && !o.down && o.store != "" && o.store == b.store {
+			shared = true
+			break
+		}
+	}
+	rt.mu.Unlock()
+	ids := sl.Live
+	if !shared {
+		ids = append(ids, sl.Stored...)
+	}
+	return ids, nil
+}
+
+// migrateAll migrates each id off b to its current ring owner,
+// clearing the migrating flag as each settles. Returns the number of
+// failed migrations (the sessions stay where rollback put them).
+func (rt *Router) migrateAll(from *backend, ids []string) int {
+	failures := 0
+	for _, id := range ids {
+		if err := rt.migrate(id, from); err != nil {
+			failures++
+			rt.logf("router: migrate %s off %s: %v", id, from.base, err)
+		}
+		rt.mu.Lock()
+		delete(rt.migrating, id)
+		rt.mu.Unlock()
+	}
+	return failures
+}
+
+// migrate moves one session from its current holder to its ring owner:
+// export freezes the session on the source (its durable record stays
+// behind as the rollback copy), import replays it on the destination,
+// and the source copy is tombstoned — unless the two backends share a
+// store, in which case the record the destination now serves from IS
+// the source's record, and deleting it would destroy the session. On
+// import failure the session is imported back onto the source, which
+// clears its exported mark and re-lives it: a failed migration leaves
+// the fleet exactly as it was.
+func (rt *Router) migrate(id string, from *backend) error {
+	rt.mu.Lock()
+	ownerBase, ok := rt.ring.Owner(id)
+	to := rt.backends[ownerBase]
+	rt.mu.Unlock()
+	if !ok || to == nil {
+		return fmt.Errorf("no remaining owner for session %s", id)
+	}
+	if to.base == from.base {
+		return nil
+	}
+	snap, err := from.client.Export(id)
+	if err != nil {
+		if apiStatus(err) == http.StatusNotFound {
+			return nil // deleted or idle-evicted concurrently; nothing to move
+		}
+		return fmt.Errorf("export: %w", err)
+	}
+	if _, err := to.client.Import(id, snap); err != nil {
+		if _, rb := from.client.Import(id, snap); rb != nil {
+			rt.logf("router: ROLLBACK FAILED for %s on %s: %v (frozen in source store; re-import manually)", id, from.base, rb)
+		}
+		return fmt.Errorf("import on %s: %w", to.base, err)
+	}
+	if !(from.store != "" && from.store == to.store) {
+		if err := from.client.Delete(id); err != nil && apiStatus(err) != http.StatusNotFound {
+			rt.logf("router: tombstone of %s on %s failed: %v (stale rollback copy remains)", id, from.base, err)
+		}
+	}
+	rt.logf("router: migrated session %s: %s -> %s", id, from.base, to.base)
+	return nil
+}
+
+// rebalance reconciles placement with the current ring: any live
+// session sitting on a backend the ring no longer maps it to is
+// migrated to its owner. Runs after a Join; bounded rounds because
+// each migration can race fresh creates.
+func (rt *Router) rebalance() {
+	for round := 0; round < 5; round++ {
+		moved := 0
+		for _, b := range rt.upBackends() {
+			ids, err := rt.ownedSessions(b)
+			if err != nil {
+				rt.logf("router: rebalance: listing %s: %v", b.base, err)
+				continue
+			}
+			var misplaced []string
+			rt.mu.Lock()
+			for _, id := range ids {
+				if owner, ok := rt.ring.Owner(id); ok && owner != b.base {
+					misplaced = append(misplaced, id)
+					rt.migrating[id] = true
+				}
+			}
+			rt.mu.Unlock()
+			if len(misplaced) == 0 {
+				continue
+			}
+			moved += len(misplaced)
+			rt.migrateAll(b, misplaced)
+		}
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+// probeLoop drives the health probes.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll probes every backend once. A down backend is probed but
+// never auto-rejoined: it may hold live sessions the fleet has since
+// revived elsewhere, and only an operator-driven Join (which
+// rebalances) can reconcile that safely.
+func (rt *Router) probeAll() {
+	rt.mu.Lock()
+	targets := make([]*backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		targets = append(targets, b)
+	}
+	rt.mu.Unlock()
+	for _, b := range targets {
+		h, err := b.client.Health()
+		rt.mu.Lock()
+		if err != nil {
+			b.fails++
+			if !b.down && b.fails >= rt.cfg.FailAfter {
+				b.down = true
+				rt.ring.Remove(b.base)
+				rt.logf("router: backend %s (%s) marked down after %d failed probe(s)", b.base, b.id, b.fails)
+			}
+		} else {
+			b.fails = 0
+			b.store = h.Store
+			b.health = h
+			if b.down {
+				rt.logf("router: backend %s answers probes again; rejoin it via /fleet/join to restore it", b.base)
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// markDown takes a backend out of the ring immediately — called by the
+// proxy on a transport error, which is stronger evidence than a missed
+// probe.
+func (rt *Router) markDown(b *backend) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if b.down {
+		return
+	}
+	b.down = true
+	b.fails = rt.cfg.FailAfter
+	rt.ring.Remove(b.base)
+	rt.logf("router: backend %s (%s) marked down after a proxy transport error", b.base, b.id)
+}
+
+// Owner reports which backend the ring maps id to (ok = false with no
+// live backends).
+func (rt *Router) Owner(id string) (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Owner(id)
+}
+
+// Ring returns a point-in-time copy of ring membership for inspection.
+func (rt *Router) Ring() *Ring {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r := NewRing(rt.cfg.VNodes)
+	for _, m := range rt.ring.Members() {
+		r.Add(m)
+	}
+	return r
+}
+
+// upBackends snapshots the non-down backends.
+func (rt *Router) upBackends() []*backend {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		if !b.down {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
+// BackendStatus is one fleet member in the /fleet view.
+type BackendStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	Up  bool   `json:"up"`
+	// Sessions/Spilled/Workers mirror the backend's last good /healthz.
+	Sessions       int    `json:"sessions"`
+	Spilled        int    `json:"spilled"`
+	WorkersTotal   int    `json:"workersTotal"`
+	WorkersGranted int    `json:"workersGranted"`
+	Store          string `json:"store,omitempty"`
+}
+
+// FleetStatus is the GET /fleet payload: the capacity view the
+// placement layer works from.
+type FleetStatus struct {
+	Backends []BackendStatus `json:"backends"`
+	// RingMembers is current ring membership (up backends only).
+	RingMembers []string `json:"ringMembers"`
+	// Migrating counts sessions currently mid-migration.
+	Migrating int `json:"migrating"`
+}
+
+// Fleet reports the current fleet: membership, health, and per-member
+// load from the latest probes.
+func (rt *Router) Fleet() FleetStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	fs := FleetStatus{
+		Backends:    make([]BackendStatus, 0, len(rt.backends)),
+		RingMembers: rt.ring.Members(),
+		Migrating:   len(rt.migrating),
+	}
+	for _, b := range rt.backends {
+		fs.Backends = append(fs.Backends, BackendStatus{
+			ID: b.id, URL: b.base, Up: !b.down,
+			Sessions: b.health.Sessions, Spilled: b.health.Spilled,
+			WorkersTotal: b.health.WorkersTotal, WorkersGranted: b.health.WorkersGranted,
+			Store: b.store,
+		})
+	}
+	sort.Slice(fs.Backends, func(i, j int) bool { return fs.Backends[i].URL < fs.Backends[j].URL })
+	return fs
+}
+
+// AggregateHealth sums the fleet's /healthz into the single-server
+// shape, so health checks written against one server read the fleet
+// unchanged.
+func (rt *Router) AggregateHealth() service.Health {
+	var out service.Health
+	for _, b := range rt.upBackends() {
+		h, err := b.client.Health()
+		if err != nil {
+			continue
+		}
+		out.Sessions += h.Sessions
+		out.Spilled += h.Spilled
+		out.WorkersTotal += h.WorkersTotal
+		out.WorkersGranted += h.WorkersGranted
+	}
+	return out
+}
+
+// AggregateMetrics scrapes every up backend's /metrics and merges them
+// into one fleet-wide service.Metrics: counters sum, per-endpoint
+// counters sum per endpoint, and the answer-latency histograms merge
+// via their exported buckets — so factcheck-loadtest pointed at a
+// router scrapes fleet telemetry with the code it uses for one server.
+func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
+	out := service.Metrics{
+		BackendID: "fleet",
+		Endpoints: make(map[string]service.EndpointCounters),
+	}
+	var lat stats.LogHist
+	for _, b := range rt.upBackends() {
+		m, err := b.client.Metrics(true)
+		if err != nil {
+			continue
+		}
+		out.Sessions += m.Sessions
+		out.Spilled += m.Spilled
+		out.WorkersTotal += m.WorkersTotal
+		out.WorkersGranted += m.WorkersGranted
+		out.SessionsOpened += m.SessionsOpened
+		out.AnswersServed += m.AnswersServed
+		lat.AbsorbBuckets(m.AnswerLatencyBuckets, m.AnswerLatency)
+		for ep, c := range m.Endpoints {
+			agg := out.Endpoints[ep]
+			agg.Requests += c.Requests
+			agg.Errors += c.Errors
+			out.Endpoints[ep] = agg
+		}
+	}
+	out.AnswerLatency = lat.Summary()
+	if withBuckets {
+		out.AnswerLatencyBuckets = lat.Buckets()
+	}
+	if len(out.Endpoints) == 0 {
+		out.Endpoints = nil
+	}
+	return out
+}
+
+// apiStatus extracts the HTTP status from a service client error
+// (0 for transport-level errors).
+func apiStatus(err error) int {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status
+	}
+	return 0
+}
+
+// newID draws a fresh session id, the same shape the execution layer
+// generates: the router owns id generation so placement is decided
+// before any backend sees the open.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("router: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

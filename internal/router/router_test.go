@@ -1,0 +1,429 @@
+package router
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"factcheck/internal/persist"
+	"factcheck/internal/service"
+)
+
+// fastOpen keeps test inference cheap; migration correctness is about
+// the placement protocol, and determinism holds at any budget.
+func fastOpen(seed int64) service.OpenRequest {
+	return service.OpenRequest{
+		Profile:       "wiki",
+		Scale:         0.1,
+		Seed:          seed,
+		CandidatePool: 6,
+		Communities:   3,
+		EM: &service.EMBudgets{
+			BurnIn: 4, Samples: 8, IncBurnIn: 2, IncSamples: 4,
+			EMIters: 1, HypoBurn: 1, HypoSamples: 2,
+		},
+	}
+}
+
+// fleetBackend is one test backend: its manager (for white-box
+// assertions) and its HTTP server.
+type fleetBackend struct {
+	manager *service.Manager
+	srv     *httptest.Server
+}
+
+// newFleet boots n backends (each with the given store) and a router
+// over them, all torn down with the test.
+func newFleet(t *testing.T, n int, storeFor func(i int) persist.Store) (*Router, *service.Client, []*fleetBackend) {
+	t.Helper()
+	rt := New(Config{
+		ProbeInterval: time.Hour, // probes off: tests drive failure via the proxy path
+		Logf:          t.Logf,
+	})
+	t.Cleanup(rt.Close)
+	backends := make([]*fleetBackend, n)
+	for i := 0; i < n; i++ {
+		var store persist.Store
+		if storeFor != nil {
+			store = storeFor(i)
+		}
+		m := service.NewManager(service.Config{Workers: 2, Store: store})
+		srv := httptest.NewServer(service.NewServer(m).Handler())
+		t.Cleanup(func() { srv.Close(); m.Shutdown() })
+		backends[i] = &fleetBackend{manager: m, srv: srv}
+		if err := rt.Join(srv.URL); err != nil {
+			t.Fatalf("join backend %d: %v", i, err)
+		}
+	}
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+	return rt, service.NewClient(rsrv.URL), backends
+}
+
+// byBase finds the fleetBackend behind a base URL.
+func byBase(t *testing.T, backends []*fleetBackend, base string) *fleetBackend {
+	t.Helper()
+	for _, b := range backends {
+		if b.srv.URL == base {
+			return b
+		}
+	}
+	t.Fatalf("no backend with base %s", base)
+	return nil
+}
+
+// driveOracle answers n oracle steps through the client, echoing each
+// NextResponse.Seq for idempotency, and returns the last state.
+func driveOracle(t *testing.T, c *service.Client, id string, n int) service.StateResponse {
+	t.Helper()
+	var st service.StateResponse
+	for i := 0; i < n; i++ {
+		next, err := c.Next(id, 1)
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if next.Done {
+			break
+		}
+		seq := next.Seq
+		st, err = c.Answer(id, service.AnswerRequest{
+			Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq,
+		})
+		if err != nil {
+			t.Fatalf("answer %d: %v", i, err)
+		}
+		if st.Done {
+			break
+		}
+	}
+	return st
+}
+
+// libraryTrace runs the same session in-process — the single-server
+// library path — and returns its transcript after n oracle answers.
+func libraryTrace(t *testing.T, req service.OpenRequest, n int) service.SessionSnapshot {
+	t.Helper()
+	m := service.NewManager(service.Config{Workers: 2})
+	defer m.Shutdown()
+	info, err := m.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		next, err := m.Next(info.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Done {
+			break
+		}
+		seq := next.Seq
+		st, err := m.Answer(info.ID, service.AnswerRequest{
+			Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done {
+			break
+		}
+	}
+	snap, err := m.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestDrainMigrationTraceBitIdentical is the tentpole acceptance test:
+// a session opened through the router, migrated mid-elicitation by
+// draining the backend that owns it, must produce a selection trace
+// bit-identical to the single-server library path.
+func TestDrainMigrationTraceBitIdentical(t *testing.T) {
+	rt, client, backends := newFleet(t, 3, nil)
+	req := fastOpen(42)
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+
+	const before, after = 3, 3
+	driveOracle(t, client, id, before)
+
+	ownerBase, ok := rt.Owner(id)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	owner := byBase(t, backends, ownerBase)
+	if err := rt.Leave(ownerBase); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	newOwnerBase, ok := rt.Owner(id)
+	if !ok || newOwnerBase == ownerBase {
+		t.Fatalf("session still owned by the drained backend (%s)", newOwnerBase)
+	}
+	// The old copy must be tombstoned: the drained backend keeps no
+	// record (private stores here, so the tombstone is a real delete).
+	if sl, err := owner.manager.Sessions(); err != nil || len(sl.Live)+len(sl.Stored) != 0 {
+		t.Fatalf("drained backend still holds sessions: %+v (err %v)", sl, err)
+	}
+
+	driveOracle(t, client, id, after)
+
+	got, err := client.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryTrace(t, req, before+after)
+	if !reflect.DeepEqual(got.Elicitations, want.Elicitations) {
+		t.Fatalf("trace diverged across migration:\nserved:  %+v\nlibrary: %+v", got.Elicitations, want.Elicitations)
+	}
+	if len(got.Elicitations) == 0 {
+		t.Fatal("vacuous: no elicitations driven")
+	}
+}
+
+// TestMigrationRacedAgainstAnswer pins the nastiest interleaving: an
+// answer is applied by the old owner but its response is lost, the
+// session migrates, and the client retries the same answer (same seq)
+// against the new owner. The seq idempotency must recognize the replay
+// from the migrated transcript itself and not double-apply.
+func TestMigrationRacedAgainstAnswer(t *testing.T) {
+	rt, client, backends := newFleet(t, 3, nil)
+	req := fastOpen(17)
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+	driveOracle(t, client, id, 2)
+
+	next, err := client.Next(id, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := next.Seq
+	racedReq := service.AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true, Seq: &seq}
+
+	// The answer lands on the owner, but the response never reaches the
+	// client (applied directly on the owning manager to model the lost
+	// response).
+	ownerBase, _ := rt.Owner(id)
+	owner := byBase(t, backends, ownerBase)
+	if _, err := owner.manager.Answer(id, racedReq); err != nil {
+		t.Fatalf("raced answer: %v", err)
+	}
+	applied, err := owner.manager.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session migrates before the client can retry.
+	if err := rt.Leave(ownerBase); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The retry must succeed (not 409) and must not double-apply.
+	st, err := client.Answer(id, racedReq)
+	if err != nil {
+		t.Fatalf("retried answer after migration: %v", err)
+	}
+	if st.ID != id {
+		t.Fatalf("retry answered for %q", st.ID)
+	}
+	got, err := client.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Elicitations, applied.Elicitations) {
+		t.Fatalf("retry changed the transcript:\nbefore: %+v\nafter:  %+v", applied.Elicitations, got.Elicitations)
+	}
+
+	// And the trace must still match the library path end to end.
+	driveOracle(t, client, id, 2)
+	final, err := client.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryTrace(t, req, 2+1+2)
+	if !reflect.DeepEqual(final.Elicitations, want.Elicitations) {
+		t.Fatalf("trace diverged:\nserved:  %+v\nlibrary: %+v", final.Elicitations, want.Elicitations)
+	}
+}
+
+// TestAnswersConcurrentWithDrain drives answers (with the Retry-After
+// client policy) while the owning backend drains. The 503 + Retry-After
+// protocol must make the migration invisible to the caller, and the
+// trace must stay on the library path.
+func TestAnswersConcurrentWithDrain(t *testing.T) {
+	rt, client, _ := newFleet(t, 3, nil)
+	client.Retry = &service.RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 3}
+	req := fastOpen(23)
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+	driveOracle(t, client, id, 1)
+
+	ownerBase, _ := rt.Owner(id)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var drainErr error
+	go func() {
+		defer wg.Done()
+		drainErr = rt.Leave(ownerBase)
+	}()
+	const total = 5
+	driveOracle(t, client, id, total-1)
+	wg.Wait()
+	if drainErr != nil {
+		t.Fatalf("drain: %v", drainErr)
+	}
+
+	got, err := client.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryTrace(t, req, total)
+	if !reflect.DeepEqual(got.Elicitations, want.Elicitations) {
+		t.Fatalf("trace diverged under a concurrent drain:\nserved:  %+v\nlibrary: %+v", got.Elicitations, want.Elicitations)
+	}
+}
+
+// TestFailoverAfterBackendDeath models the SIGKILL case router-smoke
+// exercises end to end: backends share one durable store, the owner
+// dies without warning, and the router reroutes to a backend that
+// revives the session from the write-ahead log — trace unbroken.
+func TestFailoverAfterBackendDeath(t *testing.T) {
+	dir := t.TempDir()
+	rt, client, backends := newFleet(t, 3, func(int) persist.Store {
+		fs, err := persist.NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+	req := fastOpen(99)
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+	driveOracle(t, client, id, 3)
+
+	ownerBase, _ := rt.Owner(id)
+	owner := byBase(t, backends, ownerBase)
+	owner.srv.CloseClientConnections()
+	owner.srv.Close()
+
+	// The next request hits the dead owner, which the router marks down
+	// and reroutes; the new owner revives the session from the shared
+	// store.
+	driveOracle(t, client, id, 3)
+	if newOwner, ok := rt.Owner(id); !ok || newOwner == ownerBase {
+		t.Fatalf("owner after death = %q, %v", newOwner, ok)
+	}
+
+	got, err := client.Snapshot(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryTrace(t, req, 6)
+	if !reflect.DeepEqual(got.Elicitations, want.Elicitations) {
+		t.Fatalf("trace diverged across the failover:\nserved:  %+v\nlibrary: %+v", got.Elicitations, want.Elicitations)
+	}
+}
+
+// TestJoinRebalancesMisplacedSessions: adding a backend migrates the
+// sessions the new ring maps to it, and the fleet view reflects the
+// join.
+func TestJoinRebalancesMisplacedSessions(t *testing.T) {
+	rt, client, _ := newFleet(t, 2, nil)
+
+	// Open a handful of sessions so at least one remaps when a third
+	// backend joins (64 vnodes give the new member ~1/3 of the space).
+	ids := make([]string, 0, 4)
+	req := fastOpen(5)
+	for i := 0; i < 4; i++ {
+		r := req
+		r.Seed = int64(100 + i)
+		info, err := client.Open(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		driveOracle(t, client, info.ID, 1)
+	}
+
+	m := service.NewManager(service.Config{Workers: 2})
+	srv := httptest.NewServer(service.NewServer(m).Handler())
+	t.Cleanup(func() { srv.Close(); m.Shutdown() })
+	if err := rt.Join(srv.URL); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	onNew := 0
+	for _, id := range ids {
+		owner, ok := rt.Owner(id)
+		if !ok {
+			t.Fatalf("no owner for %s", id)
+		}
+		if owner == srv.URL {
+			onNew++
+		}
+		// Every session must still answer wherever it landed.
+		if _, err := client.State(id, false); err != nil {
+			t.Fatalf("state of %s after rebalance: %v", id, err)
+		}
+	}
+	t.Logf("rebalance moved %d/%d sessions to the new backend", onNew, len(ids))
+
+	fs := rt.Fleet()
+	if len(fs.Backends) != 3 || len(fs.RingMembers) != 3 {
+		t.Fatalf("fleet after join: %+v", fs)
+	}
+	if fs.Migrating != 0 {
+		t.Fatalf("migrating flags leaked: %+v", fs)
+	}
+}
+
+// TestAggregateMetricsAndHealth: the router's /metrics and /healthz
+// must present the fleet in the single-server shapes, with counters
+// summed across members and per-endpoint attribution intact.
+func TestAggregateMetricsAndHealth(t *testing.T) {
+	_, client, _ := newFleet(t, 2, nil)
+	req := fastOpen(3)
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOracle(t, client, info.ID, 2)
+
+	m, err := client.Metrics(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AnswersServed != 2 {
+		t.Fatalf("fleet answersServed = %d, want 2", m.AnswersServed)
+	}
+	if m.SessionsOpened != 1 {
+		t.Fatalf("fleet sessionsOpened = %d, want 1", m.SessionsOpened)
+	}
+	if m.AnswerLatency.Count != 2 || len(m.AnswerLatencyBuckets) == 0 {
+		t.Fatalf("fleet latency histogram not aggregated: %+v", m.AnswerLatency)
+	}
+	if m.Endpoints["answer"].Requests != 2 || m.Endpoints["open"].Requests != 1 {
+		t.Fatalf("fleet endpoint counters: %+v", m.Endpoints)
+	}
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 1 {
+		t.Fatalf("fleet health sessions = %d, want 1", h.Sessions)
+	}
+}

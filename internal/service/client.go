@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,9 +19,13 @@ import (
 
 // RetryPolicy bounds the client's retry-with-jittered-backoff on
 // transient transport errors (connection refused/reset, a server
-// restarting mid-request). Only transport-level failures are retried:
-// an HTTP response — any status — means the server made a decision and
-// is never replayed.
+// restarting mid-request). HTTP responses are never replayed — the
+// server made a decision — with one exception: a 503 carrying a
+// Retry-After header is an explicit invitation ("full" backpressure, a
+// draining backend, a session mid-migration behind a router), and the
+// client honors it for requests that are safe to repeat (all reads,
+// deletes, and answers, which are idempotent via their sequence
+// number; session-creating posts are not replayed).
 //
 // The applied-but-response-lost window (a connection torn down after
 // the server committed the request, making the retry look like a fresh
@@ -57,6 +62,26 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// APIError is an HTTP-level error response: the server answered with a
+// non-2xx status. It preserves the status code and any Retry-After
+// hint so callers (and the client's own retry loop) can distinguish
+// transient backpressure from hard failures.
+type APIError struct {
+	Method  string
+	Path    string
+	Message string
+	Status  int
+	// RetryAfter is the server's Retry-After hint (0 if absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("%s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
 // Client is a Go client for the factcheck-server HTTP API. Its methods
 // mirror the endpoints one-to-one; a zero HTTPClient uses
 // http.DefaultClient. A Client is safe for concurrent use (it carries no
@@ -91,6 +116,14 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 func (c *Client) Open(req OpenRequest) (SessionInfo, error) {
 	var info SessionInfo
 	err := c.do(http.MethodPost, "/sessions", createPayload{OpenRequest: req}, &info)
+	return info, err
+}
+
+// OpenAs creates a new session under a caller-chosen id (how a shard
+// router pins placement to its hash ring).
+func (c *Client) OpenAs(id string, req OpenRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/sessions", createPayload{OpenRequest: req, ID: id}, &info)
 	return info, err
 }
 
@@ -136,6 +169,30 @@ func (c *Client) Snapshot(id string) (SessionSnapshot, error) {
 	var snap SessionSnapshot
 	err := c.do(http.MethodGet, "/sessions/"+url.PathEscape(id)+"/snapshot", nil, &snap)
 	return snap, err
+}
+
+// Export freezes the session for migration and returns its portable
+// record; the server keeps the durable copy as migration rollback until
+// the session is deleted or re-imported.
+func (c *Client) Export(id string) (SessionSnapshot, error) {
+	var snap SessionSnapshot
+	err := c.do(http.MethodGet, "/sessions/"+url.PathEscape(id)+"/export", nil, &snap)
+	return snap, err
+}
+
+// Import installs an exported session record under id.
+func (c *Client) Import(id string, snap SessionSnapshot) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/sessions/"+url.PathEscape(id)+"/import", snap, &info)
+	return info, err
+}
+
+// Sessions lists the ids of every session the server owns, split into
+// live and stored.
+func (c *Client) Sessions() (SessionList, error) {
+	var resp SessionList
+	err := c.do(http.MethodGet, "/sessions", nil, &resp)
+	return resp, err
 }
 
 // Delete closes and removes the session.
@@ -195,22 +252,43 @@ func (c *Client) do(method, path string, body, out any) error {
 		attempts = policy.MaxAttempts
 	}
 	var lastErr error
+	var wait time.Duration
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			c.retries.Add(1)
-			time.Sleep(c.backoff(policy, attempt-1))
+			if wait <= 0 {
+				wait = c.backoff(policy, attempt-1)
+			}
+			time.Sleep(wait)
 		}
 		err := c.doOnce(method, path, buf, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
-		if _, transient := err.(*url.Error); !transient {
-			// An HTTP-level error: the server answered; do not replay.
-			return err
+		wait = 0
+		if _, transient := err.(*url.Error); transient {
+			continue
 		}
+		// An HTTP-level error: the server answered; replay only an
+		// explicit 503 + Retry-After on requests safe to repeat.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable &&
+			apiErr.RetryAfter > 0 && retrySafe(method, path) {
+			wait = min(apiErr.RetryAfter, policy.MaxDelay)
+			continue
+		}
+		return err
 	}
 	return lastErr
+}
+
+// retrySafe reports whether a request may be replayed after a
+// Retry-After'd 503: reads and deletes are idempotent by nature,
+// answers by their sequence number. POST /sessions (open/restore) and
+// POST .../import create state and could strand a duplicate.
+func retrySafe(method, path string) bool {
+	return method != http.MethodPost || strings.HasSuffix(path, "/answer")
 }
 
 func (c *Client) doOnce(method, path string, body []byte, out any) error {
@@ -235,13 +313,17 @@ func (c *Client) doOnce(method, path string, body []byte, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Method: method, Path: path, Status: resp.StatusCode}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			apiErr.Message = e.Error
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

@@ -10,19 +10,29 @@ import (
 // API endpoints (all request/response bodies are JSON):
 //
 //	POST   /sessions                  open a session (OpenRequest), or
-//	                                  restore one ({"restore": SessionSnapshot})
+//	                                  restore one ({"restore": SessionSnapshot});
+//	                                  an "id" field pins the session id
+//	                                  (how a shard router keeps placement
+//	                                  consistent with its hash ring)
+//	GET    /sessions                  ids of every session this backend
+//	                                  owns, split into live and stored
 //	GET    /sessions/{id}/next?k=K    top-k guidance ranking (NextResponse)
 //	POST   /sessions/{id}/answer      submit a verdict (AnswerRequest → StateResponse)
 //	GET    /sessions/{id}/state       progress; ?marginals=1 adds marginals
 //	GET    /sessions/{id}/snapshot    durable SessionSnapshot
+//	GET    /sessions/{id}/export      freeze the session for migration and
+//	                                  return its portable record
+//	POST   /sessions/{id}/import      install an exported session under id
 //	DELETE /sessions/{id}             close and remove the session
 //	GET    /healthz                   liveness + load
 //	GET    /metrics                   serving telemetry (Metrics);
 //	                                  ?buckets=1 adds the raw latency buckets
 //
 // Errors are {"error": "..."} with 400 (bad request), 404 (unknown
-// session), 409 (answer for the wrong claim, or answering a finished
-// session), 503 (session limit reached / shutting down).
+// session), 409 (answer for the wrong claim or a stale sequence,
+// answering a finished session, or an id collision), 410 (session was
+// exported to another backend), 503 (session limit reached / shutting
+// down; carries a Retry-After hint).
 
 // Server exposes a Manager over HTTP.
 type Server struct {
@@ -38,21 +48,52 @@ func (s *Server) Manager() *Manager { return s.m }
 // Handler returns the API's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.create)
-	mux.HandleFunc("GET /sessions/{id}/next", s.next)
-	mux.HandleFunc("POST /sessions/{id}/answer", s.answer)
-	mux.HandleFunc("GET /sessions/{id}/state", s.state)
-	mux.HandleFunc("GET /sessions/{id}/snapshot", s.snapshot)
-	mux.HandleFunc("DELETE /sessions/{id}", s.delete)
+	mux.HandleFunc("POST /sessions", s.counted("open", s.create))
+	mux.HandleFunc("GET /sessions", s.counted("list", s.list))
+	mux.HandleFunc("GET /sessions/{id}/next", s.counted("next", s.next))
+	mux.HandleFunc("POST /sessions/{id}/answer", s.counted("answer", s.answer))
+	mux.HandleFunc("GET /sessions/{id}/state", s.counted("state", s.state))
+	mux.HandleFunc("GET /sessions/{id}/snapshot", s.counted("snapshot", s.snapshot))
+	mux.HandleFunc("GET /sessions/{id}/export", s.counted("export", s.export))
+	mux.HandleFunc("POST /sessions/{id}/import", s.counted("import", s.importSession))
+	mux.HandleFunc("DELETE /sessions/{id}", s.counted("delete", s.delete))
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
+// statusWriter captures the response status so counted can attribute
+// errors per endpoint.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with the per-endpoint request/error counters
+// surfaced in /metrics — what a shard router's fleet view attributes
+// load with. /healthz and /metrics themselves are uncounted: probe
+// traffic would drown the serving signal.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.m.RecordEndpoint(endpoint, sw.status >= 400)
+	}
+}
+
 // createPayload is the POST /sessions body: either a plain OpenRequest
-// or {"restore": snapshot}.
+// or {"restore": snapshot}, optionally pinned to a caller-chosen id.
 type createPayload struct {
 	OpenRequest
+	// ID pins the session id instead of drawing a random one. A shard
+	// router sets it so the id it hashed onto the ring is the id the
+	// owning backend serves under.
+	ID      string           `json:"id,omitempty"`
 	Restore *SessionSnapshot `json:"restore,omitempty"`
 }
 
@@ -66,9 +107,14 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		info SessionInfo
 		err  error
 	)
-	if body.Restore != nil {
+	switch {
+	case body.Restore != nil && body.ID != "":
+		info, err = s.m.Import(body.ID, *body.Restore)
+	case body.Restore != nil:
 		info, err = s.m.Restore(*body.Restore)
-	} else {
+	case body.ID != "":
+		info, err = s.m.OpenAs(body.ID, body.OpenRequest)
+	default:
 		info, err = s.m.Open(body.OpenRequest)
 	}
 	if err != nil {
@@ -76,6 +122,15 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	ids, err := s.m.Sessions()
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ids)
 }
 
 func (s *Server) next(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +184,29 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+func (s *Server) export(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.Export(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) importSession(w http.ResponseWriter, r *http.Request) {
+	var snap SessionSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.m.Import(r.PathValue("id"), snap)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
 func (s *Server) delete(w http.ResponseWriter, r *http.Request) {
 	if err := s.m.Delete(r.PathValue("id")); err != nil {
 		writeServiceError(w, err)
@@ -143,6 +221,7 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		Spilled:        s.m.Spilled(),
 		WorkersTotal:   s.m.Budget().Total(),
 		WorkersGranted: s.m.Budget().InUse(),
+		Store:          s.m.StoreLocation(),
 	})
 }
 
@@ -164,13 +243,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // writeServiceError maps the service's sentinel errors to statuses.
+// The 503s carry a Retry-After hint: overload and drain are transient,
+// and a client that honors the hint rides out a shard migration.
 func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone), errors.Is(err, ErrSeq):
+	case errors.Is(err, ErrMigrated):
+		writeError(w, http.StatusGone, err)
+	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone),
+		errors.Is(err, ErrSeq), errors.Is(err, ErrExists):
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrPersist):
 		writeError(w, http.StatusInternalServerError, err)

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +71,14 @@ var (
 	ErrDone = errors.New("service: session has no unlabelled claims left")
 	// ErrFull reports that the manager's session cap is reached.
 	ErrFull = errors.New("service: session limit reached")
+	// ErrExists reports an open or import under a session id that is
+	// already in use on this backend.
+	ErrExists = errors.New("service: session id already in use")
+	// ErrMigrated reports a request for a session this backend exported
+	// to another owner: the local copy is frozen and will not be revived.
+	// The shard router never routes here; a direct client should ask the
+	// router (or the new owner) instead.
+	ErrMigrated = errors.New("service: session was exported to another backend")
 	// ErrShutdown reports an operation after Manager.Shutdown.
 	ErrShutdown = errors.New("service: manager is shut down")
 	// ErrPersist reports that the snapshot store failed; the in-memory
@@ -220,6 +229,17 @@ type Health struct {
 	Spilled        int `json:"spilled"`
 	WorkersTotal   int `json:"workersTotal"`
 	WorkersGranted int `json:"workersGranted"`
+	// Store identifies the backend's storage location (see
+	// Manager.StoreLocation); "" when the store has no shareable
+	// identity.
+	Store string `json:"store,omitempty"`
+}
+
+// SessionList is the GET /sessions payload: the backend's sessions
+// split by residence (see Manager.Sessions).
+type SessionList struct {
+	Live   []string `json:"live"`
+	Stored []string `json:"stored"`
 }
 
 // Metrics is the GET /metrics payload, the load-telemetry superset of
@@ -228,10 +248,13 @@ type Health struct {
 // histogram (seconds, measured around the whole Answer path — lock
 // wait, inference, persistence).
 type Metrics struct {
-	Sessions       int `json:"sessions"`
-	Spilled        int `json:"spilled"`
-	WorkersTotal   int `json:"workersTotal"`
-	WorkersGranted int `json:"workersGranted"`
+	// BackendID names the serving backend (Config.BackendID), so a
+	// fleet-wide scrape can attribute the numbers below to a member.
+	BackendID      string `json:"backendId,omitempty"`
+	Sessions       int    `json:"sessions"`
+	Spilled        int    `json:"spilled"`
+	WorkersTotal   int    `json:"workersTotal"`
+	WorkersGranted int    `json:"workersGranted"`
 	// SessionsOpened counts sessions opened or restored since boot
 	// (revivals of spilled sessions are not re-counted).
 	SessionsOpened int64 `json:"sessionsOpened"`
@@ -241,10 +264,24 @@ type Metrics struct {
 	AnswerLatency stats.Summary `json:"answerLatency"`
 	// AnswerLatencyBuckets is the raw log-bucketed histogram.
 	AnswerLatencyBuckets []stats.HistBucket `json:"answerLatencyBuckets,omitempty"`
+	// Endpoints breaks requests and errors down per API endpoint
+	// (open, next, answer, state, snapshot, export, import, delete),
+	// recorded by the HTTP layer.
+	Endpoints map[string]EndpointCounters `json:"endpoints,omitempty"`
+}
+
+// EndpointCounters is one endpoint's cumulative request telemetry in
+// Metrics.Endpoints.
+type EndpointCounters struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
 }
 
 // Config tunes a Manager.
 type Config struct {
+	// BackendID names this backend in /metrics so a shard router's
+	// fleet view can attribute load to members ("" = anonymous).
+	BackendID string
 	// Workers is the shared worker-lane budget all sessions multiplex
 	// onto (0 = GOMAXPROCS).
 	Workers int
@@ -312,6 +349,7 @@ type Manager struct {
 		sessionsOpened int64
 		answersServed  int64
 		answerLatency  *stats.LogHist
+		endpoints      map[string]EndpointCounters
 	}
 
 	mu       sync.Mutex
@@ -322,9 +360,19 @@ type Manager struct {
 	// long as some revival for the id is running.
 	reviving   map[string]int
 	tombstoned map[string]bool
-	closed     bool
-	stop       chan struct{}
-	wg         sync.WaitGroup
+	// exported marks sessions frozen by Export: the durable record is
+	// retained (so a failed migration can be rolled back by importing
+	// the payload right back), but requests refuse to revive the local
+	// copy — the session's owner is another backend now. Cleared by
+	// Import (rollback) or Delete (migration confirmed).
+	exported map[string]bool
+	// opening marks ids reserved by an in-flight open/import, so a
+	// racing open of the same id (or a revival of its just-written
+	// checkpoint) cannot publish a second copy.
+	opening map[string]bool
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
 }
 
 // NewManager creates a manager and, when cfg.IdleTTL > 0, starts its
@@ -354,9 +402,12 @@ func NewManager(cfg Config) *Manager {
 		sessions:   make(map[string]*Session),
 		reviving:   make(map[string]int),
 		tombstoned: make(map[string]bool),
+		exported:   make(map[string]bool),
+		opening:    make(map[string]bool),
 		stop:       make(chan struct{}),
 	}
 	m.telemetry.answerLatency = stats.NewLogHist()
+	m.telemetry.endpoints = make(map[string]EndpointCounters)
 	if cfg.IdleTTL > 0 {
 		m.wg.Add(1)
 		go m.janitor()
@@ -374,6 +425,7 @@ func (m *Manager) Budget() *Budget { return m.budget }
 // withBuckets adds the raw answer-latency buckets to the digest.
 func (m *Manager) Metrics(withBuckets bool) Metrics {
 	out := Metrics{
+		BackendID:      m.cfg.BackendID,
 		Sessions:       m.Len(),
 		Spilled:        m.Spilled(),
 		WorkersTotal:   m.budget.Total(),
@@ -388,7 +440,27 @@ func (m *Manager) Metrics(withBuckets bool) Metrics {
 	if withBuckets {
 		out.AnswerLatencyBuckets = t.answerLatency.Buckets()
 	}
+	if len(t.endpoints) > 0 {
+		out.Endpoints = make(map[string]EndpointCounters, len(t.endpoints))
+		for k, v := range t.endpoints {
+			out.Endpoints[k] = v
+		}
+	}
 	return out
+}
+
+// RecordEndpoint folds one API request into the per-endpoint counters
+// behind /metrics; the HTTP layer calls it for every routed request.
+func (m *Manager) RecordEndpoint(endpoint string, isError bool) {
+	t := &m.telemetry
+	t.Lock()
+	c := t.endpoints[endpoint]
+	c.Requests++
+	if isError {
+		c.Errors++
+	}
+	t.endpoints[endpoint] = c
+	t.Unlock()
 }
 
 // recordAnswer folds one successful answer into the telemetry.
@@ -659,17 +731,149 @@ func newID() string {
 
 // Open creates a session from a fresh configuration.
 func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
-	return m.open(req, nil)
+	return m.open(newID(), req, nil, false)
+}
+
+// checkSessionID validates a caller-supplied session id: ids become
+// file names in a FileStore and path segments in the API, so anything
+// outside [A-Za-z0-9_-] (or unreasonably long) is rejected.
+func checkSessionID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("service: invalid session id %q", id)
+	}
+	for _, r := range id {
+		ok := r == '-' || r == '_' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return fmt.Errorf("service: invalid session id %q", id)
+		}
+	}
+	return nil
+}
+
+// OpenAs creates a session under a caller-chosen id. This is how a
+// shard router keeps placement consistent: the router draws the id,
+// hashes it onto the ring, and asks the owning backend to open under
+// exactly that id. An id already known to this backend (live, stored,
+// or mid-open) is rejected with ErrExists.
+func (m *Manager) OpenAs(id string, req OpenRequest) (SessionInfo, error) {
+	if err := checkSessionID(id); err != nil {
+		return SessionInfo{}, err
+	}
+	if _, ok, err := m.store.Load(id); err != nil {
+		return SessionInfo{}, fmt.Errorf("%w: %v", ErrPersist, err)
+	} else if ok {
+		return SessionInfo{}, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	return m.open(id, req, nil, false)
 }
 
 // Restore reopens a snapshotted session by deterministic replay of its
-// transcript. The restored session continues exactly where the
-// snapshotted one stopped.
+// transcript, under a fresh id. The restored session continues exactly
+// where the snapshotted one stopped.
 func (m *Manager) Restore(snap SessionSnapshot) (SessionInfo, error) {
-	return m.open(snap.Config, &core.Snapshot{
+	return m.open(newID(), snap.Config, &core.Snapshot{
 		Version:      snap.Version,
 		Elicitations: snap.Elicitations,
-	})
+	}, false)
+}
+
+// Export freezes a session and returns its portable durable form — the
+// same checkpoint+WAL record the persist layer keeps, which is all a
+// session is. After Export the local copy is closed and will not be
+// revived (requests get ErrMigrated); the durable record is retained as
+// the rollback copy until the migration is confirmed with Delete, or
+// rolled back by importing the payload right back into this backend.
+func (m *Manager) Export(id string) (SessionSnapshot, error) {
+	s, err := m.get(id) // revives a spilled session first
+	if err != nil {
+		return SessionSnapshot{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core.Closed() {
+		// Evicted or deleted between lookup and lock.
+		return SessionSnapshot{}, ErrNotFound
+	}
+	// Final compacting checkpoint: the local durable record (the
+	// rollback copy) must match the payload that travels.
+	if err := m.checkpointLocked(s); err != nil {
+		return SessionSnapshot{}, err
+	}
+	cs := s.core.Snapshot()
+	snap := SessionSnapshot{Version: cs.Version, Config: s.cfg, Elicitations: cs.Elicitations}
+	m.mu.Lock()
+	if cur, ok := m.sessions[s.id]; ok && cur == s {
+		delete(m.sessions, s.id)
+		m.exported[s.id] = true
+	}
+	m.mu.Unlock()
+	_ = s.core.Close()
+	return snap, nil
+}
+
+// Import installs an exported session under its original id — the
+// receiving half of a migration, and the rollback path when the forward
+// migration failed. The session is rebuilt by the same bit-identical
+// replay as crash recovery and checkpointed locally before it becomes
+// routable. A live session under the id is rejected with ErrExists; a
+// stored (non-live) record is overwritten deliberately, because that is
+// exactly what a rollback or a re-imported failover copy looks like.
+func (m *Manager) Import(id string, snap SessionSnapshot) (SessionInfo, error) {
+	if err := checkSessionID(id); err != nil {
+		return SessionInfo{}, err
+	}
+	return m.open(id, snap.Config, &core.Snapshot{
+		Version:      snap.Version,
+		Elicitations: snap.Elicitations,
+	}, true)
+}
+
+// Sessions lists every session this backend owns, split by residence:
+// live in-memory ones versus stored (spilled or not-yet-revived)
+// records, minus copies exported to another backend. A shard router
+// enumerates backends this way when draining or rebalancing, so it
+// needs no session table of its own; the live/stored split matters
+// because with a shared store every backend lists the same stored
+// records, and only live copies pin a session to a particular backend.
+func (m *Manager) Sessions() (SessionList, error) {
+	stored, err := m.store.List()
+	if err != nil {
+		return SessionList{}, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return SessionList{}, ErrShutdown
+	}
+	out := SessionList{
+		Live:   make([]string, 0, len(m.sessions)),
+		Stored: make([]string, 0, len(stored)),
+	}
+	for id := range m.sessions {
+		out.Live = append(out.Live, id)
+	}
+	for _, id := range stored {
+		if _, live := m.sessions[id]; !live && !m.exported[id] {
+			out.Stored = append(out.Stored, id)
+		}
+	}
+	sort.Strings(out.Live)
+	sort.Strings(out.Stored)
+	return out, nil
+}
+
+// StoreLocation identifies the backing store's storage location (the
+// absolute data directory for a file store, "" for stores with no
+// shareable identity). A shard router compares locations to decide
+// whether two backends see the same bytes: migrating a session between
+// co-located backends must not tombstone the record the new owner now
+// serves from.
+func (m *Manager) StoreLocation() string {
+	if l, ok := m.store.(persist.Locator); ok {
+		return l.Location()
+	}
+	return ""
 }
 
 // buildSession constructs the in-memory session for req, replaying snap
@@ -707,11 +911,18 @@ func (m *Manager) buildSession(id string, req OpenRequest, snap *core.Snapshot) 
 	}, nil
 }
 
-func (m *Manager) open(req OpenRequest, replay *core.Snapshot) (SessionInfo, error) {
-	if err := m.admit(); err != nil {
+// open builds, persists and publishes a session under id. reserve/
+// unreserve bracket the build so two racing opens (or an open racing a
+// revival) of the same id cannot both publish. imported marks the
+// Import path: an exported tombstone for the id is cleared at publish,
+// and a failed publish leaves the stored record in place — it is the
+// migration's rollback copy, not this call's garbage.
+func (m *Manager) open(id string, req OpenRequest, replay *core.Snapshot, imported bool) (SessionInfo, error) {
+	if err := m.reserve(id, imported); err != nil {
 		return SessionInfo{}, err
 	}
-	s, err := m.buildSession(newID(), req, replay)
+	defer m.unreserve(id)
+	s, err := m.buildSession(id, req, replay)
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -723,19 +934,22 @@ func (m *Manager) open(req OpenRequest, replay *core.Snapshot) (SessionInfo, err
 		return SessionInfo{}, err
 	}
 	m.mu.Lock()
-	if m.closed {
+	if m.closed || len(m.sessions) >= m.cfg.MaxSessions {
+		closed := m.closed
 		m.mu.Unlock()
 		_ = s.core.Close()
-		_ = m.store.Delete(s.id)
-		return SessionInfo{}, ErrShutdown
-	}
-	if len(m.sessions) >= m.cfg.MaxSessions {
-		m.mu.Unlock()
-		_ = s.core.Close()
-		_ = m.store.Delete(s.id)
+		if !imported {
+			_ = m.store.Delete(s.id)
+		}
+		if closed {
+			return SessionInfo{}, ErrShutdown
+		}
 		return SessionInfo{}, ErrFull
 	}
 	m.sessions[s.id] = s
+	if imported {
+		delete(m.exported, s.id)
+	}
 	m.mu.Unlock()
 	m.telemetry.Lock()
 	m.telemetry.sessionsOpened++
@@ -750,7 +964,10 @@ func (m *Manager) open(req OpenRequest, replay *core.Snapshot) (SessionInfo, err
 	}, nil
 }
 
-func (m *Manager) admit() error {
+// reserve admits an open for id and marks it in-flight. allowExported
+// distinguishes Import (which may reclaim an exported id — the
+// rollback) from plain opens (for which an exported id is still taken).
+func (m *Manager) reserve(id string, allowExported bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -759,7 +976,20 @@ func (m *Manager) admit() error {
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		return ErrFull
 	}
+	if _, live := m.sessions[id]; live || m.opening[id] || m.reviving[id] > 0 {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if !allowExported && m.exported[id] {
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	m.opening[id] = true
 	return nil
+}
+
+func (m *Manager) unreserve(id string) {
+	m.mu.Lock()
+	delete(m.opening, id)
+	m.mu.Unlock()
 }
 
 // get looks a session up and refreshes its idle clock; a session absent
@@ -804,6 +1034,19 @@ func (m *Manager) revive(id string) (*Session, error) {
 		s.lastUsed = m.nowFn()
 		m.mu.Unlock()
 		return s, nil
+	}
+	if m.exported[id] {
+		// The session was exported to another backend; its retained
+		// record is a rollback copy, not a serveable session.
+		m.mu.Unlock()
+		return nil, ErrMigrated
+	}
+	if m.opening[id] {
+		// An open/import for this id is mid-flight: its checkpoint may
+		// already be on disk, but the id has not been published to the
+		// caller yet, so to this request it does not exist.
+		m.mu.Unlock()
+		return nil, ErrNotFound
 	}
 	m.reviving[id]++
 	m.mu.Unlock()
@@ -901,7 +1144,7 @@ func (m *Manager) Spilled() int {
 	defer m.mu.Unlock()
 	n := 0
 	for _, id := range ids {
-		if _, live := m.sessions[id]; !live {
+		if _, live := m.sessions[id]; !live && !m.exported[id] {
 			n++
 		}
 	}
@@ -925,7 +1168,7 @@ func (m *Manager) Delete(id string) error {
 		delete(m.sessions, id)
 	}
 	if !ok {
-		// Possibly spilled, or being revived right now.
+		// Possibly spilled, exported, or being revived right now.
 		defer m.mu.Unlock()
 		if m.reviving[id] > 0 {
 			m.tombstoned[id] = true
@@ -940,6 +1183,9 @@ func (m *Manager) Delete(id string) error {
 		if err := m.store.Delete(id); err != nil {
 			return fmt.Errorf("%w: %v", ErrPersist, err)
 		}
+		// A migration confirmed by the router deletes the exported
+		// rollback copy; the id is free again.
+		delete(m.exported, id)
 		return nil
 	}
 	m.mu.Unlock()
@@ -1136,12 +1382,71 @@ func (la *appliedAnswer) duplicateOf(req AnswerRequest) bool {
 	return a.Claim == b.Claim && a.Verdict == b.Verdict && a.Skip == b.Skip && a.Oracle == b.Oracle
 }
 
+// transcriptReplay detects a sequence-carrying duplicate of an answer
+// the transcript already holds — the migration and crash analogue of
+// the lastApplied memo, which survives neither. A retry whose response
+// was lost while the session moved to another backend (or through a
+// SIGKILL) arrives with a now-stale sequence; rather than answering it
+// with a spurious conflict, the transcript itself is consulted: if the
+// elicitation recorded at the declared sequence is exactly this request
+// (same claim, same applied verdict, same skip polarity) and nothing
+// but auto-skipped prompts (OK=false records) followed it, the request
+// was applied, and the session's current state is returned as the
+// replayed response. The transcript stays single-writer: nothing is
+// re-applied, so the selection trace is bit-identical to a run in which
+// the response was never lost.
+func (s *Session) transcriptReplay(req AnswerRequest) (StateResponse, bool) {
+	if req.Seq == nil || *req.Seq < 0 || *req.Seq >= s.core.TranscriptLen() {
+		return StateResponse{}, false
+	}
+	if req.Claim < 0 || req.Claim >= len(s.corpus.Truth) {
+		return StateResponse{}, false
+	}
+	tail := s.core.TranscriptTail(*req.Seq)
+	// The Step that applied the original recorded, starting at the
+	// declared sequence: an optional materialised skip of the then-top
+	// claim (a different claim than the answered one), then the answer.
+	j := 0
+	if !req.Skip && len(tail) > 1 && !tail[0].OK && tail[0].Claim != req.Claim {
+		j = 1
+	}
+	e := tail[j]
+	if e.Claim != req.Claim || e.OK != !req.Skip {
+		return StateResponse{}, false
+	}
+	want := req.Verdict
+	if req.Oracle {
+		want = s.corpus.Truth[req.Claim]
+	}
+	if e.OK && e.Verdict != want {
+		return StateResponse{}, false
+	}
+	// Everything after the answer must be auto-skipped repair prompts
+	// from the same Step's confirmation check; a later accepted answer
+	// means the declared sequence is genuinely stale, not a lost
+	// response.
+	for _, r := range tail[j+1:] {
+		if r.OK {
+			return StateResponse{}, false
+		}
+	}
+	if !s.budgetExhausted() {
+		_ = s.ranking() // warm, trace-neutral: the duplicate's response carries the next expected claim
+	}
+	return s.state(false), true
+}
+
 func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 	// Idempotency: a replay of the most recently applied request (a
 	// client retry after its response was lost in transit) returns the
 	// stored response instead of double-submitting or conflicting.
 	if s.lastApplied.duplicateOf(req) {
 		return s.lastApplied.resp, nil
+	}
+	// The cross-process form: a duplicate arriving after a migration,
+	// spill or crash, detected against the transcript itself.
+	if resp, ok := s.transcriptReplay(req); ok {
+		return resp, nil
 	}
 	if req.Seq != nil && *req.Seq != s.core.TranscriptLen() {
 		return StateResponse{}, fmt.Errorf("%w: expected sequence %d, got %d",

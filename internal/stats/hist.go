@@ -141,6 +141,35 @@ func (h *LogHist) Merge(o *LogHist) {
 	h.sum += o.sum
 }
 
+// AbsorbBuckets merges a histogram that was exported as buckets — e.g.
+// scraped from another process's /metrics — back into h, alongside the
+// digest that travelled with it. Each bucket's count lands at the
+// bucket's geometric midpoint, so bucket assignment is exactly
+// preserved (the midpoint of an exported [g^i, g^i+1) bucket re-indexes
+// to i); count, sum (via the digest mean), min and max come from the
+// digest, keeping Mean/Min/Max exact across an export/absorb
+// round-trip even though per-observation values are gone.
+func (h *LogHist) AbsorbBuckets(bs []HistBucket, s Summary) {
+	if s.Count == 0 {
+		return
+	}
+	h.ensure()
+	for _, b := range bs {
+		if b.Count <= 0 || !(b.Lo > 0) {
+			continue
+		}
+		h.counts[bucketIndex(b.Lo*math.Sqrt(histGrowth))] += b.Count
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Mean * float64(s.Count)
+}
+
 // Quantile estimates the q-th quantile (0 <= q <= 1) from the buckets:
 // the geometric midpoint of the bucket holding the target rank, clamped
 // to the exact observed [min, max]. The estimate's relative error is

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -190,5 +191,50 @@ func TestLogHistBucketBoundariesExact(t *testing.T) {
 		if got := bucketIndex(mid); got != k {
 			t.Fatalf("bucketIndex(midpoint of %d) = %d", k, got)
 		}
+	}
+}
+
+// TestLogHistAbsorbBuckets: a histogram exported as buckets+digest
+// (the /metrics wire shape) and absorbed into a fresh LogHist must
+// reproduce the original's buckets exactly and its count/mean/min/max
+// from the digest — the round-trip a shard router's fleet-wide
+// aggregation performs.
+func TestLogHistAbsorbBuckets(t *testing.T) {
+	orig := NewLogHist()
+	for i := 1; i <= 200; i++ {
+		orig.Add(float64(i) * 0.003)
+	}
+	var agg LogHist
+	agg.AbsorbBuckets(orig.Buckets(), orig.Summary())
+	if !reflect.DeepEqual(agg.Buckets(), orig.Buckets()) {
+		t.Fatalf("bucket round-trip diverged:\norig: %+v\nagg:  %+v", orig.Buckets(), agg.Buckets())
+	}
+	os, as := orig.Summary(), agg.Summary()
+	if as != os {
+		t.Fatalf("summary round-trip diverged:\norig: %+v\nagg:  %+v", os, as)
+	}
+
+	// Absorbing a second export merges, like Merge does.
+	other := NewLogHist()
+	for i := 1; i <= 50; i++ {
+		other.Add(float64(i) * 0.1)
+	}
+	agg.AbsorbBuckets(other.Buckets(), other.Summary())
+	merged := NewLogHist()
+	merged.Merge(orig)
+	merged.Merge(other)
+	if !reflect.DeepEqual(agg.Buckets(), merged.Buckets()) {
+		t.Fatal("two absorbed exports differ from a direct merge")
+	}
+	if agg.Count() != merged.Count() || agg.Min() != merged.Min() || agg.Max() != merged.Max() {
+		t.Fatalf("absorbed totals diverged: count %d/%d min %v/%v max %v/%v",
+			agg.Count(), merged.Count(), agg.Min(), merged.Min(), agg.Max(), merged.Max())
+	}
+
+	// An empty export is a no-op.
+	agg2 := NewLogHist()
+	agg2.AbsorbBuckets(nil, Summary{})
+	if agg2.Count() != 0 {
+		t.Fatal("empty absorb changed the histogram")
 	}
 }

@@ -132,8 +132,8 @@ func TestShippedScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) < 5 {
-		t.Fatalf("want at least 5 shipped scenarios, found %d", len(paths))
+	if len(paths) < 6 {
+		t.Fatalf("want at least 6 shipped scenarios, found %d", len(paths))
 	}
 	arrivalKinds := map[string]bool{}
 	behaviorKinds := map[string]bool{}
@@ -156,6 +156,12 @@ func TestShippedScenarios(t *testing.T) {
 		if !arrivalKinds[k] {
 			t.Errorf("no shipped scenario uses arrival kind %q", k)
 		}
+	}
+	// router-smoke drives this preset against a live 3-backend router
+	// with a mid-run drain; it must stay shipped and closed-loop (a
+	// closed fleet keeps pressure on the ring through the migration).
+	if !names["router-fleet"] {
+		t.Error("the router-fleet preset is missing")
 	}
 	for _, k := range []string{KindOracle, KindErroneous, KindSkipping, KindExpert, KindCrowd, KindAbandoning, KindBursty} {
 		if !behaviorKinds[k] {
