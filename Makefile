@@ -10,9 +10,10 @@ GO ?= go
 BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank
 
 .PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
-	router-smoke bench-smoke bench bench-json bench-gate bench-baseline
+	router-smoke bench-smoke bench bench-json bench-gate bench-baseline \
+	slo-gate slo-baseline
 
-ci: fmt-check vet build test race cover bench-gate serve-smoke loadtest-smoke router-smoke
+ci: fmt-check vet build test race cover bench-gate slo-gate serve-smoke loadtest-smoke router-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
@@ -87,6 +88,22 @@ bench-gate: bench-json
 # Refresh the committed baseline (run on an idle machine, then commit).
 bench-baseline: bench-json
 	cp BENCH.json bench_baseline.json
+
+# Replay the pinned flash-crowd scenario through the deterministic SLO
+# simulation and gate the overload arc against the committed baseline:
+# the controller must degrade then shed, shed requests and degraded
+# answers must be counted, admitted steady-state p99 must meet the SLO
+# while the controller-off counterfactual breaches it, and the SLO
+# curve must match the baseline rung-for-rung. SLO.json is the replay
+# report (uploaded as a CI artifact on failure).
+slo-gate:
+	$(GO) run ./scripts/slogate -check -scenario examples/scenarios/slo-gate.json \
+		-baseline slo_baseline.json -report SLO.json
+
+# Refresh the committed SLO baseline (deterministic: any machine).
+slo-baseline:
+	$(GO) run ./scripts/slogate -emit -scenario examples/scenarios/slo-gate.json \
+		-out slo_baseline.json
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

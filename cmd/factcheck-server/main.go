@@ -26,6 +26,14 @@
 //	factcheck-server -addr 127.0.0.1:8080 -workers 8 -idle-ttl 30m
 //	factcheck-server -addr 127.0.0.1:0     # pick a free port, announce it
 //	factcheck-server -data-dir /var/lib/factcheck  # durable sessions
+//	factcheck-server -slo-p99 0.5                  # overload controller on
+//
+// With -slo-p99 set, an overload controller watches the windowed
+// answer-latency p99 against the SLO: on a sustained breach it degrades
+// ranking from what-if scoring to the precomputed uncertainty order,
+// and if worker-lane contention persists it additionally sheds load —
+// new sessions and un-servable answers get 429 + Retry-After, which
+// the bundled client and shard router honor.
 //
 // With -data-dir set, every session is checkpointed to disk at open,
 // each answer is appended to a per-session write-ahead log before the
@@ -62,6 +70,8 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently live sessions (spilled sessions don't count)")
 		dataDir     = flag.String("data-dir", "", "directory for durable session storage (empty = in-memory store: sessions survive eviction, not the process)")
 		ckptEvery   = flag.Int("checkpoint-every", 16, "compact a session's write-ahead log into a checkpoint every N answers")
+		sloP99      = flag.Float64("slo-p99", 0, "answer-latency p99 SLO in seconds; enables the overload controller (degrade what-if scoring, then shed with 429 + Retry-After) — 0 disables")
+		sloWindow   = flag.Float64("slo-window", 0, "rolling window in seconds the SLO p99 is read over (0 = controller default)")
 	)
 	flag.Parse()
 
@@ -81,6 +91,7 @@ func main() {
 		IdleTTL:         *idleTTL,
 		Store:           store,
 		CheckpointEvery: *ckptEvery,
+		SLO:             service.SLOConfig{P99: *sloP99, WindowSeconds: *sloWindow},
 	})
 	if recovered, err := manager.RecoverAll(); err != nil {
 		fmt.Fprintf(os.Stderr, "factcheck-server: recovery: %v\n", err)
@@ -98,6 +109,9 @@ func main() {
 	// use -addr host:0 and parse the port.
 	fmt.Printf("factcheck-server listening on http://%s (workers=%d max-sessions=%d idle-ttl=%s)\n",
 		ln.Addr(), manager.Budget().Total(), *maxSessions, *idleTTL)
+	if *sloP99 > 0 {
+		fmt.Printf("factcheck-server: overload controller armed (answer p99 SLO %gs)\n", *sloP99)
+	}
 
 	done := make(chan struct{})
 	go func() {

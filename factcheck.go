@@ -214,6 +214,13 @@ type (
 	// ServiceRetryPolicy bounds the client's retry-with-backoff on
 	// transient connection errors (off unless set on a ServiceClient).
 	ServiceRetryPolicy = service.RetryPolicy
+	// ServiceSLOConfig arms the overload controller: degrade what-if
+	// scoring, then shed load with 429 + Retry-After, when the windowed
+	// answer-latency p99 breaches the SLO (ServiceConfig.SLO).
+	ServiceSLOConfig = service.SLOConfig
+	// ServiceControllerStatus is the controller's /metrics payload
+	// (ServiceMetrics.Controller; the router merges them fleet-wide).
+	ServiceControllerStatus = service.ControllerStatus
 )
 
 // NewServiceManager creates a session manager (see ServiceConfig).
@@ -242,6 +249,14 @@ type (
 	WorkloadResult = workload.Result
 	// WorkloadReport is the (virtual-mode deterministic) run report.
 	WorkloadReport = workload.Report
+	// WorkloadSLOReport is the deterministic overload-replay report the
+	// CI slo-gate pins (RunWorkloadSLOSim).
+	WorkloadSLOReport = workload.SLOReport
+	// WorkloadCapacityModel predicts saturated answers/sec from worker
+	// lanes and corpus shape, fitted from simulation sweeps.
+	WorkloadCapacityModel = workload.CapacityModel
+	// WorkloadCapacitySample is one measured operating point of a sweep.
+	WorkloadCapacitySample = workload.CapacitySample
 )
 
 // LoadWorkloadScenario reads and validates a scenario JSON file.
@@ -264,6 +279,19 @@ func NewWorkloadHTTPTarget(base string) WorkloadTarget {
 // scenario's clock mode (deterministic virtual time, or wall time).
 func RunWorkload(sc *WorkloadScenario, target WorkloadTarget) (*WorkloadResult, error) {
 	return workload.Run(sc, target)
+}
+
+// RunWorkloadSLOSim replays a scenario's `slo` section through the
+// deterministic overload simulation: the real SLO controller under
+// virtual time, with a controller-off counterfactual for comparison.
+func RunWorkloadSLOSim(sc *WorkloadScenario) (*WorkloadSLOReport, error) {
+	return workload.RunSLOSim(sc)
+}
+
+// FitWorkloadCapacityModel fits the affine service-time capacity model
+// to sweep samples (workload.CapacitySweep produces them).
+func FitWorkloadCapacityModel(samples []WorkloadCapacitySample) (WorkloadCapacityModel, error) {
+	return workload.FitCapacityModel(samples)
 }
 
 // Durable session storage (ServiceConfig.Store).

@@ -145,7 +145,13 @@ type Session struct {
 	// pendingOK distinguishes "computed and empty" from "not computed".
 	pending   []int
 	pendingOK bool
-	closed    bool
+	// degraded selects the overload fallback for the next computed
+	// ranking (SetDegraded); pendingDegraded is the mode the cached
+	// ranking was actually computed under — captured at ranking time so a
+	// mid-iteration mode flip cannot perturb the iteration's trace.
+	degraded        bool
+	pendingDegraded bool
+	closed          bool
 
 	// Observer, when set, runs after every iteration (used by the
 	// experiment harness to trace precision and indicator curves).

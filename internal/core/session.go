@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"factcheck/internal/factdb"
+	"factcheck/internal/guidance"
 )
 
 // ErrClosed is returned by operations on a session after Close.
@@ -14,11 +15,17 @@ var ErrClosed = errors.New("core: session is closed")
 // and the user's response. OK = false records a skip (§8.5). Repair
 // prompts from confirmation checks (§5.2) appear in the log like any
 // other elicitation, so the log is a complete transcript of the
-// user-facing side of Alg. 1.
+// user-facing side of Alg. 1. Degraded marks elicitations whose
+// iteration was ranked in degraded mode (the overload fallback to the
+// uncertainty ranking, see SetDegraded): the flag is what makes a
+// degraded transcript replayable — and the degraded answers auditable —
+// since a degraded iteration draws no scoring values from the session
+// RNG and replay must skip the same draws.
 type Elicitation struct {
-	Claim   int  `json:"claim"`
-	Verdict bool `json:"verdict"`
-	OK      bool `json:"ok"`
+	Claim    int  `json:"claim"`
+	Verdict  bool `json:"verdict"`
+	OK       bool `json:"ok"`
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SnapshotVersion is the encoding version written into snapshots taken
@@ -35,8 +42,11 @@ type Elicitation struct {
 // transcripts bit-identically. Served sessions persist their opening
 // request, which on records written by older builds carries no
 // fullSweepEvery field, so their revival fails loud rather than
-// silently diverging.
-const SnapshotVersion = 2
+// silently diverging. Version 3 adds the per-elicitation Degraded flag
+// (overload fallback to the uncertainty ranking); v2 snapshots decode
+// with the flag false on every record, which is exactly right — no
+// pre-v3 session ever ranked degraded — so they replay unchanged.
+const SnapshotVersion = 3
 
 // Snapshot is a serialisable record of a session's progress: the full
 // elicitation transcript. Because every other part of a session — claim
@@ -51,12 +61,38 @@ type Snapshot struct {
 	Elicitations []Elicitation `json:"elicitations"`
 }
 
-// ask elicits a verdict and records the elicitation in the transcript.
+// ask elicits a verdict and records the elicitation in the transcript,
+// stamped with the mode the current iteration's ranking was computed
+// under (pendingDegraded).
 func (s *Session) ask(user User, c int) (bool, bool) {
 	v, ok := user.Validate(c)
-	s.elog = append(s.elog, Elicitation{Claim: c, Verdict: v, OK: ok})
+	s.elog = append(s.elog, Elicitation{Claim: c, Verdict: v, OK: ok, Degraded: s.pendingDegraded})
 	return v, ok
 }
+
+// SetDegraded switches the session's ranking mode. While degraded, the
+// next computed ranking uses the cheap precomputed uncertainty order
+// (guidance.Uncertainty — RNG-free, stable) instead of the configured
+// strategy; this is the graceful-degradation fallback the serving SLO
+// controller flips under overload. The switch deliberately does NOT
+// invalidate a cached ranking: mode is captured when a ranking is
+// computed and holds for that whole iteration, so Pending stays
+// idempotent and a mid-iteration flip cannot fork the selection trace.
+// Every elicitation records the mode it was ranked under, which is what
+// keeps degraded transcripts bit-identically replayable: a degraded
+// iteration draws no scoring values from the session RNG, and replay
+// (RestoreSession) re-applies the recorded mode before each Step.
+func (s *Session) SetDegraded(v bool) { s.degraded = v }
+
+// Degraded reports the session's current ranking mode (the mode the
+// *next* computed ranking will use; see LastRankingDegraded for the mode
+// of the cached one).
+func (s *Session) Degraded() bool { return s.degraded }
+
+// LastRankingDegraded reports whether the most recently computed ranking
+// was produced in degraded mode — the annotation read-only endpoints
+// surface so degraded guidance is distinguishable downstream.
+func (s *Session) LastRankingDegraded() bool { return s.pendingDegraded }
 
 // ranked returns the full ranking for the current iteration, computing
 // and caching it on first call. The cache is what makes Pending
@@ -65,13 +101,21 @@ func (s *Session) ask(user User, c int) (bool, bool) {
 // and fork the selection trace away from a session that ranks once per
 // iteration. Ranking with k = |C| instead of Step's historical k = 2 is
 // trace-neutral: k only truncates the sorted order, it never changes the
-// number of RNG draws or the relative order of the head.
+// number of RNG draws or the relative order of the head. In degraded
+// mode the ranking comes from the RNG-free uncertainty order instead of
+// the configured strategy, and the mode is captured alongside the cache
+// so the iteration's elicitations record how they were ranked.
 func (s *Session) ranked() []int {
 	if !s.pendingOK {
-		if s.hybrid != nil {
-			s.hybrid.Z = s.zScore
+		if s.degraded {
+			s.pending = guidance.Uncertainty{}.Rank(s.ctx(), s.DB.NumClaims)
+		} else {
+			if s.hybrid != nil {
+				s.hybrid.Z = s.zScore
+			}
+			s.pending = s.opts.Strategy.Rank(s.ctx(), s.DB.NumClaims)
 		}
-		s.pending = s.opts.Strategy.Rank(s.ctx(), s.DB.NumClaims)
+		s.pendingDegraded = s.degraded
 		s.pendingOK = true
 	}
 	return s.pending
@@ -224,10 +268,20 @@ func RestoreSession(db *factdb.DB, opts Options, snap Snapshot) (*Session, error
 	}
 	u := &replayUser{log: snap.Elicitations}
 	for u.pos < len(u.log) && u.err == nil {
+		// Re-apply the ranking mode the original session used for this
+		// iteration: its first elicitation recorded whether it was ranked
+		// degraded, and the mode governs both the ranking order and the
+		// RNG draws the replayed Step consumes. Elicitations of one Step
+		// all carry the iteration's mode, so reading the next unconsumed
+		// record is exact.
+		s.SetDegraded(u.log[u.pos].Degraded)
 		if s.Step(u) {
 			break
 		}
 	}
+	// Leave the restored session in normal mode; whoever drives it next
+	// (the serving SLO controller, or nobody) re-decides per request.
+	s.SetDegraded(false)
 	if u.err != nil {
 		return nil, u.err
 	}

@@ -76,6 +76,16 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 			unavailable(w, "no backends in the fleet")
 			return
 		}
+		// Shed-before-proxy: when the resolved owner's last probe reports
+		// its overload controller shedding, refuse the create here with
+		// the same 429 + Retry-After the backend would send, saving the
+		// saturated member the proxy hop. Placement is pinned to the ring
+		// owner, so routing around it would strand the session's id.
+		if rt.shedding(b) {
+			b.inflight.Done()
+			tooManyRequests(w, "owner "+b.base+" is shedding load")
+			return
+		}
 		resp, err := rt.send(b, r, "/sessions", buf)
 		if err != nil {
 			b.inflight.Done()
@@ -287,6 +297,13 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 func unavailable(w http.ResponseWriter, why string) {
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, errors.New("router: "+why))
+}
+
+// tooManyRequests answers 429 with the Retry-After hint, mirroring the
+// execution layer's admission-control rejection.
+func tooManyRequests(w http.ResponseWriter, why string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errors.New("router: "+why))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

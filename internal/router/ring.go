@@ -49,14 +49,26 @@ func NewRing(vnodes int) *Ring {
 	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
 }
 
-// ringHash is FNV-1a 64: fast, dependency-free, and stable across
+// ringHash is FNV-1a 64 followed by a splitmix64-style avalanche
+// finalizer. FNV alone is fast, dependency-free and stable across
 // processes and platforms — ring layout must not depend on process
 // randomness, or two routers over the same fleet would disagree on
-// placement.
+// placement — but it diffuses poorly for short keys differing only in
+// their final bytes: sequential ids like "sess-1", "sess-2", … hash
+// into a tight cluster, which can drop an entire caller-pinned id
+// family onto one member's arcs. The finalizer avalanches every input
+// bit across the word so nearby keys spread uniformly, and is itself a
+// pure function of the bytes, so cross-process agreement is preserved.
 func ringHash(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Add inserts a member's virtual nodes. Adding a present member is a

@@ -98,3 +98,28 @@ func TestRingEmptyAndSingle(t *testing.T) {
 		t.Fatalf("Len = %d", got)
 	}
 }
+
+// TestRingSequentialIDSpread: an id family differing only in a
+// trailing counter must split across members. Raw FNV-1a fails this —
+// nearby keys hash into a tight cluster, so for some member pairs an
+// entire sequential family landed on one backend (and the ghost-id
+// searches in the handler tests flaked); the avalanche finalizer in
+// ringHash is what this pins.
+func TestRingSequentialIDSpread(t *testing.T) {
+	for port := 32768; port < 60000; port += 7 {
+		r := NewRing(0)
+		a := fmt.Sprintf("http://127.0.0.1:%d", port)
+		b := fmt.Sprintf("http://127.0.0.1:%d", port+100)
+		r.Add(a)
+		r.Add(b)
+		na := 0
+		for i := 0; i < 256; i++ {
+			if o, _ := r.Owner(fmt.Sprintf("ghost-%d", i)); o == a {
+				na++
+			}
+		}
+		if na == 0 || na == 256 {
+			t.Fatalf("members %s/%s: all 256 sequential ids on one member", a, b)
+		}
+	}
+}

@@ -415,6 +415,17 @@ func (rt *Router) markDown(b *backend) {
 	rt.logf("router: backend %s (%s) marked down after a proxy transport error", b.base, b.id)
 }
 
+// shedding reports whether b's last good probe put its overload
+// controller on the shedding rung. Probe-cadence staleness is
+// acceptable here: the backend's own admission control is still the
+// authority, this is only the router declining to burn a proxy hop on
+// a member that has already said no.
+func (rt *Router) shedding(b *backend) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return service.ParseSLOMode(b.health.ControllerMode) == service.ModeShedding
+}
+
 // Owner reports which backend the ring maps id to (ok = false with no
 // live backends).
 func (rt *Router) Owner(id string) (string, bool) {
@@ -459,6 +470,11 @@ type BackendStatus struct {
 	WorkersTotal   int    `json:"workersTotal"`
 	WorkersGranted int    `json:"workersGranted"`
 	Store          string `json:"store,omitempty"`
+	// ControllerMode is the backend's overload-controller rung from its
+	// last good probe ("" when the backend runs without a controller).
+	// The router sheds creates before proxying when the resolved owner
+	// reports "shedding".
+	ControllerMode string `json:"controllerMode,omitempty"`
 }
 
 // FleetStatus is the GET /fleet payload: the capacity view the
@@ -486,7 +502,7 @@ func (rt *Router) Fleet() FleetStatus {
 			ID: b.id, URL: b.base, Up: !b.down,
 			Sessions: b.health.Sessions, Spilled: b.health.Spilled,
 			WorkersTotal: b.health.WorkersTotal, WorkersGranted: b.health.WorkersGranted,
-			Store: b.store,
+			Store: b.store, ControllerMode: b.health.ControllerMode,
 		})
 	}
 	sort.Slice(fs.Backends, func(i, j int) bool { return fs.Backends[i].URL < fs.Backends[j].URL })
@@ -495,9 +511,13 @@ func (rt *Router) Fleet() FleetStatus {
 
 // AggregateHealth sums the fleet's /healthz into the single-server
 // shape, so health checks written against one server read the fleet
-// unchanged.
+// unchanged. The controller mode reported is the worst rung any member
+// stands on — the pessimistic capacity hint an upstream balancer or
+// operator dashboard wants.
 func (rt *Router) AggregateHealth() service.Health {
 	var out service.Health
+	worst := service.ModeNormal
+	sawMode := false
 	for _, b := range rt.upBackends() {
 		h, err := b.client.Health()
 		if err != nil {
@@ -507,6 +527,15 @@ func (rt *Router) AggregateHealth() service.Health {
 		out.Spilled += h.Spilled
 		out.WorkersTotal += h.WorkersTotal
 		out.WorkersGranted += h.WorkersGranted
+		if h.ControllerMode != "" {
+			sawMode = true
+			if m := service.ParseSLOMode(h.ControllerMode); m > worst {
+				worst = m
+			}
+		}
+	}
+	if sawMode {
+		out.ControllerMode = worst.String()
 	}
 	return out
 }
@@ -533,6 +562,12 @@ func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
 		out.WorkersGranted += m.WorkersGranted
 		out.SessionsOpened += m.SessionsOpened
 		out.AnswersServed += m.AnswersServed
+		if m.Controller != nil {
+			if out.Controller == nil {
+				out.Controller = &service.ControllerStatus{Mode: service.ModeNormal.String()}
+			}
+			out.Controller.Merge(*m.Controller)
+		}
 		lat.AbsorbBuckets(m.AnswerLatencyBuckets, m.AnswerLatency)
 		for ep, c := range m.Endpoints {
 			agg := out.Endpoints[ep]

@@ -1,0 +1,140 @@
+package router
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"factcheck/internal/service"
+)
+
+// shedSLOConfig is a controller the test can walk to shedding with two
+// direct observations: single-sample windows, one-evaluation streaks,
+// and a recovery horizon past the test.
+func shedSLOConfig() service.SLOConfig {
+	return service.SLOConfig{
+		P99:           0.001,
+		WindowSeconds: 1,
+		Slots:         2,
+		MinSamples:    1,
+		DegradeAfter:  1,
+		ShedAfter:     1,
+		RecoverAfter:  1_000_000,
+	}
+}
+
+// primeShedding walks m's controller to the shedding rung with explicit
+// far-future virtual timestamps, so the manager's own wall-clock
+// evaluations stay inside the last cadence and cannot step it back
+// down for the duration of the test.
+func primeShedding(t *testing.T, m *service.Manager) {
+	t.Helper()
+	c := m.Controller()
+	if c == nil {
+		t.Fatal("backend has no controller")
+	}
+	c.ObserveAnswer(100, 1.0, 0) // breach -> degraded
+	c.ObserveAnswer(101, 1.0, 1) // fresh contention -> shedding
+	if mode := m.ControllerMode(); mode != "shedding" {
+		t.Fatalf("primed controller mode = %q, want shedding", mode)
+	}
+}
+
+// TestRouterShedBeforeProxy: a create whose ring owner reports shedding
+// is refused at the router with the backend's own 429 + Retry-After
+// contract, without burning a proxy hop; creates owned by a healthy
+// member still land.
+func TestRouterShedBeforeProxy(t *testing.T) {
+	rt := New(Config{ProbeInterval: time.Hour, Logf: t.Logf})
+	t.Cleanup(rt.Close)
+
+	overloaded := service.NewManager(service.Config{Workers: 2, SLO: shedSLOConfig()})
+	healthy := service.NewManager(service.Config{Workers: 2})
+	osrv := httptest.NewServer(service.NewServer(overloaded).Handler())
+	hsrv := httptest.NewServer(service.NewServer(healthy).Handler())
+	t.Cleanup(func() { osrv.Close(); overloaded.Shutdown(); hsrv.Close(); healthy.Shutdown() })
+
+	if err := rt.Join(osrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Join(hsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	primeShedding(t, overloaded)
+	rt.probeAll() // refresh the cached capacity view
+
+	// Pick one id the ring pins to each backend.
+	idFor := func(base string) string {
+		for i := 0; i < 10_000; i++ {
+			id := "sess-" + strings.Repeat("x", i%3) + time.Now().Format("150405") + "-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+			if owner, ok := rt.Owner(id); ok && owner == base {
+				return id
+			}
+		}
+		t.Fatalf("no id resolved to %s", base)
+		return ""
+	}
+
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+	client := service.NewClient(rsrv.URL)
+
+	// Create pinned to the shedding owner: refused at the router.
+	shedID := idFor(osrv.URL)
+	_, err := client.OpenAs(shedID, fastOpen(1))
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("open on shedding owner: err = %v, want HTTP 429", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatal("router's 429 carries no Retry-After hint")
+	}
+	if !strings.Contains(apiErr.Message, "router:") {
+		t.Fatalf("shed happened at the backend, not the router: %q", apiErr.Message)
+	}
+	if n := overloaded.Len(); n != 0 {
+		t.Fatalf("shedding backend still received %d session(s)", n)
+	}
+
+	// Create pinned to the healthy owner: unaffected.
+	okID := idFor(hsrv.URL)
+	if _, err := client.OpenAs(okID, fastOpen(2)); err != nil {
+		t.Fatalf("open on healthy owner: %v", err)
+	}
+
+	// The fleet view names the rung per member.
+	var sawShedding, sawBare bool
+	for _, b := range rt.Fleet().Backends {
+		switch b.URL {
+		case osrv.URL:
+			sawShedding = b.ControllerMode == "shedding"
+		case hsrv.URL:
+			sawBare = b.ControllerMode == ""
+		}
+	}
+	if !sawShedding {
+		t.Fatal("fleet view does not report the shedding member")
+	}
+	if !sawBare {
+		t.Fatal("fleet view invents a controller mode for a controller-less member")
+	}
+
+	// Fleet aggregates: health reports the worst rung, metrics merge the
+	// controller counters.
+	if h := rt.AggregateHealth(); h.ControllerMode != "shedding" {
+		t.Fatalf("aggregate health controllerMode = %q, want shedding (worst rung)", h.ControllerMode)
+	}
+	agg := rt.AggregateMetrics(false)
+	if agg.Controller == nil {
+		t.Fatal("aggregate metrics dropped the controller status")
+	}
+	if agg.Controller.Mode != "shedding" {
+		t.Fatalf("aggregate controller mode = %q, want shedding", agg.Controller.Mode)
+	}
+	if agg.Controller.Breaches == 0 {
+		t.Fatal("aggregate controller lost the breach count")
+	}
+}

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // Budget is the shared worker-lane budget that lets N concurrent
 // sessions multiplex onto one bounded set of scoring/inference
@@ -18,10 +21,17 @@ import "sync"
 // become free — and under light load a single session gets the full
 // budget.
 type Budget struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	total int
-	inUse int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	total   int
+	inUse   int
+	waiters int
+	// waits counts contention events since boot: Acquire calls that had
+	// to block and TryAcquire calls refused for want of a free lane. The
+	// overload controller diffs this monotone counter across evaluation
+	// windows — "did anyone queue since the last look" is a far sturdier
+	// saturation signal than sampling lane occupancy at one instant.
+	waits int64
 }
 
 // NewBudget creates a budget of total worker lanes (minimum 1).
@@ -43,8 +53,13 @@ func (b *Budget) Acquire(want int) (granted int, release func()) {
 		want = 1
 	}
 	b.mu.Lock()
+	if b.total-b.inUse < 1 {
+		b.waits++
+	}
 	for b.total-b.inUse < 1 {
+		b.waiters++
 		b.cond.Wait()
+		b.waiters--
 	}
 	granted = b.total - b.inUse
 	if granted > want {
@@ -52,6 +67,15 @@ func (b *Budget) Acquire(want int) (granted int, release func()) {
 	}
 	b.inUse += granted
 	b.mu.Unlock()
+
+	// Hold-and-yield: give concurrently arrived requests one chance to
+	// reach the budget before this one runs its CPU-bound section. On a
+	// single-P runtime a short non-blocking section otherwise never
+	// interleaves with other goroutines, so genuine queueing piles up
+	// invisibly in the scheduler runqueue and the contention counter
+	// reads an overloaded server as calm. The yield is ~free when the
+	// runqueue is empty.
+	runtime.Gosched()
 
 	var once sync.Once
 	release = func() {
@@ -65,6 +89,42 @@ func (b *Budget) Acquire(want int) (granted int, release func()) {
 	return granted, release
 }
 
+// TryAcquire is the non-blocking Acquire used by admission control's
+// shed-before-queue policy: when no lane is free it reports ok = false
+// immediately instead of queueing the request behind a saturated budget.
+// On success it grants up to want lanes exactly like Acquire.
+func (b *Budget) TryAcquire(want int) (granted int, release func(), ok bool) {
+	if want < 1 {
+		want = 1
+	}
+	b.mu.Lock()
+	free := b.total - b.inUse
+	if free < 1 {
+		b.waits++
+		b.mu.Unlock()
+		return 0, func() {}, false
+	}
+	granted = free
+	if granted > want {
+		granted = want
+	}
+	b.inUse += granted
+	b.mu.Unlock()
+
+	runtime.Gosched() // see Acquire: keep arrival pressure visible
+
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			b.mu.Lock()
+			b.inUse -= granted
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+	}
+	return granted, release, true
+}
+
 // Total returns the budget size.
 func (b *Budget) Total() int { return b.total }
 
@@ -73,4 +133,23 @@ func (b *Budget) InUse() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.inUse
+}
+
+// Saturated reports instantaneous worker-lane saturation: every lane
+// granted, or a request already queued behind the budget.
+func (b *Budget) Saturated() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiters > 0 || b.inUse >= b.total
+}
+
+// Waits returns the cumulative contention counter (see the field doc).
+// This is the overload controller's second signal — a breached p99
+// alone triggers degradation, but shedding additionally requires
+// contention in every evaluation window, so a latency blip on an
+// otherwise idle server never sheds.
+func (b *Budget) Waits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waits
 }

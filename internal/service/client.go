@@ -20,12 +20,14 @@ import (
 // RetryPolicy bounds the client's retry-with-jittered-backoff on
 // transient transport errors (connection refused/reset, a server
 // restarting mid-request). HTTP responses are never replayed — the
-// server made a decision — with one exception: a 503 carrying a
+// server made a decision — with one exception: a 503 or 429 carrying a
 // Retry-After header is an explicit invitation ("full" backpressure, a
-// draining backend, a session mid-migration behind a router), and the
-// client honors it for requests that are safe to repeat (all reads,
-// deletes, and answers, which are idempotent via their sequence
-// number; session-creating posts are not replayed).
+// draining backend, a session mid-migration behind a router, load shed
+// by the overload controller's admission control), and the client
+// honors it for requests that are safe to repeat (all reads, deletes,
+// and answers, which are idempotent via their sequence number;
+// session-creating posts are not replayed). The server's Retry-After
+// hint is respected but never waited beyond MaxDelay.
 //
 // The applied-but-response-lost window (a connection torn down after
 // the server committed the request, making the retry look like a fresh
@@ -271,9 +273,10 @@ func (c *Client) do(method, path string, body, out any) error {
 			continue
 		}
 		// An HTTP-level error: the server answered; replay only an
-		// explicit 503 + Retry-After on requests safe to repeat.
+		// explicit 503 (backpressure/drain) or 429 (admission-control
+		// shed) + Retry-After on requests safe to repeat.
 		var apiErr *APIError
-		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable &&
+		if errors.As(err, &apiErr) && retryableStatus(apiErr.Status) &&
 			apiErr.RetryAfter > 0 && retrySafe(method, path) {
 			wait = min(apiErr.RetryAfter, policy.MaxDelay)
 			continue
@@ -283,10 +286,18 @@ func (c *Client) do(method, path string, body, out any) error {
 	return lastErr
 }
 
+// retryableStatus reports the statuses whose Retry-After hint the
+// client honors: 503 (full / draining / mid-migration) and 429 (shed
+// by admission control).
+func retryableStatus(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
 // retrySafe reports whether a request may be replayed after a
-// Retry-After'd 503: reads and deletes are idempotent by nature,
-// answers by their sequence number. POST /sessions (open/restore) and
-// POST .../import create state and could strand a duplicate.
+// Retry-After'd 503 or 429: reads and deletes are idempotent by
+// nature, answers by their sequence number. POST /sessions
+// (open/restore) and POST .../import create state and could strand a
+// duplicate.
 func retrySafe(method, path string) bool {
 	return method != http.MethodPost || strings.HasSuffix(path, "/answer")
 }
@@ -320,6 +331,7 @@ func (c *Client) doOnce(method, path string, body []byte, out any) error {
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 		}
+		io.Copy(io.Discard, resp.Body)
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			apiErr.RetryAfter = time.Duration(secs) * time.Second
 		}
@@ -329,5 +341,11 @@ func (c *Client) doOnce(method, path string, body []byte, out any) error {
 		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	err = json.NewDecoder(resp.Body).Decode(out)
+	// Drain the body's trailing bytes (the encoder's newline): a body
+	// not read to EOF forbids connection reuse, and the churn of a fresh
+	// TCP connection per request throttles tight client loops far below
+	// what the server can serve.
+	io.Copy(io.Discard, resp.Body)
+	return err
 }

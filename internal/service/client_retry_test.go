@@ -1,6 +1,8 @@
 package service
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -200,5 +202,99 @@ func TestAnswerRetryAfterAppliedResponseLostIsIdempotent(t *testing.T) {
 	_, err = client.Answer(info.ID, AnswerRequest{Claim: 0, Verdict: true, Seq: &stale})
 	if err == nil || !strings.Contains(err.Error(), "409") {
 		t.Fatalf("stale sequence: want HTTP 409, got %v", err)
+	}
+}
+
+// TestClientRetryAfterStatusTable pins the replay contract across the
+// backpressure statuses: 503 (full/drain/migration) and 429 (shed by
+// admission control) replay retry-safe requests when — and only when —
+// a Retry-After hint accompanies them; session-creating posts are never
+// replayed no matter what the server hints; every other status passes
+// through on the first answer.
+func TestClientRetryAfterStatusTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		status     int
+		retryAfter string // Retry-After header on the failure; "" = absent
+		wantHits   int64
+		wantErr    bool
+	}{
+		{"503 with hint replays a read", http.MethodGet, "/sessions/x/state", http.StatusServiceUnavailable, "1", 2, false},
+		{"429 with hint replays a read", http.MethodGet, "/sessions/x/state", http.StatusTooManyRequests, "1", 2, false},
+		{"429 with hint replays a delete", http.MethodDelete, "/sessions/x", http.StatusTooManyRequests, "1", 2, false},
+		{"429 with hint replays an answer", http.MethodPost, "/sessions/x/answer", http.StatusTooManyRequests, "1", 2, false},
+		{"503 with hint replays an answer", http.MethodPost, "/sessions/x/answer", http.StatusServiceUnavailable, "1", 2, false},
+		{"429 with hint never replays open", http.MethodPost, "/sessions", http.StatusTooManyRequests, "1", 1, true},
+		{"503 with hint never replays open", http.MethodPost, "/sessions", http.StatusServiceUnavailable, "1", 1, true},
+		{"429 with hint never replays import", http.MethodPost, "/sessions/x/import", http.StatusTooManyRequests, "1", 1, true},
+		{"429 without hint fails fast", http.MethodGet, "/sessions/x/state", http.StatusTooManyRequests, "", 1, true},
+		{"503 without hint fails fast", http.MethodGet, "/sessions/x/state", http.StatusServiceUnavailable, "", 1, true},
+		{"404 with hint is not backpressure", http.MethodGet, "/sessions/x/state", http.StatusNotFound, "1", 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if hits.Add(1) == 1 {
+					if tc.retryAfter != "" {
+						w.Header().Set("Retry-After", tc.retryAfter)
+					}
+					w.WriteHeader(tc.status)
+					io.WriteString(w, `{"error":"busy"}`)
+					return
+				}
+				w.WriteHeader(http.StatusOK)
+				io.WriteString(w, "{}")
+			}))
+			defer srv.Close()
+
+			client := NewClient(srv.URL)
+			client.Retry = retryTestPolicy(4)
+			err := client.do(tc.method, tc.path, nil, nil)
+			if tc.wantErr {
+				var apiErr *APIError
+				if !errors.As(err, &apiErr) || apiErr.Status != tc.status {
+					t.Fatalf("err = %v, want APIError with status %d", err, tc.status)
+				}
+			} else if err != nil {
+				t.Fatalf("replayed request failed: %v", err)
+			}
+			if got := hits.Load(); got != tc.wantHits {
+				t.Fatalf("server saw %d requests, want %d", got, tc.wantHits)
+			}
+		})
+	}
+}
+
+// TestClientRetryAfterCeilingIsMaxDelay pins the hint ceiling: a server
+// demanding a pathological Retry-After (here a minute) cannot stall the
+// client past the policy's MaxDelay.
+func TestClientRetryAfterCeilingIsMaxDelay(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "60")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":"overloaded"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "{}")
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retry = &RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 25 * time.Millisecond, Seed: 7}
+	start := time.Now()
+	if err := client.do(http.MethodGet, "/sessions/x/state", nil, nil); err != nil {
+		t.Fatalf("replay under a capped hint: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client waited %v — the 60s Retry-After hint was not capped by MaxDelay", elapsed)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
 	}
 }

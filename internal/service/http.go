@@ -31,8 +31,9 @@ import (
 // Errors are {"error": "..."} with 400 (bad request), 404 (unknown
 // session), 409 (answer for the wrong claim or a stale sequence,
 // answering a finished session, or an id collision), 410 (session was
-// exported to another backend), 503 (session limit reached / shutting
-// down; carries a Retry-After hint).
+// exported to another backend), 429 (shed by the overload controller's
+// admission control; carries a Retry-After hint), 503 (session limit
+// reached / shutting down; carries a Retry-After hint).
 
 // Server exposes a Manager over HTTP.
 type Server struct {
@@ -222,6 +223,7 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		WorkersTotal:   s.m.Budget().Total(),
 		WorkersGranted: s.m.Budget().InUse(),
 		Store:          s.m.StoreLocation(),
+		ControllerMode: s.m.ControllerMode(),
 	})
 }
 
@@ -243,8 +245,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // writeServiceError maps the service's sentinel errors to statuses.
-// The 503s carry a Retry-After hint: overload and drain are transient,
-// and a client that honors the hint rides out a shard migration.
+// The 429s and 503s carry a Retry-After hint: overload and drain are
+// transient, and a client that honors the hint rides out a shard
+// migration or an admission-control shed.
 func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -254,6 +257,9 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone),
 		errors.Is(err, ErrSeq), errors.Is(err, ErrExists):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -81,6 +81,11 @@ var (
 	ErrMigrated = errors.New("service: session was exported to another backend")
 	// ErrShutdown reports an operation after Manager.Shutdown.
 	ErrShutdown = errors.New("service: manager is shut down")
+	// ErrOverloaded reports a request shed by the SLO controller's
+	// admission control (429 + Retry-After at the API layer): the server
+	// is saturated past what graceful degradation recovers, and the
+	// client should back off and retry.
+	ErrOverloaded = errors.New("service: overloaded, request shed by admission control")
 	// ErrPersist reports that the snapshot store failed; the in-memory
 	// session (when one exists) is still consistent, but its durable
 	// record may be stale until a later write succeeds.
@@ -233,6 +238,10 @@ type Health struct {
 	// Manager.StoreLocation); "" when the store has no shareable
 	// identity.
 	Store string `json:"store,omitempty"`
+	// ControllerMode is the overload controller's current rung
+	// ("normal", "degraded", "shedding"); "" when the controller is
+	// disabled. The router reads it to shed before proxying.
+	ControllerMode string `json:"controllerMode,omitempty"`
 }
 
 // SessionList is the GET /sessions payload: the backend's sessions
@@ -268,6 +277,10 @@ type Metrics struct {
 	// (open, next, answer, state, snapshot, export, import, delete),
 	// recorded by the HTTP layer.
 	Endpoints map[string]EndpointCounters `json:"endpoints,omitempty"`
+	// Controller is the overload controller's state (mode, breach/shed/
+	// degraded-answer counters); nil when the controller is disabled. A
+	// fleet scrape merges members' statuses via ControllerStatus.Merge.
+	Controller *ControllerStatus `json:"controller,omitempty"`
 }
 
 // EndpointCounters is one endpoint's cumulative request telemetry in
@@ -301,6 +314,11 @@ type Config struct {
 	// CheckpointEvery compacts a session's write-ahead log into a fresh
 	// checkpoint after this many appended elicitations (0 = 16).
 	CheckpointEvery int
+	// SLO enables the overload controller: graceful degradation to the
+	// uncertainty ranking while the windowed answer-latency p99 breaches
+	// SLO.P99, and 429-shedding admission control once saturation
+	// persists. The zero value disables it.
+	SLO SLOConfig
 }
 
 // Session is one server-hosted validation session. All methods are
@@ -341,6 +359,10 @@ type Manager struct {
 	budget *Budget
 	store  persist.Store
 	nowFn  func() time.Time // test hook
+	// slo is the overload controller (nil when Config.SLO disables it);
+	// epoch anchors its float64-seconds clock.
+	slo   *SLOController
+	epoch time.Time
 
 	// telemetry guards the cumulative serving counters behind /metrics;
 	// it is separate from mu so scrapes never contend with routing.
@@ -406,6 +428,8 @@ func NewManager(cfg Config) *Manager {
 		opening:    make(map[string]bool),
 		stop:       make(chan struct{}),
 	}
+	m.slo = NewSLOController(cfg.SLO)
+	m.epoch = m.nowFn()
 	m.telemetry.answerLatency = stats.NewLogHist()
 	m.telemetry.endpoints = make(map[string]EndpointCounters)
 	if cfg.IdleTTL > 0 {
@@ -417,6 +441,37 @@ func NewManager(cfg Config) *Manager {
 
 // Store exposes the manager's snapshot store (for monitoring).
 func (m *Manager) Store() persist.Store { return m.store }
+
+// Controller exposes the overload controller (nil when disabled).
+func (m *Manager) Controller() *SLOController { return m.slo }
+
+// nowSec is the controller's clock: wall seconds since the manager was
+// built, from the same nowFn tests hook.
+func (m *Manager) nowSec() float64 { return m.nowFn().Sub(m.epoch).Seconds() }
+
+// waitsNow samples the controller's saturation signal: the budget's
+// cumulative contention counter, diffed per evaluation window inside
+// the controller.
+func (m *Manager) waitsNow() int64 { return m.budget.Waits() }
+
+// sheddingNow reports whether admission control is currently rejecting
+// load; the query itself advances the controller's evaluation clock.
+func (m *Manager) sheddingNow() bool {
+	if m.slo == nil {
+		return false
+	}
+	return m.slo.ModeAt(m.nowSec(), m.waitsNow()) == ModeShedding
+}
+
+// ControllerMode returns the controller's current rung as a string, ""
+// when the controller is disabled — the Health payload's capacity hint
+// a shard router sheds-before-proxy on.
+func (m *Manager) ControllerMode() string {
+	if m.slo == nil {
+		return ""
+	}
+	return m.slo.ModeAt(m.nowSec(), m.waitsNow()).String()
+}
 
 // Budget exposes the shared worker budget (for monitoring).
 func (m *Manager) Budget() *Budget { return m.budget }
@@ -430,6 +485,10 @@ func (m *Manager) Metrics(withBuckets bool) Metrics {
 		Spilled:        m.Spilled(),
 		WorkersTotal:   m.budget.Total(),
 		WorkersGranted: m.budget.InUse(),
+	}
+	if m.slo != nil {
+		st := m.slo.Status(m.nowSec(), m.waitsNow())
+		out.Controller = &st
 	}
 	t := &m.telemetry
 	t.Lock()
@@ -967,7 +1026,16 @@ func (m *Manager) open(id string, req OpenRequest, replay *core.Snapshot, import
 // reserve admits an open for id and marks it in-flight. allowExported
 // distinguishes Import (which may reclaim an exported id — the
 // rollback) from plain opens (for which an exported id is still taken).
+// While the SLO controller sheds, plain opens are refused outright (new
+// sessions are the most expensive admission there is: corpus generation
+// plus initial inference); imports stay exempt, because a shard
+// migration landing here is load the fleet has already accepted and
+// refusing it would wedge drains exactly when they matter.
 func (m *Manager) reserve(id string, allowExported bool) error {
+	if !allowExported && m.sheddingNow() {
+		m.slo.RecordShed()
+		return ErrOverloaded
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -1212,6 +1280,16 @@ func (m *Manager) Delete(id string) error {
 // sessions run fn concurrently, one session's requests serialise,
 // inference work shares the bounded lane budget, and read-only requests
 // (state, snapshot) neither wait for nor consume lanes.
+//
+// The SLO controller hooks in here for work-performing requests: while
+// shedding, a request that cannot take a lane immediately is refused
+// with ErrOverloaded instead of queueing (shed-before-queue — the queue
+// is exactly where a saturated p99 comes from), and the session's
+// ranking mode for this request is set from the controller's rung at
+// execution time (after any queue wait, so a backlog queued across the
+// degrade transition drains at the cheap cost). The mode flip is
+// trace-safe: core captures the mode at ranking time, so a cached
+// ranking from a previous request keeps the mode it was computed under.
 func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) error) error {
 	s, err := m.get(id)
 	if err != nil {
@@ -1224,9 +1302,32 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 		return ErrNotFound
 	}
 	if needWorkers {
-		grant, release := m.budget.Acquire(m.budget.Total())
-		defer release()
-		s.core.SetWorkers(grant)
+		// Contention is sampled at arrival, before this request takes
+		// (or queues for) lanes of its own — the signal is "did anyone
+		// meet a saturated budget", not "is the budget busy while I
+		// hold it".
+		waits := m.waitsNow()
+		if m.slo != nil && m.slo.ModeAt(m.nowSec(), waits) == ModeShedding {
+			grant, release, ok := m.budget.TryAcquire(m.budget.Total())
+			if !ok {
+				m.slo.RecordShed()
+				return ErrOverloaded
+			}
+			defer release()
+			s.core.SetWorkers(grant)
+		} else {
+			grant, release := m.budget.Acquire(m.budget.Total())
+			defer release()
+			s.core.SetWorkers(grant)
+		}
+		if m.slo != nil {
+			// The ranking mode is stamped at execution time, after any
+			// queue wait: when the controller degrades mid-backlog, the
+			// queued requests behind the transition run cheap instead of
+			// re-paying the full scoring cost the server already cannot
+			// afford.
+			s.core.SetDegraded(m.slo.ModeAt(m.nowSec(), waits) != ModeNormal)
+		}
 	}
 	return fn(s)
 }
@@ -1316,6 +1417,7 @@ func (s *Session) budgetExhausted() bool {
 func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
 	start := m.nowFn()
 	var resp StateResponse
+	var degraded bool
 	err := m.withSession(id, true, func(s *Session) error {
 		from := s.core.TranscriptLen()
 		var err error
@@ -1323,10 +1425,22 @@ func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
 		if err != nil {
 			return err
 		}
+		for _, e := range s.core.TranscriptTail(from) {
+			if e.Degraded {
+				degraded = true
+			}
+		}
 		return m.persistTail(s, from)
 	})
 	if err == nil {
-		m.recordAnswer(m.nowFn().Sub(start).Seconds())
+		lat := m.nowFn().Sub(start).Seconds()
+		m.recordAnswer(lat)
+		if m.slo != nil {
+			if degraded {
+				m.slo.RecordDegradedAnswer()
+			}
+			m.slo.ObserveAnswer(m.nowSec(), lat, m.waitsNow())
+		}
 	}
 	return resp, err
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package service
+
+// raceEnabled is false outside the race detector; see race_on_test.go.
+const raceEnabled = false

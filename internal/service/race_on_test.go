@@ -1,0 +1,10 @@
+//go:build race
+
+package service
+
+// raceEnabled scales the flash-crowd scenario's timings: the race
+// detector slows this workload roughly an order of magnitude, so the
+// pinned wall-clock SLO and window would otherwise misread the
+// instrumented machine as permanently idle (answers too sparse for a
+// window to carry signal).
+const raceEnabled = true

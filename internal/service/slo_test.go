@@ -1,0 +1,211 @@
+package service
+
+import (
+	"testing"
+)
+
+// ladderConfig is the unit-test controller: 10s window over 5 slots
+// (2s evaluation cadence), p99 SLO of 100ms, and short streak
+// thresholds so the ladder is walkable in a handful of evaluations.
+func ladderConfig() SLOConfig {
+	return SLOConfig{
+		P99:           0.1,
+		WindowSeconds: 10,
+		Slots:         5,
+		MinSamples:    2,
+		DegradeAfter:  2,
+		ShedAfter:     2,
+		RecoverAfter:  2,
+	}
+}
+
+func TestSLOControllerDisabledByZeroConfig(t *testing.T) {
+	if c := NewSLOController(SLOConfig{}); c != nil {
+		t.Fatal("zero config must disable the controller")
+	}
+	if c := NewSLOController(SLOConfig{P99: -1}); c != nil {
+		t.Fatal("negative SLO must disable the controller")
+	}
+	if !(SLOConfig{P99: 0.25}).Enabled() {
+		t.Fatal("positive SLO must enable the controller")
+	}
+}
+
+// TestSLOControllerLadderWalk drives the full ladder with explicit
+// virtual timestamps: healthy → degraded on consecutive breached
+// evaluations, degraded → shedding on persisting saturation, then
+// recovery one rung at a time once the window calms.
+func TestSLOControllerLadderWalk(t *testing.T) {
+	c := NewSLOController(ladderConfig())
+	if c == nil {
+		t.Fatal("controller disabled")
+	}
+
+	// Healthy answers: stays normal no matter how many evaluations pass.
+	for i := 0; i < 8; i++ {
+		c.ObserveAnswer(float64(i), 0.01, 0)
+	}
+	if got := c.ModeAt(8, 0); got != ModeNormal {
+		t.Fatalf("healthy mode = %v, want normal", got)
+	}
+
+	// Slow answers at t=10,11: the t=10 evaluation sees a breached
+	// window (badStreak 1); t=12 evaluates again (badStreak 2 =
+	// DegradeAfter) → degraded.
+	c.ObserveAnswer(10, 0.5, 0)
+	c.ObserveAnswer(11, 0.5, 0)
+	if got := c.ModeAt(12, 0); got != ModeDegraded {
+		t.Fatalf("after %d breached evals: mode = %v, want degraded", c.cfg.DegradeAfter, got)
+	}
+	st := c.Status(12, 0)
+	if st.Breaches < 2 {
+		t.Fatalf("breaches = %d, want >= 2", st.Breaches)
+	}
+
+	// Fresh contention (the waits counter grows) across ShedAfter
+	// evaluations while degraded → shedding. (The window still holds the
+	// slow answers, but the degraded → shedding edge is driven by
+	// saturation, not p99.)
+	if got := c.ModeAt(14, 1); got != ModeDegraded {
+		t.Fatalf("one saturated eval: mode = %v, want still degraded", got)
+	}
+	if got := c.ModeAt(16, 2); got != ModeShedding {
+		t.Fatalf("after %d saturated evals: mode = %v, want shedding", c.cfg.ShedAfter, got)
+	}
+
+	// Recovery is one rung at a time: the slow answers age out of the
+	// 10s window by t=30, so evaluations see an empty window (no signal,
+	// not a breach) and a calm budget (the waits counter stops growing).
+	if got := c.ModeAt(30, 2); got != ModeShedding {
+		t.Fatalf("one calm eval: mode = %v, want still shedding", got)
+	}
+	if got := c.ModeAt(32, 2); got != ModeDegraded {
+		t.Fatalf("recovery from shedding: mode = %v, want degraded (one rung)", got)
+	}
+	if got := c.ModeAt(34, 2); got != ModeDegraded {
+		t.Fatalf("one good eval after stepping down: mode = %v, want still degraded", got)
+	}
+	if got := c.ModeAt(36, 2); got != ModeNormal {
+		t.Fatalf("full recovery: mode = %v, want normal", got)
+	}
+}
+
+// TestSLOControllerEvaluationCadence pins the lazy evaluation contract:
+// queries inside one cadence do not advance the ladder, so a burst of
+// ModeAt calls cannot fast-forward streaks.
+func TestSLOControllerEvaluationCadence(t *testing.T) {
+	c := NewSLOController(ladderConfig())
+	c.ObserveAnswer(0, 0.5, 0)
+	c.ObserveAnswer(0.1, 0.5, 0)
+	// Hammer queries within the 2s cadence: only the t=0 evaluation has
+	// happened (one sample, under MinSamples — no breach yet), so the
+	// mode must hold however many queries land.
+	for i := 0; i < 10; i++ {
+		if got := c.ModeAt(0.5+float64(i)/10, 0); got != ModeNormal {
+			t.Fatalf("query %d inside one cadence flipped mode to %v", i, got)
+		}
+	}
+	// Cadence 2 is the first evaluation with a full-signal window
+	// (badStreak 1); cadence 3 reaches DegradeAfter.
+	if got := c.ModeAt(2.5, 0); got != ModeNormal {
+		t.Fatalf("second cadence: mode = %v, want still normal (one breach)", got)
+	}
+	if got := c.ModeAt(4.5, 0); got != ModeDegraded {
+		t.Fatalf("third cadence: mode = %v, want degraded", got)
+	}
+}
+
+// TestSLOControllerMinSamplesGate: a window too thin to trust is "no
+// signal", never a breach — a single slow answer cannot degrade the
+// server.
+func TestSLOControllerMinSamplesGate(t *testing.T) {
+	cfg := ladderConfig()
+	cfg.MinSamples = 5
+	c := NewSLOController(cfg)
+	// One slow answer every 4s: the 10s window never holds more than 3
+	// observations, always under MinSamples.
+	for i := 0; i < 10; i++ {
+		c.ObserveAnswer(float64(4*i), 10.0, 0)
+	}
+	if got := c.ModeAt(37, 0); got != ModeNormal {
+		t.Fatalf("thin window degraded the server: mode = %v", got)
+	}
+	if st := c.Status(37, 0); st.Breaches != 0 {
+		t.Fatalf("thin window counted %d breaches, want 0", st.Breaches)
+	}
+}
+
+// TestSLOControllerStreaksResetOnTransition: evidence does not carry
+// across rungs — after normal → degraded, the pre-transition saturation
+// streak must not count toward shedding.
+func TestSLOControllerStreaksResetOnTransition(t *testing.T) {
+	c := NewSLOController(ladderConfig())
+	// Breach with fresh contention each eval: badStreak and satStreak
+	// both grow. The
+	// t=0 eval is MinSamples-gated; t=2 and t=4 breach → degraded at
+	// t=4, with satStreak already at 3 when the transition fires.
+	c.ObserveAnswer(0, 0.5, 1)
+	c.ObserveAnswer(2, 0.5, 2)
+	if got := c.ModeAt(4, 3); got != ModeDegraded {
+		t.Fatalf("mode = %v, want degraded", got)
+	}
+	// If satStreak had survived the transition, the very next saturated
+	// evaluation would shed; the reset demands ShedAfter=2 fresh ones.
+	if got := c.ModeAt(6, 4); got != ModeDegraded {
+		t.Fatalf("pre-transition saturation evidence leaked: mode = %v", got)
+	}
+	if got := c.ModeAt(8, 5); got != ModeShedding {
+		t.Fatalf("fresh saturated evals: mode = %v, want shedding", got)
+	}
+}
+
+func TestSLOControllerStatusCounters(t *testing.T) {
+	c := NewSLOController(ladderConfig())
+	c.ObserveAnswer(0, 0.01, 0)
+	c.RecordShed()
+	c.RecordShed()
+	c.RecordDegradedAnswer()
+	st := c.Status(0.5, 0)
+	if st.Mode != "normal" {
+		t.Fatalf("mode = %q, want normal", st.Mode)
+	}
+	if st.SLOSeconds != 0.1 {
+		t.Fatalf("sloSeconds = %v, want 0.1", st.SLOSeconds)
+	}
+	if st.Sheds != 2 || st.DegradedAnswers != 1 {
+		t.Fatalf("counters = %+v, want sheds 2, degraded 1", st)
+	}
+	if st.WindowCount != 1 || st.WindowP99 <= 0 {
+		t.Fatalf("window view = %+v, want count 1 and a positive p99", st)
+	}
+}
+
+// TestControllerStatusMerge pins the fleet aggregation: worst mode
+// wins, counters sum, the window p99 is the pessimistic max, the SLO
+// echo is the tightest configured target.
+func TestControllerStatusMerge(t *testing.T) {
+	agg := ControllerStatus{Mode: "normal"}
+	agg.Merge(ControllerStatus{Mode: "degraded", SLOSeconds: 0.25, WindowP99: 0.3, WindowCount: 5, Breaches: 2, Sheds: 1, DegradedAnswers: 4})
+	agg.Merge(ControllerStatus{Mode: "normal", SLOSeconds: 0.1, WindowP99: 0.05, WindowCount: 7, Breaches: 0, Sheds: 0, DegradedAnswers: 0})
+	if agg.Mode != "degraded" {
+		t.Fatalf("merged mode = %q, want degraded (worst rung)", agg.Mode)
+	}
+	if agg.SLOSeconds != 0.1 {
+		t.Fatalf("merged SLO = %v, want the tightest (0.1)", agg.SLOSeconds)
+	}
+	if agg.WindowP99 != 0.3 {
+		t.Fatalf("merged windowP99 = %v, want the max (0.3)", agg.WindowP99)
+	}
+	if agg.WindowCount != 12 || agg.Breaches != 2 || agg.Sheds != 1 || agg.DegradedAnswers != 4 {
+		t.Fatalf("merged counters = %+v", agg)
+	}
+	agg.Merge(ControllerStatus{Mode: "shedding"})
+	if agg.Mode != "shedding" {
+		t.Fatalf("merged mode = %q, want shedding", agg.Mode)
+	}
+	// Merging a worse rung never steps the aggregate back down.
+	agg.Merge(ControllerStatus{Mode: "normal"})
+	if agg.Mode != "shedding" {
+		t.Fatalf("a healthy member stepped the aggregate down to %q", agg.Mode)
+	}
+}

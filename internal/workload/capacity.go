@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the analytical capacity model behind the SLO gate: a
+// closed-form answers-per-second predictor in terms of worker lanes,
+// corpus size and community count, fitted from discrete-event
+// simulation sweeps. The model's shape follows the serving stack's cost
+// structure: one answer's lane-held service time is an affine function
+// of corpus scale — a fixed per-request overhead, a per-claim term
+// (incremental inference walks claim marginals), and a per-community
+// term (ranking aggregates community posteriors) — and lanes serve in
+// parallel, so saturated throughput is lanes over service seconds.
+
+// CapacitySample is one measured operating point: the saturated
+// answer throughput a DES sweep observed for a given configuration.
+type CapacitySample struct {
+	// Lanes is the worker-lane budget.
+	Lanes int `json:"lanes"`
+	// Claims is the corpus size in claims.
+	Claims int `json:"claims"`
+	// Communities is the corpus community count.
+	Communities int `json:"communities"`
+	// AnswersPerSecond is the observed saturated throughput.
+	AnswersPerSecond float64 `json:"answersPerSecond"`
+}
+
+// CapacityModel is the fitted predictor: an answer's service time is
+//
+//	seconds = A + B*claims + C*communities
+//
+// and lanes serve independently, so capacity = lanes / seconds.
+type CapacityModel struct {
+	// A is the fixed per-answer overhead in seconds.
+	A float64 `json:"a"`
+	// B is the per-claim service cost in seconds.
+	B float64 `json:"b"`
+	// C is the per-community service cost in seconds.
+	C float64 `json:"c"`
+}
+
+// ServiceSeconds predicts one answer's lane-held service time.
+func (m CapacityModel) ServiceSeconds(claims, communities int) float64 {
+	return m.A + m.B*float64(claims) + m.C*float64(communities)
+}
+
+// AnswersPerSecond predicts the saturated answer throughput of a
+// server with the given lane budget and corpus shape.
+func (m CapacityModel) AnswersPerSecond(lanes, claims, communities int) float64 {
+	s := m.ServiceSeconds(claims, communities)
+	if s <= 0 {
+		return 0
+	}
+	return float64(lanes) / s
+}
+
+// FitCapacityModel fits the affine service-time model to sweep samples
+// by least squares on observed service seconds (lanes / throughput):
+// the 3×3 normal equations of the design [1, claims, communities],
+// solved by Gaussian elimination with partial pivoting. At least three
+// samples with a non-degenerate design (varying claims AND varying
+// communities) are required.
+func FitCapacityModel(samples []CapacitySample) (CapacityModel, error) {
+	if len(samples) < 3 {
+		return CapacityModel{}, fmt.Errorf("workload: capacity fit needs >= 3 samples, got %d", len(samples))
+	}
+	// Normal equations X'X beta = X'y over x = [1, claims, communities],
+	// y = observed per-answer service seconds.
+	var xtx [3][3]float64
+	var xty [3]float64
+	for _, s := range samples {
+		if s.AnswersPerSecond <= 0 || s.Lanes <= 0 {
+			return CapacityModel{}, fmt.Errorf("workload: capacity sample needs positive lanes and throughput: %+v", s)
+		}
+		x := [3]float64{1, float64(s.Claims), float64(s.Communities)}
+		y := float64(s.Lanes) / s.AnswersPerSecond
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				xtx[i][j] += x[i] * x[j]
+			}
+			xty[i] += x[i] * y
+		}
+	}
+	beta, ok := solve3(xtx, xty)
+	if !ok {
+		return CapacityModel{}, fmt.Errorf("workload: capacity design is degenerate; sweep both claims and communities")
+	}
+	return CapacityModel{A: beta[0], B: beta[1], C: beta[2]}, nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with
+// partial pivoting; ok = false when the matrix is (numerically)
+// singular.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return [3]float64{b[0] / a[0][0], b[1] / a[1][1], b[2] / a[2][2]}, true
+}
+
+// SimulateCapacity measures saturated answer throughput with a tiny
+// closed-loop discrete-event simulation: `users` zero-think closed-loop
+// clients against `lanes` parallel lanes, each answer holding a lane
+// for serviceSeconds. Deterministic — no randomness enters; the DES is
+// exact for this model and the function exists so sweeps and the fitted
+// model share one definition of "measured capacity".
+func SimulateCapacity(lanes int, serviceSeconds float64, users int, horizonSeconds float64) float64 {
+	if lanes < 1 || users < 1 || serviceSeconds <= 0 || horizonSeconds <= 0 {
+		return 0
+	}
+	// Each lane serves back-to-back while a client is waiting; with
+	// zero-think closed loops, min(users, lanes) lanes stay busy.
+	busy := lanes
+	if users < busy {
+		busy = users
+	}
+	// Event walk per lane: completions at k*serviceSeconds.
+	var served int64
+	for l := 0; l < busy; l++ {
+		served += int64(math.Floor(horizonSeconds / serviceSeconds))
+	}
+	return float64(served) / horizonSeconds
+}
+
+// CapacitySweep runs SimulateCapacity across the cross-product of lane
+// budgets and corpus shapes, with per-answer cost supplied by costOf
+// (seconds for a corpus of the given claims and communities). The
+// returned samples are sorted and ready for FitCapacityModel.
+func CapacitySweep(costOf func(claims, communities int) float64, lanes, claims, communities []int, horizonSeconds float64) []CapacitySample {
+	var out []CapacitySample
+	for _, l := range lanes {
+		for _, cl := range claims {
+			for _, co := range communities {
+				s := costOf(cl, co)
+				aps := SimulateCapacity(l, s, 4*l, horizonSeconds)
+				out = append(out, CapacitySample{Lanes: l, Claims: cl, Communities: co, AnswersPerSecond: aps})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Lanes != b.Lanes {
+			return a.Lanes < b.Lanes
+		}
+		if a.Claims != b.Claims {
+			return a.Claims < b.Claims
+		}
+		return a.Communities < b.Communities
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticCost is a ground-truth affine service-time law the fit
+// should recover through the sweep.
+func syntheticCost(claims, communities int) float64 {
+	return 0.004 + 0.00025*float64(claims) + 0.0015*float64(communities)
+}
+
+func TestFitCapacityModelRecoversSweep(t *testing.T) {
+	samples := CapacitySweep(syntheticCost,
+		[]int{1, 2, 4}, []int{50, 200, 800}, []int{2, 8, 24}, 10_000)
+	if len(samples) != 27 {
+		t.Fatalf("sweep produced %d samples, want 27", len(samples))
+	}
+	m, err := FitCapacityModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DES quantizes to whole answers over the horizon, so recovery
+	// is near-exact but not bit-exact.
+	if math.Abs(m.A-0.004) > 1e-3 || math.Abs(m.B-0.00025) > 1e-5 || math.Abs(m.C-0.0015) > 1e-4 {
+		t.Fatalf("fit = %+v, want ~{0.004 0.00025 0.0015}", m)
+	}
+	// Prediction at an unswept operating point stays within 2%.
+	lanes, claims, comms := 3, 500, 12
+	want := float64(lanes) / syntheticCost(claims, comms)
+	got := m.AnswersPerSecond(lanes, claims, comms)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("predicted %0.2f answers/s, true %0.2f", got, want)
+	}
+}
+
+func TestFitCapacityModelErrors(t *testing.T) {
+	if _, err := FitCapacityModel(nil); err == nil {
+		t.Fatal("fit accepted an empty sample set")
+	}
+	if _, err := FitCapacityModel([]CapacitySample{
+		{Lanes: 1, Claims: 10, Communities: 2, AnswersPerSecond: 5},
+		{Lanes: 1, Claims: 20, Communities: 2, AnswersPerSecond: 4},
+	}); err == nil {
+		t.Fatal("fit accepted two samples")
+	}
+	// Claims and communities never vary: the design is rank-deficient.
+	degenerate := []CapacitySample{
+		{Lanes: 1, Claims: 10, Communities: 2, AnswersPerSecond: 5},
+		{Lanes: 2, Claims: 10, Communities: 2, AnswersPerSecond: 10},
+		{Lanes: 4, Claims: 10, Communities: 2, AnswersPerSecond: 20},
+	}
+	if _, err := FitCapacityModel(degenerate); err == nil {
+		t.Fatal("fit accepted a degenerate design")
+	}
+	bad := []CapacitySample{
+		{Lanes: 1, Claims: 10, Communities: 2, AnswersPerSecond: 0},
+		{Lanes: 1, Claims: 20, Communities: 4, AnswersPerSecond: 4},
+		{Lanes: 1, Claims: 30, Communities: 8, AnswersPerSecond: 3},
+	}
+	if _, err := FitCapacityModel(bad); err == nil {
+		t.Fatal("fit accepted a zero-throughput sample")
+	}
+}
+
+func TestSimulateCapacityScalesWithLanes(t *testing.T) {
+	one := SimulateCapacity(1, 0.1, 8, 1000)
+	four := SimulateCapacity(4, 0.1, 16, 1000)
+	if one <= 0 || math.Abs(four-4*one)/four > 0.01 {
+		t.Fatalf("capacity does not scale with lanes: 1 lane %0.2f, 4 lanes %0.2f", one, four)
+	}
+	// Fewer clients than lanes: clients, not lanes, bound throughput.
+	starved := SimulateCapacity(8, 0.1, 2, 1000)
+	if math.Abs(starved-2*one)/starved > 0.01 {
+		t.Fatalf("client-bound capacity %0.2f, want ~%0.2f", starved, 2*one)
+	}
+	if SimulateCapacity(0, 0.1, 1, 10) != 0 || SimulateCapacity(1, 0, 1, 10) != 0 {
+		t.Fatal("invalid inputs should report zero capacity")
+	}
+}

@@ -323,6 +323,10 @@ func (res *Result) RenderTable(w io.Writer) {
 		fmt.Fprintf(w, "  server     sessions=%d spilled=%d lanes=%d/%d answers=%d p99=%s\n",
 			r.Server.Sessions, r.Server.Spilled, r.Server.WorkersGranted, r.Server.WorkersTotal,
 			r.Server.AnswersServed, fmtSec(r.Server.AnswerLatency.P99))
+		if c := r.Server.Controller; c != nil {
+			fmt.Fprintf(w, "  slo        mode=%s p99=%s/%s breaches=%d shed=%d degraded=%d\n",
+				c.Mode, fmtSec(c.WindowP99), fmtSec(c.SLOSeconds), c.Breaches, c.Sheds, c.DegradedAnswers)
+		}
 	}
 }
 

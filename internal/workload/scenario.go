@@ -90,6 +90,11 @@ type Scenario struct {
 	// gap of v virtual seconds sleeps v/WallTimeScale wall seconds
 	// (0 = 1, i.e. real time). Virtual mode ignores it.
 	WallTimeScale float64 `json:"wallTimeScale,omitempty"`
+	// SLO configures the scenario-replay SLO simulation (RunSLOSim) for
+	// the CI gate. The ordinary load runners ignore it; declaring it
+	// here keeps a gate scenario loadable by plain loadtest runs under
+	// DisallowUnknownFields.
+	SLO *SLOSimSpec `json:"slo,omitempty"`
 }
 
 // ArrivalSpec declares how users arrive.
@@ -277,6 +282,11 @@ func (sc *Scenario) Validate() error {
 	}
 	if _, err := synth.ByName(sc.Session.Profile); err != nil {
 		return fmt.Errorf("workload: session profile: %w", err)
+	}
+	if sc.SLO != nil {
+		if err := sc.SLO.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"factcheck/internal/service"
+)
+
+// sloScenario is a compact flash-crowd: a ramp to well past one lane's
+// full-scoring capacity, with degraded serving still above capacity so
+// the ladder must reach shedding.
+func sloScenario() *Scenario {
+	sc := testScenario()
+	sc.Name = "slo-sim"
+	sc.DurationSeconds = 60
+	sc.MaxUsers = 60
+	sc.AnswersPerUser = 6
+	sc.Arrival = ArrivalSpec{Kind: ArrivalRamp, Rate: 0.5, EndRate: 10, RampSeconds: 15}
+	sc.SLO = &SLOSimSpec{
+		Controller: service.SLOConfig{
+			P99:           0.5,
+			WindowSeconds: 2,
+			Slots:         4,
+			MinSamples:    4,
+			DegradeAfter:  2,
+			ShedAfter:     2,
+			RecoverAfter:  1_000,
+		},
+		FullAnswerSeconds:     0.5,
+		DegradedAnswerSeconds: 0.15,
+		Lanes:                 1,
+		ThinkSeconds:          0.3,
+		RetrySeconds:          1,
+		CurveSeconds:          1,
+	}
+	return sc
+}
+
+func TestRunSLOSimOverloadArc(t *testing.T) {
+	rep, err := RunSLOSim(sloScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals == 0 || rep.Served == 0 {
+		t.Fatalf("empty replay: %+v", rep)
+	}
+	// The arc: breach, degrade, then persistent contention forces
+	// shedding.
+	if rep.Breaches == 0 {
+		t.Fatal("flash crowd never breached the SLO window")
+	}
+	if rep.FirstDegradeT <= 0 {
+		t.Fatal("controller never degraded")
+	}
+	if rep.FirstShedT <= rep.FirstDegradeT {
+		t.Fatalf("controller never reached shedding after degrading (degrade %0.1f, shed %0.1f)",
+			rep.FirstDegradeT, rep.FirstShedT)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("admission control rejected nothing")
+	}
+	if rep.DegradedAnswers == 0 {
+		t.Fatal("no answer was served degraded")
+	}
+	// Admitted load under admission control meets the SLO; the
+	// controller-off counterfactual breaches it.
+	if rep.SteadyP99 > rep.SLOSeconds {
+		t.Fatalf("steady-state p99 %0.3fs exceeds the %0.3fs SLO", rep.SteadyP99, rep.SLOSeconds)
+	}
+	if rep.ControllerOffP99 <= rep.SLOSeconds {
+		t.Fatalf("controller-off p99 %0.3fs does not breach the %0.3fs SLO — the scenario is not an overload",
+			rep.ControllerOffP99, rep.SLOSeconds)
+	}
+	// The curve walks the ladder monotonically up in this scenario
+	// (RecoverAfter is out of reach) and carries the counters.
+	prev := service.ModeNormal
+	sawShedding := false
+	for _, pt := range rep.Curve {
+		m := service.ParseSLOMode(pt.Mode)
+		if m < prev {
+			t.Fatalf("curve stepped down from %s to %s at t=%0.1f with recovery out of reach", prev, pt.Mode, pt.T)
+		}
+		prev = m
+		sawShedding = sawShedding || m == service.ModeShedding
+	}
+	if !sawShedding {
+		t.Fatal("curve never samples the shedding rung")
+	}
+	last := rep.Curve[len(rep.Curve)-1]
+	if last.Served == 0 || last.Shed == 0 || last.Degraded == 0 {
+		t.Fatalf("final curve point lost the counters: %+v", last)
+	}
+}
+
+// TestRunSLOSimDeterministic: the gate's premise — two replays of one
+// scenario are byte-identical.
+func TestRunSLOSimDeterministic(t *testing.T) {
+	a, err := RunSLOSim(sloScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSLOSim(sloScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("replays diverge:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestRunSLOSimValidation(t *testing.T) {
+	sc := sloScenario()
+	sc.SLO = nil
+	if _, err := RunSLOSim(sc); err == nil {
+		t.Fatal("replay accepted a scenario with no slo section")
+	}
+	cases := []func(*SLOSimSpec){
+		func(s *SLOSimSpec) { s.Controller.P99 = 0 },
+		func(s *SLOSimSpec) { s.FullAnswerSeconds = 0 },
+		func(s *SLOSimSpec) { s.DegradedAnswerSeconds = s.FullAnswerSeconds * 2 },
+		func(s *SLOSimSpec) { s.Lanes = -1 },
+		func(s *SLOSimSpec) { s.ThinkSeconds = -1 },
+	}
+	for i, mutate := range cases {
+		sc := sloScenario()
+		mutate(sc.SLO)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: invalid slo spec validated", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command slogate replays the pinned flash-crowd scenario through the
+// workload package's SLO simulation and gates CI on the overload arc,
+// the way benchgate gates ns/op:
+//
+//	slogate -scenario examples/scenarios/slo-gate.json -emit -out slo_baseline.json
+//	slogate -scenario examples/scenarios/slo-gate.json -check -baseline slo_baseline.json -report SLO.json
+//
+// The replay drives the real service.SLOController under deterministic
+// virtual time, so two runs of one scenario are byte-identical; the
+// tolerances below absorb intentional small drift from algorithm
+// changes, not noise.
+//
+// -check enforces two layers. First, absolute invariants of the arc
+// that must hold regardless of the baseline: the controller-off
+// counterfactual breaches the SLO (the scenario really is an
+// overload), the controller degrades and then sheds, shed requests and
+// degraded answers are counted, and the admitted steady-state p99
+// meets the SLO. Second, regression against the committed baseline:
+// summary counters within 2% (+2 absolute slack), latency quantiles
+// and transition times within 5%, and the sampled SLO curve matching
+// rung-for-rung with counter drift bounded pointwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"factcheck/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "examples/scenarios/slo-gate.json", "pinned scenario to replay")
+		emit     = flag.Bool("emit", false, "replay and write the report JSON (the baseline)")
+		out      = flag.String("out", "", "output path for -emit (default stdout)")
+		check    = flag.Bool("check", false, "replay and compare against -baseline")
+		baseline = flag.String("baseline", "slo_baseline.json", "committed baseline for -check")
+		report   = flag.String("report", "", "also write the fresh replay report here (CI artifact)")
+	)
+	flag.Parse()
+	switch {
+	case *emit:
+		if err := run(*scenario, *out, "", ""); err != nil {
+			fmt.Fprintln(os.Stderr, "slogate:", err)
+			os.Exit(1)
+		}
+	case *check:
+		if err := run(*scenario, "", *baseline, *report); err != nil {
+			fmt.Fprintln(os.Stderr, "slogate:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "slogate: pass -emit or -check")
+		os.Exit(2)
+	}
+}
+
+// run replays the scenario, then either emits the report (basePath ==
+// "") or checks it against the baseline.
+func run(scenarioPath, outPath, basePath, reportPath string) error {
+	sc, err := workload.LoadScenario(scenarioPath)
+	if err != nil {
+		return err
+	}
+	rep, err := workload.RunSLOSim(sc)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	if basePath == "" {
+		if outPath == "" {
+			_, err = os.Stdout.Write(buf)
+			return err
+		}
+		return os.WriteFile(outPath, buf, 0o644)
+	}
+
+	var base workload.SLOReport
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	failures := invariants(rep)
+	failures = append(failures, compare(&base, rep)...)
+	for _, f := range failures {
+		fmt.Println("FAIL " + f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d SLO-gate check(s) failed for scenario %q", len(failures), rep.Scenario)
+	}
+	fmt.Printf("slo gate passed: %s — shed %d, degraded %d, steady p99 %.3fs <= SLO %.3fs, off p99 %.3fs\n",
+		rep.Scenario, rep.Shed, rep.DegradedAnswers, rep.SteadyP99, rep.SLOSeconds, rep.ControllerOffP99)
+	return nil
+}
+
+// invariants checks the overload arc's absolute properties.
+func invariants(r *workload.SLOReport) []string {
+	var f []string
+	if r.ControllerOffP99 <= r.SLOSeconds {
+		f = append(f, fmt.Sprintf("controller-off p99 %.3fs does not breach the %.3fs SLO: the scenario is not an overload",
+			r.ControllerOffP99, r.SLOSeconds))
+	}
+	if r.FirstDegradeT <= 0 {
+		f = append(f, "controller never degraded")
+	}
+	if r.FirstShedT <= r.FirstDegradeT {
+		f = append(f, "controller never escalated from degraded to shedding")
+	}
+	if r.Shed == 0 {
+		f = append(f, "admission control shed nothing")
+	}
+	if r.DegradedAnswers == 0 {
+		f = append(f, "no answer was served degraded")
+	}
+	if r.Breaches == 0 {
+		f = append(f, "no evaluation window breached the SLO")
+	}
+	if r.SteadyP99 > r.SLOSeconds {
+		f = append(f, fmt.Sprintf("admitted steady-state p99 %.3fs exceeds the %.3fs SLO", r.SteadyP99, r.SLOSeconds))
+	}
+	return f
+}
+
+// within reports |cur-base| <= rel*base + slack.
+func within(cur, base, rel, slack float64) bool {
+	return math.Abs(cur-base) <= rel*math.Abs(base)+slack
+}
+
+// compare gates the fresh replay against the committed baseline.
+func compare(base, cur *workload.SLOReport) []string {
+	var f []string
+	count := func(name string, b, c int64) {
+		if !within(float64(c), float64(b), 0.02, 2) {
+			f = append(f, fmt.Sprintf("%s drifted: baseline %d, current %d (tolerance 2%% +2)", name, b, c))
+		}
+	}
+	lat := func(name string, b, c float64) {
+		if !within(c, b, 0.05, 0) {
+			f = append(f, fmt.Sprintf("%s drifted: baseline %.3f, current %.3f (tolerance 5%%)", name, b, c))
+		}
+	}
+	if cur.Scenario != base.Scenario || cur.Seed != base.Seed {
+		f = append(f, fmt.Sprintf("baseline is for %s/%d, replay is %s/%d — regenerate with -emit",
+			base.Scenario, base.Seed, cur.Scenario, cur.Seed))
+		return f
+	}
+	count("arrivals", base.Arrivals, cur.Arrivals)
+	count("served", base.Served, cur.Served)
+	count("shed", base.Shed, cur.Shed)
+	count("degradedAnswers", base.DegradedAnswers, cur.DegradedAnswers)
+	count("breaches", base.Breaches, cur.Breaches)
+	lat("overallP99", base.OverallP99, cur.OverallP99)
+	lat("steadyP99", base.SteadyP99, cur.SteadyP99)
+	lat("controllerOffP99", base.ControllerOffP99, cur.ControllerOffP99)
+	lat("firstDegradeT", base.FirstDegradeT, cur.FirstDegradeT)
+	lat("firstShedT", base.FirstShedT, cur.FirstShedT)
+
+	if len(cur.Curve) != len(base.Curve) {
+		f = append(f, fmt.Sprintf("curve length drifted: baseline %d points, current %d", len(base.Curve), len(cur.Curve)))
+		return f
+	}
+	for i := range base.Curve {
+		b, c := base.Curve[i], cur.Curve[i]
+		if c.Mode != b.Mode {
+			f = append(f, fmt.Sprintf("curve t=%.0f: mode %q, baseline %q — the ladder walks a different arc", c.T, c.Mode, b.Mode))
+		}
+		if !within(float64(c.Served), float64(b.Served), 0.05, 3) ||
+			!within(float64(c.Shed), float64(b.Shed), 0.05, 3) ||
+			!within(float64(c.Degraded), float64(b.Degraded), 0.05, 3) {
+			f = append(f, fmt.Sprintf("curve t=%.0f: counters drifted beyond 5%% +3 (served %d->%d shed %d->%d degraded %d->%d)",
+				c.T, b.Served, c.Served, b.Shed, c.Shed, b.Degraded, c.Degraded))
+		}
+	}
+	return f
+}
