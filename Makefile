@@ -5,9 +5,10 @@ GO ?= go
 
 # Hot-path benchmarks gated against bench_baseline.json. Kept to the
 # performance-critical substrates (scoring round, Gibbs sweep,
-# incremental inference, per-answer dirty-component re-ranking) so the
-# gate is fast and focused.
-BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank
+# incremental inference, per-answer dirty-component re-ranking, and
+# streaming delta ingestion vs session reopen) so the gate is fast and
+# focused.
+BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank|BenchmarkIngestDelta
 
 .PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
 	router-smoke bench-smoke bench bench-json bench-gate bench-baseline \

@@ -382,6 +382,120 @@ func BenchmarkIncrementalRank(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestDelta prices absorbing a streaming corpus delta into a
+// warm session (mode=ingest: factdb.DB.Extend + engine Grow + the
+// frozen-θ dirty-component refresh) against the pre-streaming
+// alternative of recovering the same state without a live ingestion
+// path (mode=reopen: core.RestoreSession replaying the session's warm
+// answers plus every delta so far against a pristine base corpus — what
+// snapshot/close/reopen actually costs). The ingest path must stay
+// several times cheaper; the CI bench gate pins both arms.
+func BenchmarkIngestDelta(b *testing.B) {
+	const (
+		parts = 12
+		frac  = 0.02
+		seed  = 7
+	)
+	base := synth.Wikipedia
+	opts := core.Options{Seed: 11, Workers: 1, FullSweepEvery: 32}
+	gen := func() *synth.Corpus { return synth.GenerateCommunities(base, parts, seed) }
+	// shape tracks the live corpus totals so each delta's existing-row
+	// references stay valid as the database grows.
+	shape := func(db *factdb.DB) synth.Profile {
+		p := base
+		p.Claims, p.Sources, p.Documents = db.NumClaims, len(db.Sources), len(db.Documents)
+		return p
+	}
+	// Warm past the full-sweep warm-up so mode=ingest measures the
+	// steady-state dirty-component refresh, not the cold path that falls
+	// back to a full sweep anyway.
+	warm := func(b *testing.B, s *core.Session, truth []bool) {
+		b.Helper()
+		oracle := &sim.Oracle{Truth: truth}
+		for i := 0; i < opts.FullSweepEvery+1; i++ {
+			s.Step(oracle)
+			if _, err := s.Pending(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("mode=ingest", func(b *testing.B) {
+		var (
+			s    *core.Session
+			prof synth.Profile
+			cap  int
+		)
+		reset := func() {
+			corpus := gen()
+			prof = shape(corpus.DB)
+			cap = corpus.DB.NumClaims * 5 / 4
+			var err error
+			s, err = core.OpenSession(corpus.DB, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm(b, s, corpus.Truth)
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if prof.Claims > cap {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			d := synth.GenerateDelta(prof, frac, stats.StreamSeed(99, uint64(i)))
+			if _, err := s.Ingest(d); err != nil {
+				b.Fatal(err)
+			}
+			prof.Claims += d.NewClaims
+			prof.Sources += len(d.Sources)
+			prof.Documents += len(d.Documents)
+		}
+	})
+
+	b.Run("mode=reopen", func(b *testing.B) {
+		var (
+			snap core.Snapshot // warm answers, then one ingest record per delta
+			prof synth.Profile
+			cap  int
+		)
+		reset := func() {
+			corpus := gen()
+			prof = shape(corpus.DB)
+			cap = corpus.DB.NumClaims * 5 / 4
+			s, err := core.OpenSession(corpus.DB, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm(b, s, corpus.Truth)
+			snap = s.Snapshot()
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if prof.Claims > cap {
+				reset()
+			}
+			db := gen().DB // a pristine base corpus for the replay to extend
+			b.StartTimer()
+			d := synth.GenerateDelta(prof, frac, stats.StreamSeed(99, uint64(i)))
+			stored := d
+			snap.Elicitations = append(snap.Elicitations, core.Elicitation{Ingest: &stored})
+			if _, err := core.RestoreSession(db, opts, snap); err != nil {
+				b.Fatal(err)
+			}
+			prof.Claims += d.NewClaims
+			prof.Sources += len(d.Sources)
+			prof.Documents += len(d.Documents)
+		}
+	})
+}
+
 func BenchmarkInformationGainSelection(b *testing.B) {
 	corpus := microCorpus(b)
 	state := factdb.NewState(corpus.DB.NumClaims)

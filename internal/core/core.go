@@ -125,6 +125,7 @@ type Session struct {
 	pool       *guidance.Pool      // persistent what-if scoring pool
 	gains      *guidance.GainCache // cross-answer gain cache (nil in batch mode / cadence 1)
 	sinceSweep int                 // answers since the last full EM sweep
+	ingests    int                 // corpus deltas applied (seeds their detached RNG streams)
 	hybrid     *guidance.Hybrid    // non-nil when the strategy is hybrid
 	grounding  factdb.Grounding
 	prevGnd    factdb.Grounding
@@ -145,6 +146,10 @@ type Session struct {
 	// pendingOK distinguishes "computed and empty" from "not computed".
 	pending   []int
 	pendingOK bool
+	// rngAtRank is the session RNG's state at the start of the cached
+	// ranking's scoring round; Ingest rewinds to it when it discards a
+	// computed-but-unconsumed ranking (see ranked).
+	rngAtRank stats.RNG
 	// degraded selects the overload fallback for the next computed
 	// ranking (SetDegraded); pendingDegraded is the mode the cached
 	// ranking was actually computed under — captured at ranking time so a

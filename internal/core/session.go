@@ -26,6 +26,15 @@ type Elicitation struct {
 	Verdict  bool `json:"verdict"`
 	OK       bool `json:"ok"`
 	Degraded bool `json:"degraded,omitempty"`
+	// Ingest, when non-nil, marks this record as a corpus-delta arrival
+	// instead of a user interaction: the delta was applied to the live
+	// database at exactly this transcript position (Session.Ingest).
+	// Claim/Verdict/OK are meaningless on an ingest record. Recording
+	// arrivals in the transcript is what keeps grown sessions a pure
+	// function of (database, options, transcript): RestoreSession
+	// re-applies each delta at its recorded position, so snapshot
+	// restore and crash recovery replay arrivals bit-identically.
+	Ingest *factdb.Delta `json:"ingest,omitempty"`
 }
 
 // SnapshotVersion is the encoding version written into snapshots taken
@@ -46,7 +55,13 @@ type Elicitation struct {
 // (overload fallback to the uncertainty ranking); v2 snapshots decode
 // with the flag false on every record, which is exactly right — no
 // pre-v3 session ever ranked degraded — so they replay unchanged.
-const SnapshotVersion = 3
+// Version 4 adds corpus-ingestion records (Elicitation.Ingest): a
+// transcript entry may carry a corpus delta applied mid-session, which
+// RestoreSession re-applies at its recorded position. Snapshots
+// without ingest records are encoding-compatible with v3 in both
+// directions; a v4 snapshot that does carry deltas must be rejected by
+// older builds — hence the bump.
+const SnapshotVersion = 4
 
 // Snapshot is a serialisable record of a session's progress: the full
 // elicitation transcript. Because every other part of a session — claim
@@ -107,6 +122,12 @@ func (s *Session) LastRankingDegraded() bool { return s.pendingDegraded }
 // so the iteration's elicitations record how they were ranked.
 func (s *Session) ranked() []int {
 	if !s.pendingOK {
+		// Remember the RNG state the round starts from: if a corpus
+		// ingest discards this ranking before a Step consumes it, Ingest
+		// rewinds to here so the aborted round's draws never happened —
+		// the property that keeps a live session bit-identical to its
+		// transcript replay, which only ranks once, after the ingest.
+		s.rngAtRank = *s.rng
 		if s.degraded {
 			s.pending = guidance.Uncertainty{}.Rank(s.ctx(), s.DB.NumClaims)
 		} else {
@@ -241,6 +262,12 @@ func (u *replayUser) Validate(claim int) (bool, bool) {
 		return false, false
 	}
 	e := u.log[u.pos]
+	if e.Ingest != nil {
+		// Ingest records sit between Steps; one landing mid-Step means
+		// the transcript is corrupt or from a diverging configuration.
+		u.err = fmt.Errorf("core: replay hit an ingest record mid-step at position %d (asked claim %d)", u.pos, claim)
+		return false, false
+	}
 	if e.Claim != claim {
 		u.err = fmt.Errorf("core: replay diverged at elicitation %d: process asked claim %d, transcript recorded claim %d (database/options/seed mismatch?)", u.pos, claim, e.Claim)
 		return false, false
@@ -268,6 +295,16 @@ func RestoreSession(db *factdb.DB, opts Options, snap Snapshot) (*Session, error
 	}
 	u := &replayUser{log: snap.Elicitations}
 	for u.pos < len(u.log) && u.err == nil {
+		// A recorded corpus arrival is re-applied at exactly its
+		// transcript position, growing the database and refreshing
+		// inference the same way the original Ingest call did.
+		if rec := u.log[u.pos]; rec.Ingest != nil {
+			u.pos++
+			if _, err := s.Ingest(*rec.Ingest); err != nil {
+				return nil, fmt.Errorf("core: replay of ingest record %d: %w", u.pos-1, err)
+			}
+			continue
+		}
 		// Re-apply the ranking mode the original session used for this
 		// iteration: its first elicitation recorded whether it was ranked
 		// degraded, and the mode governs both the ranking order and the
@@ -275,7 +312,12 @@ func RestoreSession(db *factdb.DB, opts Options, snap Snapshot) (*Session, error
 		// all carry the iteration's mode, so reading the next unconsumed
 		// record is exact.
 		s.SetDegraded(u.log[u.pos].Degraded)
-		if s.Step(u) {
+		// A Step that consumes nothing and reports done ends the replay
+		// (falling through to the consumed-count check below); a Step
+		// that did consume may be followed by an ingest record that
+		// un-finishes the session, so the loop continues.
+		before := u.pos
+		if s.Step(u) && u.pos == before {
 			break
 		}
 	}

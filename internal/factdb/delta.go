@@ -1,0 +1,386 @@
+package factdb
+
+import (
+	"fmt"
+
+	"factcheck/internal/graph"
+)
+
+// Delta is a position-independent corpus increment: new claims, sources
+// and documents arriving into a live database. References inside a
+// delta use signed addressing so the same encoded delta applies
+// regardless of the database's current size — a non-negative id names
+// an existing row, and -(i+1) names the delta's own i-th new row:
+//
+//   - DeltaDocument.Source = -(i+1) → Delta.Sources[i]
+//   - DeltaRef.Claim       = -(i+1) → the delta's i-th new claim
+//
+// Global ids for the delta's rows are assigned densely at apply time
+// (DB.Extend), in declaration order, so a delta recorded in a session
+// transcript replays to the identical structure.
+type Delta struct {
+	// NewClaims is the number of claims the delta introduces. Every new
+	// claim must be referenced by at least one delta document — the
+	// same no-orphan invariant Finalize enforces for the base corpus.
+	NewClaims int             `json:"newClaims,omitempty"`
+	Sources   []DeltaSource   `json:"sources,omitempty"`
+	Documents []DeltaDocument `json:"documents,omitempty"`
+	// Truth optionally carries the ground-truth credibility of the
+	// delta's new claims (one entry per new claim, or empty). The
+	// database itself never reads it — truth lives outside factdb — but
+	// evaluation harnesses that grade sessions against synthetic ground
+	// truth need the truth of ingested claims to travel with the delta,
+	// including through recorded transcripts, so it rides along here.
+	Truth []bool `json:"truth,omitempty"`
+}
+
+// DeltaSource is a source arriving with the delta; its global id is
+// assigned at apply time.
+type DeltaSource struct {
+	Features []float64 `json:"features"`
+}
+
+// DeltaDocument is a document arriving with the delta. Source uses the
+// signed addressing described on Delta.
+type DeltaDocument struct {
+	Source   int        `json:"source"`
+	Features []float64  `json:"features"`
+	Refs     []DeltaRef `json:"refs"`
+}
+
+// DeltaRef is one claim reference of a delta document. Claim uses the
+// signed addressing described on Delta.
+type DeltaRef struct {
+	Claim  int    `json:"claim"`
+	Stance Stance `json:"stance,omitempty"`
+}
+
+// Empty reports whether the delta carries nothing at all.
+func (d *Delta) Empty() bool {
+	return d.NewClaims == 0 && len(d.Sources) == 0 && len(d.Documents) == 0
+}
+
+// Counts returns the delta's row counts (claims, sources, documents) —
+// what applying it adds to a database's totals.
+func (d *Delta) Counts() (claims, sources, docs int) {
+	return d.NewClaims, len(d.Sources), len(d.Documents)
+}
+
+// Validate checks the delta against a database shape without applying
+// it: nClaims/nSources are the database's current totals (or virtual
+// totals, when earlier deltas are queued ahead of this one) and
+// srcDim/docDim its feature dimensionalities. A delta that validates
+// against the shape it will be applied at cannot fail in Extend.
+func (d *Delta) Validate(nClaims, nSources, srcDim, docDim int) error {
+	if d.NewClaims < 0 {
+		return fmt.Errorf("factdb: delta declares %d new claims", d.NewClaims)
+	}
+	if len(d.Truth) != 0 && len(d.Truth) != d.NewClaims {
+		return fmt.Errorf("factdb: delta carries %d truth values for %d new claims", len(d.Truth), d.NewClaims)
+	}
+	for i, s := range d.Sources {
+		if len(s.Features) != srcDim {
+			return fmt.Errorf("factdb: delta source %d has %d features, want %d", i, len(s.Features), srcDim)
+		}
+	}
+	referenced := make([]bool, d.NewClaims)
+	for i, doc := range d.Documents {
+		if len(doc.Features) != docDim {
+			return fmt.Errorf("factdb: delta document %d has %d features, want %d", i, len(doc.Features), docDim)
+		}
+		if doc.Source >= 0 {
+			if doc.Source >= nSources {
+				return fmt.Errorf("factdb: delta document %d references unknown source %d", i, doc.Source)
+			}
+		} else if j := -doc.Source - 1; j >= len(d.Sources) {
+			return fmt.Errorf("factdb: delta document %d references delta source %d of %d", i, j, len(d.Sources))
+		}
+		for _, ref := range doc.Refs {
+			if ref.Stance != Support && ref.Stance != Refute {
+				return fmt.Errorf("factdb: delta document %d has invalid stance %d", i, ref.Stance)
+			}
+			if ref.Claim >= 0 {
+				if ref.Claim >= nClaims {
+					return fmt.Errorf("factdb: delta document %d references unknown claim %d", i, ref.Claim)
+				}
+			} else if j := -ref.Claim - 1; j >= d.NewClaims {
+				return fmt.Errorf("factdb: delta document %d references delta claim %d of %d", i, j, d.NewClaims)
+			} else {
+				referenced[j] = true
+			}
+		}
+	}
+	for j, ok := range referenced {
+		if !ok {
+			return fmt.Errorf("factdb: delta claim %d is referenced by no document", j)
+		}
+	}
+	return nil
+}
+
+// ExtendResult describes what applying a delta changed, in the terms
+// downstream layers need to update themselves incrementally.
+type ExtendResult struct {
+	// ClaimBase/SourceBase/DocBase are the first global ids assigned to
+	// the delta's rows (the database's pre-extend totals).
+	ClaimBase  int
+	SourceBase int
+	DocBase    int
+	// Dirty lists the post-extend component ids whose structure or
+	// evidence changed — new components, merge winners, and components
+	// whose claims gained cliques. Inference and gain caches for these
+	// must be refreshed; every other component is untouched.
+	Dirty []int
+	// Removed lists component ids absorbed into a merge winner. Their
+	// slots stay allocated (component ids are stable) but hold no
+	// members; nothing maps to them any more.
+	Removed []int
+	// Rebuilt lists, in ascending order, every claim whose clique set
+	// changed — old claims the delta's documents reference plus all new
+	// claims. Sampler structures keyed by claim rebuild exactly these.
+	Rebuilt []int
+}
+
+// insertSorted inserts v into sorted slice s, keeping it sorted and
+// duplicate-free.
+func insertSorted(s []int32, v int32) []int32 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// Extend applies a delta to a finalized database in place, maintaining
+// every derived index incrementally — O(delta + touched components),
+// never a full re-Finalize. Connected components are updated with a
+// miniature union-find over only the touched pieces: because components
+// are closed under shared sources, a source the delta touches
+// contributes exactly one existing component (the one all its prior
+// claims belong to) plus the delta's own references, so merging those
+// per-source groups yields the new partition. Merge winners keep the
+// smallest participating component id, so ids of untouched components
+// — and of winners — are stable across an extend, which is what lets
+// per-component caches survive with only the returned Dirty set
+// invalidated.
+//
+// The delta is fully validated before any mutation: on error the
+// database is unchanged.
+func (db *DB) Extend(delta Delta) (ExtendResult, error) {
+	if !db.finalized {
+		return ExtendResult{}, fmt.Errorf("factdb: Extend requires a finalized database")
+	}
+	if err := delta.Validate(db.NumClaims, len(db.Sources), db.srcFeatDim, db.docFeatDim); err != nil {
+		return ExtendResult{}, err
+	}
+
+	res := ExtendResult{
+		ClaimBase:  db.NumClaims,
+		SourceBase: len(db.Sources),
+		DocBase:    len(db.Documents),
+	}
+	resolveSource := func(ref int) int {
+		if ref >= 0 {
+			return ref
+		}
+		return res.SourceBase + (-ref - 1)
+	}
+	resolveClaim := func(ref int) int {
+		if ref >= 0 {
+			return ref
+		}
+		return res.ClaimBase + (-ref - 1)
+	}
+
+	// The mini union-find's node space: one node per existing component
+	// that participates, one node per new claim. Nodes are numbered in
+	// first-encounter order over the delta's documents, which is
+	// deterministic for a given (db, delta) pair.
+	nodeOf := make(map[[2]int]int) // {0, compID} or {1, newClaim} → node
+	const (
+		kindComp  = 0
+		kindClaim = 1
+	)
+	node := func(kind, id int) int {
+		key := [2]int{kind, id}
+		if n, ok := nodeOf[key]; ok {
+			return n
+		}
+		n := len(nodeOf)
+		nodeOf[key] = n
+		return n
+	}
+	type group struct{ nodes []int }
+	groups := make(map[int]*group) // resolved source id → its connectivity group
+	groupOrder := make([]int, 0, len(delta.Documents))
+	for _, doc := range delta.Documents {
+		src := resolveSource(doc.Source)
+		g := groups[src]
+		if g == nil {
+			g = &group{}
+			// An existing source anchors its group to the component all
+			// its prior claims share (closure under sources: they share
+			// exactly one).
+			if src < res.SourceBase && len(db.SourceClaims[src]) > 0 {
+				g.nodes = append(g.nodes, node(kindComp, int(db.componentOf[db.SourceClaims[src][0]])))
+			}
+			groups[src] = g
+			groupOrder = append(groupOrder, src)
+		}
+		for _, ref := range doc.Refs {
+			c := resolveClaim(ref.Claim)
+			if c < res.ClaimBase {
+				g.nodes = append(g.nodes, node(kindComp, int(db.componentOf[c])))
+			} else {
+				g.nodes = append(g.nodes, node(kindClaim, c))
+			}
+		}
+	}
+	uf := graph.NewUnionFind(len(nodeOf))
+	for _, src := range groupOrder {
+		g := groups[src]
+		for i := 1; i < len(g.nodes); i++ {
+			uf.Union(g.nodes[0], g.nodes[i])
+		}
+	}
+
+	// Validation passed and the merge plan is computed; mutate.
+	for i, s := range delta.Sources {
+		db.Sources = append(db.Sources, Source{
+			ID:       res.SourceBase + i,
+			Features: append([]float64(nil), s.Features...),
+		})
+		db.SourceClaims = append(db.SourceClaims, nil)
+	}
+	db.NumClaims += delta.NewClaims
+	for i := 0; i < delta.NewClaims; i++ {
+		db.ClaimCliques = append(db.ClaimCliques, nil)
+		db.ClaimSources = append(db.ClaimSources, nil)
+		db.componentOf = append(db.componentOf, -1) // assigned below
+	}
+	touched := make(map[int]struct{})
+	for _, d := range delta.Documents {
+		src := resolveSource(d.Source)
+		id := len(db.Documents)
+		doc := Document{
+			ID:       id,
+			Source:   src,
+			Features: append([]float64(nil), d.Features...),
+			Refs:     make([]ClaimRef, 0, len(d.Refs)),
+		}
+		for _, ref := range d.Refs {
+			c := resolveClaim(ref.Claim)
+			doc.Refs = append(doc.Refs, ClaimRef{Claim: c, Stance: ref.Stance})
+			idx := int32(len(db.Cliques))
+			db.Cliques = append(db.Cliques, Clique{
+				Claim:  int32(c),
+				Doc:    int32(id),
+				Source: int32(src),
+				Stance: ref.Stance,
+			})
+			db.ClaimCliques[c] = append(db.ClaimCliques[c], idx)
+			db.ClaimSources[c] = insertSorted(db.ClaimSources[c], int32(src))
+			db.SourceClaims[src] = insertSorted(db.SourceClaims[src], int32(c))
+			touched[c] = struct{}{}
+		}
+		db.Documents = append(db.Documents, doc)
+	}
+
+	// Resolve each merged set to its final component: the smallest
+	// participating old id wins (stable ids), a set with no old
+	// component gets a fresh slot. Components() orders sets by smallest
+	// node index — deterministic.
+	byKind := make([][2]int, len(nodeOf))
+	for key, n := range nodeOf {
+		byKind[n] = key
+	}
+	for _, set := range uf.Components() {
+		var oldComps, newClaims []int
+		for _, n := range set {
+			if key := byKind[n]; key[0] == kindComp {
+				oldComps = append(oldComps, key[1])
+			} else {
+				newClaims = append(newClaims, key[1])
+			}
+		}
+		winner := -1
+		for _, oc := range oldComps {
+			if winner < 0 || oc < winner {
+				winner = oc
+			}
+		}
+		if winner < 0 {
+			winner = len(db.componentMembers)
+			db.componentMembers = append(db.componentMembers, nil)
+			db.componentSources = append(db.componentSources, nil)
+		}
+		var members []int32
+		for _, oc := range oldComps {
+			members = append(members, db.componentMembers[oc]...)
+			if oc != winner {
+				db.componentMembers[oc] = nil
+				db.componentSources[oc] = nil
+				res.Removed = append(res.Removed, oc)
+			}
+		}
+		for _, c := range newClaims {
+			members = append(members, int32(c))
+		}
+		sortInt32s(members)
+		for _, c := range members {
+			db.componentOf[c] = int32(winner)
+		}
+		db.componentMembers[winner] = members
+		// Recompute the component's distinct sources in the same order
+		// Finalize produces: members ascending, each claim's sorted
+		// sources, first occurrence kept.
+		seen := make(map[int32]struct{})
+		var srcs []int32
+		for _, c := range members {
+			for _, s := range db.ClaimSources[c] {
+				if _, ok := seen[s]; !ok {
+					seen[s] = struct{}{}
+					srcs = append(srcs, s)
+				}
+			}
+		}
+		db.componentSources[winner] = srcs
+		res.Dirty = append(res.Dirty, winner)
+	}
+	sortInts(res.Dirty)
+	sortInts(res.Removed)
+
+	res.Rebuilt = make([]int, 0, len(touched))
+	for c := range touched {
+		res.Rebuilt = append(res.Rebuilt, c)
+	}
+	sortInts(res.Rebuilt)
+	return res, nil
+}
+
+func sortInts(s []int) {
+	for a := 1; a < len(s); a++ {
+		for b := a; b > 0 && s[b-1] > s[b]; b-- {
+			s[b-1], s[b] = s[b], s[b-1]
+		}
+	}
+}
+
+func sortInt32s(s []int32) {
+	for a := 1; a < len(s); a++ {
+		for b := a; b > 0 && s[b-1] > s[b]; b-- {
+			s[b-1], s[b] = s[b], s[b-1]
+		}
+	}
+}

@@ -42,6 +42,16 @@ func (s *State) SetP(c int, p float64) {
 	s.p[c] = p
 }
 
+// Grow appends n unlabelled claims at the maximum-entropy prior
+// P = 0.5, mirroring NewState for the rows a corpus delta adds.
+func (s *State) Grow(n int) {
+	for i := 0; i < n; i++ {
+		s.p = append(s.p, 0.5)
+		s.labeled = append(s.labeled, false)
+		s.label = append(s.label, false)
+	}
+}
+
 // Labeled reports whether claim c carries user input (c ∈ C_L).
 func (s *State) Labeled(c int) bool { return s.labeled[c] }
 

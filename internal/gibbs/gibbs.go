@@ -72,28 +72,7 @@ func NewChain(db *factdb.DB, rng *stats.RNG) *Chain {
 	// Build per-claim runs grouped by source.
 	ch.runs = make([][]run, db.NumClaims)
 	for c := 0; c < db.NumClaims; c++ {
-		bySource := map[int32]*run{}
-		var order []int32
-		for _, ci := range db.ClaimCliques[c] {
-			cl := db.Cliques[ci]
-			rn, ok := bySource[cl.Source]
-			if !ok {
-				rn = &run{source: cl.Source}
-				bySource[cl.Source] = rn
-				order = append(order, cl.Source)
-			}
-			if cl.Stance == factdb.Support {
-				rn.support++
-			} else {
-				rn.refute++
-			}
-			rn.cliques = append(rn.cliques, ci)
-		}
-		rs := make([]run, 0, len(order))
-		for _, s := range order {
-			rs = append(rs, *bySource[s])
-		}
-		ch.runs[c] = rs
+		ch.runs[c] = ch.buildRuns(c)
 	}
 	for _, cl := range db.Cliques {
 		ch.total[cl.Source]++
@@ -103,6 +82,64 @@ func NewChain(db *factdb.DB, rng *stats.RNG) *Chain {
 	}
 	ch.recount()
 	return ch
+}
+
+// buildRuns groups claim c's cliques by source, in clique-appearance
+// order, into the run representation the sweep hot loop consumes.
+func (ch *Chain) buildRuns(c int) []run {
+	db := ch.db
+	bySource := map[int32]*run{}
+	var order []int32
+	for _, ci := range db.ClaimCliques[c] {
+		cl := db.Cliques[ci]
+		rn, ok := bySource[cl.Source]
+		if !ok {
+			rn = &run{source: cl.Source}
+			bySource[cl.Source] = rn
+			order = append(order, cl.Source)
+		}
+		if cl.Stance == factdb.Support {
+			rn.support++
+		} else {
+			rn.refute++
+		}
+		rn.cliques = append(rn.cliques, ci)
+	}
+	rs := make([]run, 0, len(order))
+	for _, s := range order {
+		rs = append(rs, *bySource[s])
+	}
+	return rs
+}
+
+// Grow extends the chain in place after the database was grown with
+// factdb.DB.Extend: new claims get slots (their initial values drawn
+// from the caller's detached rng, never the chain's own stream, so
+// growth does not perturb later full sweeps), runs are rebuilt for
+// exactly the claims whose clique sets changed, and the per-source
+// counters are recomputed over the grown structure. The caller must
+// drop every clone of the chain first — clones share the runs and
+// total slices this method replaces — and must call SetModel afterwards
+// to refresh the rebuilt runs' base scores.
+func (ch *Chain) Grow(res factdb.ExtendResult, rng *stats.RNG) {
+	db := ch.db
+	for len(ch.x) < db.NumClaims {
+		ch.x = append(ch.x, rng.Bernoulli(0.5))
+		ch.frozen = append(ch.frozen, false)
+	}
+	for _, c := range res.Rebuilt {
+		for len(ch.runs) <= c {
+			ch.runs = append(ch.runs, nil)
+		}
+		ch.runs[c] = ch.buildRuns(c)
+	}
+	total := make([]int32, len(db.Sources))
+	for _, cl := range db.Cliques {
+		total[cl.Source]++
+	}
+	ch.total = total
+	ch.agree = make([]int32, len(db.Sources))
+	ch.recount()
 }
 
 // SetModel installs the clique base scores derived from the current θ and

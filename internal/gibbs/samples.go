@@ -95,8 +95,30 @@ func (ss *SampleSet) SetShard(k int, members []int32, x []bool) {
 	}
 }
 
+// Grow extends the set to cover n additional claims. The new claims'
+// bits start cleared (counts zero), so their marginals read 0 until
+// their components are resampled — callers refresh every component a
+// corpus delta dirtied (they all contain the new claims) before the
+// marginals are consumed. Samples whose word count grows are
+// reallocated, detaching them from any shared dense backing.
+func (ss *SampleSet) Grow(n int) {
+	ss.nClaims += n
+	ss.counts = append(ss.counts, make([]int32, n)...)
+	words := (ss.nClaims + 63) / 64
+	for i, s := range ss.samples {
+		if len(s) < words {
+			ns := make([]uint64, words)
+			copy(ns, s)
+			ss.samples[i] = ns
+		}
+	}
+}
+
 // NumSamples returns |Ω|.
 func (ss *SampleSet) NumSamples() int { return len(ss.samples) }
+
+// NumClaims returns the number of claims the set covers.
+func (ss *SampleSet) NumClaims() int { return ss.nClaims }
 
 // Marginal returns the ratio of samples in which claim c is credible
 // (Eq. 7); 0.5 when the set is empty.

@@ -99,6 +99,26 @@ func (g *GainCache) InvalidateComponent(comp int) {
 	g.local[comp]++
 }
 
+// InvalidateMerged marks the components a corpus extend dirtied —
+// merge winners, freshly created components, and components whose
+// claims gained evidence. Unlike InvalidateComponent, the new epoch
+// jumps past the maximum epoch of every component: a merge moves
+// claims between components, and an absorbed claim's cached entry
+// still carries its old component's epoch — a plain +1 bump of the
+// winner could collide with that stale value and serve a wrong gain.
+func (g *GainCache) InvalidateMerged(comps []int) {
+	var max uint64
+	for _, e := range g.local {
+		if e > max {
+			max = e
+		}
+	}
+	for _, comp := range comps {
+		g.growLocal(comp)
+		g.local[comp] = max + 1
+	}
+}
+
 func (g *GainCache) growLocal(comp int) {
 	for len(g.local) <= comp {
 		g.local = append(g.local, 0)

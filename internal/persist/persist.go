@@ -39,8 +39,12 @@ import (
 )
 
 // Version is the record encoding version written by this build. Load
-// rejects records written by a newer build.
-const Version = 1
+// rejects records written by a newer build. Version 2 marks
+// transcripts that may carry corpus-ingestion records
+// (core.Elicitation.Ingest): a version-1 build replaying such a
+// transcript would silently drop the deltas and diverge, so it must
+// reject the record instead.
+const Version = 2
 
 // ErrUnknownSession reports an Append for a session that was never
 // checkpointed; the serving layer always checkpoints a session at open,

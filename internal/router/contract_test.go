@@ -1,0 +1,192 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"factcheck/internal/service"
+)
+
+// rawDo issues one raw HTTP request against the router — the envelope
+// is a wire-format promise, so these tests bypass the Go client.
+func rawDo(t *testing.T, base, method, path, body string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// assertEnvelope checks a router refusal: status, stable envelope code,
+// the mirrored Retry-After header, and the deprecation headers exactly
+// on legacy unversioned paths.
+func assertEnvelope(t *testing.T, resp *http.Response, status int, code string, retryAfter int, legacy bool) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error service.ErrorInfo `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("response %q is not the error envelope (%v)", raw, err)
+	}
+	if body.Error.Code != code {
+		t.Fatalf("envelope code = %q, want %q", body.Error.Code, code)
+	}
+	if body.Error.RetryAfter != retryAfter {
+		t.Fatalf("envelope retryAfter = %d, want %d", body.Error.RetryAfter, retryAfter)
+	}
+	header := resp.Header.Get("Retry-After")
+	if retryAfter > 0 {
+		if header != fmt.Sprint(retryAfter) {
+			t.Fatalf("Retry-After header = %q, want %d (must mirror the envelope)", header, retryAfter)
+		}
+	} else if header != "" {
+		t.Fatalf("Retry-After header = %q on a response with no envelope hint", header)
+	}
+	if legacy {
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatal("legacy route missing the Deprecation header")
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, `rel="successor-version"`) || !strings.Contains(link, "/v1/") {
+			t.Fatalf("legacy route Link header = %q, want a /v1 successor-version", link)
+		}
+	} else if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1 route carries a Deprecation header")
+	}
+}
+
+// stubBackend is a fake execution backend that answers just enough of
+// the API for Router.Join to accept it: /v1/healthz reporting the given
+// overload-controller mode and an empty /v1/sessions listing.
+func stubBackend(t *testing.T, mode string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(service.Health{ControllerMode: mode})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(service.SessionList{Live: []string{}, Stored: []string{}})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRouterErrorEnvelopeContract drives every router-originated error
+// path — on /v1 and on the legacy aliases — and asserts each refusal
+// carries the same JSON envelope as the execution layer, including the
+// router-specific codes (session_migrating, no_backends, bad_gateway)
+// and the shed-before-proxy 429.
+func TestRouterErrorEnvelopeContract(t *testing.T) {
+	rt := New(Config{ProbeInterval: time.Hour, Logf: t.Logf})
+	t.Cleanup(rt.Close)
+	rsrv := httptest.NewServer(rt.Handler())
+	t.Cleanup(rsrv.Close)
+	base := rsrv.URL
+
+	// A session flagged mid-migration; no backend needed, the flag is
+	// checked before placement resolves.
+	rt.mu.Lock()
+	rt.migrating["mig"] = true
+	rt.mu.Unlock()
+
+	empty := []struct {
+		name   string
+		method string
+		path   string // canonical path, without the /v1 prefix
+		body   string
+		status int
+		code   string
+		retry  int
+	}{
+		{"proxy with no backends", "GET", "/sessions/ghost/state", "", 503, service.CodeNoBackends, 1},
+		{"create with no backends", "POST", "/sessions", `{"profile":"wiki","scale":0.1,"seed":3}`, 503, service.CodeNoBackends, 1},
+		{"proxy to migrating session", "GET", "/sessions/mig/state", "", 503, service.CodeMigrating, 1},
+		{"create pinned to migrating id", "POST", "/sessions", `{"id":"mig"}`, 503, service.CodeMigrating, 1},
+		{"create malformed body", "POST", "/sessions", "{not json", 400, service.CodeBadRequest, 0},
+		{"proxied export refused", "GET", "/sessions/ghost/export", "", 400, service.CodeBadRequest, 0},
+		{"proxied import refused", "POST", "/sessions/ghost/import", "{}", 400, service.CodeBadRequest, 0},
+		{"fleet join malformed body", "POST", "/fleet/join", "{not json", 400, service.CodeBadRequest, 0},
+		{"fleet leave malformed body", "POST", "/fleet/leave", "{not json", 400, service.CodeBadRequest, 0},
+		{"fleet join unreachable backend", "POST", "/fleet/join", `{"url":"http://127.0.0.1:1"}`, 502, service.CodeBadGateway, 0},
+		{"fleet leave unknown backend", "POST", "/fleet/leave", `{"url":"http://127.0.0.1:1"}`, 502, service.CodeBadGateway, 0},
+	}
+	for _, tc := range empty {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := rawDo(t, base, tc.method, "/v1"+tc.path, tc.body)
+			assertEnvelope(t, resp, tc.status, tc.code, tc.retry, false)
+			resp = rawDo(t, base, tc.method, tc.path, tc.body)
+			assertEnvelope(t, resp, tc.status, tc.code, tc.retry, true)
+		})
+	}
+
+	// Shed-before-proxy: the fleet's only member reports its overload
+	// controller on the shedding rung, so the router refuses the create
+	// itself with the backend's own 429 contract.
+	shed := stubBackend(t, "shedding")
+	if err := rt.Join(shed.URL); err != nil {
+		t.Fatalf("join shedding stub: %v", err)
+	}
+	t.Run("create to shedding owner", func(t *testing.T) {
+		body := `{"profile":"wiki","scale":0.1,"seed":5}`
+		resp := rawDo(t, base, "POST", "/v1/sessions", body)
+		assertEnvelope(t, resp, 429, service.CodeShedding, 1, false)
+		resp = rawDo(t, base, "POST", "/sessions", body)
+		assertEnvelope(t, resp, 429, service.CodeShedding, 1, true)
+	})
+
+	// Dead owners: a fleet whose members joined healthy and then
+	// vanished. The create path marks each down after its failed
+	// forward and gives up with 502 once its attempts are spent — which
+	// empties the ring, so each request needs a fresh fleet.
+	deadFleet := func() string {
+		rt2 := New(Config{ProbeInterval: time.Hour, Logf: t.Logf})
+		t.Cleanup(rt2.Close)
+		rsrv2 := httptest.NewServer(rt2.Handler())
+		t.Cleanup(rsrv2.Close)
+		a, b := stubBackend(t, ""), stubBackend(t, "")
+		if err := rt2.Join(a.URL); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt2.Join(b.URL); err != nil {
+			t.Fatal(err)
+		}
+		a.Close()
+		b.Close()
+		return rsrv2.URL
+	}
+	t.Run("create with dead owners", func(t *testing.T) {
+		body := `{"profile":"wiki","scale":0.1,"seed":7}`
+		resp := rawDo(t, deadFleet(), "POST", "/v1/sessions", body)
+		assertEnvelope(t, resp, 502, service.CodeBadGateway, 0, false)
+		resp = rawDo(t, deadFleet(), "POST", "/sessions", body)
+		assertEnvelope(t, resp, 502, service.CodeBadGateway, 0, true)
+	})
+}

@@ -7,31 +7,62 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
+
+	"factcheck/internal/service"
 )
 
 // Handler returns the router's HTTP handler: the single-server session
-// API proxied to ring owners, the fleet aggregates of /healthz and
-// /metrics, and the /fleet control plane. A service.Client, the
-// workload harness, and every smoke script drive it exactly as they
-// drive one factcheck-server.
+// API proxied to ring owners (the streaming ingest endpoints included),
+// the fleet aggregates of /healthz and /metrics, and the /fleet control
+// plane. A service.Client, the workload harness, and every smoke script
+// drive it exactly as they drive one factcheck-server.
+//
+// Like the execution layer, the canonical surface is versioned under
+// /v1 and the unversioned legacy paths are served as deprecated
+// aliases; router-originated errors carry the same JSON envelope
+// ({"error": {"code", "message", "retryAfter"}}) as the backends, so
+// clients see one error contract no matter which layer refused them.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", rt.create)
-	mux.HandleFunc("GET /sessions", rt.listSessions)
-	mux.HandleFunc("/sessions/{id}", rt.proxySession)
-	mux.HandleFunc("/sessions/{id}/{rest...}", rt.proxySession)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		method, path, cut := strings.Cut(pattern, " ")
+		if !cut {
+			path, method = method, ""
+		}
+		prefix := method + " "
+		if method == "" {
+			prefix = ""
+		}
+		mux.HandleFunc(prefix+"/v1"+path, h)
+		mux.HandleFunc(pattern, deprecated(h))
+	}
+	route("POST /sessions", rt.create)
+	route("GET /sessions", rt.listSessions)
+	route("/sessions/{id}", rt.proxySession)
+	route("/sessions/{id}/{rest...}", rt.proxySession)
+	route("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rt.AggregateHealth())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	route("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rt.AggregateMetrics(r.URL.Query().Get("buckets") != ""))
 	})
-	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {
+	route("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rt.Fleet())
 	})
-	mux.HandleFunc("POST /fleet/join", rt.fleetJoin)
-	mux.HandleFunc("POST /fleet/leave", rt.fleetLeave)
+	route("POST /fleet/join", rt.fleetJoin)
+	route("POST /fleet/leave", rt.fleetLeave)
 	return mux
+}
+
+// deprecated stamps the RFC 8594-style deprecation headers on a legacy
+// unversioned route, mirroring the execution layer's aliases.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // create handles POST /sessions. The router, not the backend, draws
@@ -44,13 +75,13 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 	var body map[string]any
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	if len(bytes.TrimSpace(raw)) == 0 {
 		body = map[string]any{}
 	} else if err := json.Unmarshal(raw, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	id, _ := body["id"].(string)
@@ -59,12 +90,12 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 		body["id"] = id
 	}
 	if rt.isMigrating(id) {
-		unavailable(w, "session is migrating")
+		unavailable(w, service.CodeMigrating, "session is migrating")
 		return
 	}
 	buf, err := json.Marshal(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	// One re-resolve after a transport failure: marking the dead owner
@@ -73,7 +104,7 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 	for attempt := 0; attempt < 2; attempt++ {
 		b := rt.acquireOwner(id)
 		if b == nil {
-			unavailable(w, "no backends in the fleet")
+			unavailable(w, service.CodeNoBackends, "no backends in the fleet")
 			return
 		}
 		// Shed-before-proxy: when the resolved owner's last probe reports
@@ -86,7 +117,7 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 			tooManyRequests(w, "owner "+b.base+" is shedding load")
 			return
 		}
-		resp, err := rt.send(b, r, "/sessions", buf)
+		resp, err := rt.send(b, r, "/v1/sessions", buf)
 		if err != nil {
 			b.inflight.Done()
 			rt.markDown(b)
@@ -96,7 +127,7 @@ func (rt *Router) create(w http.ResponseWriter, r *http.Request) {
 		b.inflight.Done()
 		return
 	}
-	writeError(w, http.StatusBadGateway, errors.New("router: no backend could open the session"))
+	badGateway(w, "router: no backend could open the session")
 }
 
 // proxySession forwards one session request to the id's ring owner,
@@ -109,31 +140,37 @@ func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rest := r.PathValue("rest")
 	if rest == "export" || rest == "import" {
-		writeError(w, http.StatusBadRequest,
-			errors.New("router: export/import are migration internals; drive migrations via /fleet"))
+		badRequest(w, errors.New("router: export/import are migration internals; drive migrations via /fleet"))
 		return
 	}
 	if rt.isMigrating(id) {
-		unavailable(w, "session is migrating")
+		unavailable(w, service.CodeMigrating, "session is migrating")
 		return
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
+	}
+	// Backends are always addressed through the canonical /v1 surface:
+	// a legacy-path request is normalized here, so the proxy hop never
+	// relies on the backends' own deprecated aliases.
+	uri := r.URL.RequestURI()
+	if !strings.HasPrefix(uri, "/v1/") {
+		uri = "/v1" + uri
 	}
 	prev := ""
 	for attempt := 0; attempt < 3; attempt++ {
 		b := rt.ownerBackend(id)
 		if b == nil {
-			unavailable(w, "no backends in the fleet")
+			unavailable(w, service.CodeNoBackends, "no backends in the fleet")
 			return
 		}
 		if b.base == prev {
 			break
 		}
 		prev = b.base
-		resp, err := rt.send(b, r, r.URL.RequestURI(), body)
+		resp, err := rt.send(b, r, uri, body)
 		if err != nil {
 			// The owner is unreachable: take it out of the ring and
 			// re-resolve. With a shared store the new owner revives the
@@ -151,7 +188,7 @@ func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request) {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if rt.isMigrating(id) {
-				unavailable(w, "session is migrating")
+				unavailable(w, service.CodeMigrating, "session is migrating")
 				return
 			}
 			continue
@@ -159,7 +196,7 @@ func (rt *Router) proxySession(w http.ResponseWriter, r *http.Request) {
 		copyResponse(w, resp)
 		return
 	}
-	writeError(w, http.StatusBadGateway, errors.New("router: no reachable owner for the session"))
+	badGateway(w, "router: no reachable owner for the session")
 }
 
 // listSessions aggregates GET /sessions across the fleet. Stored
@@ -204,11 +241,11 @@ type fleetRequest struct {
 func (rt *Router) fleetJoin(w http.ResponseWriter, r *http.Request) {
 	var req fleetRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
-		writeError(w, http.StatusBadRequest, errors.New(`router: body must be {"url": "http://backend"}`))
+		badRequest(w, errors.New(`router: body must be {"url": "http://backend"}`))
 		return
 	}
 	if err := rt.Join(req.URL); err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		badGateway(w, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, rt.Fleet())
@@ -217,11 +254,11 @@ func (rt *Router) fleetJoin(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) fleetLeave(w http.ResponseWriter, r *http.Request) {
 	var req fleetRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
-		writeError(w, http.StatusBadRequest, errors.New(`router: body must be {"url": "http://backend"}`))
+		badRequest(w, errors.New(`router: body must be {"url": "http://backend"}`))
 		return
 	}
 	if err := rt.Leave(req.URL); err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		badGateway(w, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, rt.Fleet())
@@ -292,26 +329,30 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	io.Copy(w, resp.Body)
 }
 
-// unavailable answers 503 with the Retry-After hint the service client
-// honors.
-func unavailable(w http.ResponseWriter, why string) {
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, errors.New("router: "+why))
+// unavailable answers 503 + Retry-After with a router-originated
+// envelope code (session_migrating, no_backends); the service client
+// honors the hint.
+func unavailable(w http.ResponseWriter, code, why string) {
+	service.WriteError(w, http.StatusServiceUnavailable, code, "router: "+why, 1)
 }
 
 // tooManyRequests answers 429 with the Retry-After hint, mirroring the
-// execution layer's admission-control rejection.
+// execution layer's admission-control rejection (same "shedding" code:
+// to the client it is the same condition, observed one hop earlier).
 func tooManyRequests(w http.ResponseWriter, why string) {
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusTooManyRequests, errors.New("router: "+why))
+	service.WriteError(w, http.StatusTooManyRequests, service.CodeShedding, "router: "+why, 1)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	service.WriteError(w, http.StatusBadRequest, service.CodeBadRequest, err.Error(), 0)
+}
+
+func badGateway(w http.ResponseWriter, why string) {
+	service.WriteError(w, http.StatusBadGateway, service.CodeBadGateway, why, 0)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -65,14 +65,20 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // APIError is an HTTP-level error response: the server answered with a
-// non-2xx status. It preserves the status code and any Retry-After
-// hint so callers (and the client's own retry loop) can distinguish
-// transient backpressure from hard failures.
+// non-2xx status. It preserves the envelope's stable error code, the
+// status, and any Retry-After hint so callers (and the client's own
+// retry loop) can distinguish transient backpressure from hard
+// failures. Unwrap maps the code back onto the service's sentinel
+// errors, so errors.Is(err, service.ErrSeq) works identically for
+// in-process and over-the-wire callers.
 type APIError struct {
 	Method  string
 	Path    string
 	Message string
 	Status  int
+	// Code is the envelope's machine-readable error code (a Code*
+	// constant; "" from pre-envelope servers).
+	Code string
 	// RetryAfter is the server's Retry-After hint (0 if absent).
 	RetryAfter time.Duration
 }
@@ -82,6 +88,46 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("%s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
 	}
 	return fmt.Sprintf("%s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// Unwrap maps the envelope code to the matching service sentinel (nil
+// for codes with no sentinel). For a pre-envelope server that sent no
+// code, the unambiguous statuses still map: 404 was always ErrNotFound
+// and 410 always ErrMigrated; the overloaded 409s and 429s stay
+// unmapped rather than guessed.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeMigrated:
+		return ErrMigrated
+	case CodeWrongClaim:
+		return ErrWrongClaim
+	case CodeStaleSeq:
+		return ErrSeq
+	case CodeDone:
+		return ErrDone
+	case CodeExists:
+		return ErrExists
+	case CodeShedding:
+		return ErrOverloaded
+	case CodeMailboxFull:
+		return ErrMailboxFull
+	case CodeSessionLimit:
+		return ErrFull
+	case CodeShuttingDown:
+		return ErrShutdown
+	case CodePersistFailure:
+		return ErrPersist
+	case "":
+		switch e.Status {
+		case http.StatusNotFound:
+			return ErrNotFound
+		case http.StatusGone:
+			return ErrMigrated
+		}
+	}
+	return nil
 }
 
 // Client is a Go client for the factcheck-server HTTP API. Its methods
@@ -117,7 +163,7 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // Open creates a new session.
 func (c *Client) Open(req OpenRequest) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.do(http.MethodPost, "/sessions", createPayload{OpenRequest: req}, &info)
+	err := c.do(http.MethodPost, "/v1/sessions", createPayload{OpenRequest: req}, &info)
 	return info, err
 }
 
@@ -125,21 +171,21 @@ func (c *Client) Open(req OpenRequest) (SessionInfo, error) {
 // router pins placement to its hash ring).
 func (c *Client) OpenAs(id string, req OpenRequest) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.do(http.MethodPost, "/sessions", createPayload{OpenRequest: req, ID: id}, &info)
+	err := c.do(http.MethodPost, "/v1/sessions", createPayload{OpenRequest: req, ID: id}, &info)
 	return info, err
 }
 
 // Restore reopens a snapshotted session on the server.
 func (c *Client) Restore(snap SessionSnapshot) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.do(http.MethodPost, "/sessions", createPayload{Restore: &snap}, &info)
+	err := c.do(http.MethodPost, "/v1/sessions", createPayload{Restore: &snap}, &info)
 	return info, err
 }
 
 // Next fetches the current top-k guidance ranking.
 func (c *Client) Next(id string, k int) (NextResponse, error) {
 	var resp NextResponse
-	p := "/sessions/" + url.PathEscape(id) + "/next"
+	p := "/v1/sessions/" + url.PathEscape(id) + "/next"
 	if k > 0 {
 		p += "?k=" + strconv.Itoa(k)
 	}
@@ -150,7 +196,28 @@ func (c *Client) Next(id string, k int) (NextResponse, error) {
 // Answer submits a verdict for the expected claim.
 func (c *Client) Answer(id string, req AnswerRequest) (StateResponse, error) {
 	var resp StateResponse
-	err := c.do(http.MethodPost, "/sessions/"+url.PathEscape(id)+"/answer", req, &resp)
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/answer", req, &resp)
+	return resp, err
+}
+
+// IngestClaims streams a corpus delta (new claims, sources, documents)
+// into a live session. The response reports whether the delta was
+// applied immediately or queued in the session's mailbox; a full
+// mailbox surfaces as ErrMailboxFull (HTTP 429 + Retry-After), which
+// the retry policy honors — a rejected delta was never enqueued, so
+// replaying it is safe.
+func (c *Client) IngestClaims(id string, req IngestRequest) (IngestResponse, error) {
+	var resp IngestResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/claims", req, &resp)
+	return resp, err
+}
+
+// IngestSources streams a claim-free corpus delta (new sources and
+// evidence on existing claims) into a live session; a delta that
+// introduces claims is rejected — use IngestClaims.
+func (c *Client) IngestSources(id string, req IngestRequest) (IngestResponse, error) {
+	var resp IngestResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/sources", req, &resp)
 	return resp, err
 }
 
@@ -158,7 +225,7 @@ func (c *Client) Answer(id string, req AnswerRequest) (StateResponse, error) {
 // per-claim credibility marginals.
 func (c *Client) State(id string, withMarginals bool) (StateResponse, error) {
 	var resp StateResponse
-	p := "/sessions/" + url.PathEscape(id) + "/state"
+	p := "/v1/sessions/" + url.PathEscape(id) + "/state"
 	if withMarginals {
 		p += "?marginals=1"
 	}
@@ -169,7 +236,7 @@ func (c *Client) State(id string, withMarginals bool) (StateResponse, error) {
 // Snapshot exports the session's durable form.
 func (c *Client) Snapshot(id string) (SessionSnapshot, error) {
 	var snap SessionSnapshot
-	err := c.do(http.MethodGet, "/sessions/"+url.PathEscape(id)+"/snapshot", nil, &snap)
+	err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/snapshot", nil, &snap)
 	return snap, err
 }
 
@@ -178,14 +245,14 @@ func (c *Client) Snapshot(id string) (SessionSnapshot, error) {
 // the session is deleted or re-imported.
 func (c *Client) Export(id string) (SessionSnapshot, error) {
 	var snap SessionSnapshot
-	err := c.do(http.MethodGet, "/sessions/"+url.PathEscape(id)+"/export", nil, &snap)
+	err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/export", nil, &snap)
 	return snap, err
 }
 
 // Import installs an exported session record under id.
 func (c *Client) Import(id string, snap SessionSnapshot) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.do(http.MethodPost, "/sessions/"+url.PathEscape(id)+"/import", snap, &info)
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/import", snap, &info)
 	return info, err
 }
 
@@ -193,20 +260,20 @@ func (c *Client) Import(id string, snap SessionSnapshot) (SessionInfo, error) {
 // live and stored.
 func (c *Client) Sessions() (SessionList, error) {
 	var resp SessionList
-	err := c.do(http.MethodGet, "/sessions", nil, &resp)
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &resp)
 	return resp, err
 }
 
 // Delete closes and removes the session.
 func (c *Client) Delete(id string) error {
-	return c.do(http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil)
+	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
 }
 
 // Health reports the server's liveness and load: live and spilled
 // session counts plus worker-budget usage.
 func (c *Client) Health() (Health, error) {
 	var h Health
-	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	err := c.do(http.MethodGet, "/v1/healthz", nil, &h)
 	return h, err
 }
 
@@ -214,7 +281,7 @@ func (c *Client) Health() (Health, error) {
 // raw answer-latency histogram buckets.
 func (c *Client) Metrics(withBuckets bool) (Metrics, error) {
 	var m Metrics
-	p := "/metrics"
+	p := "/v1/metrics"
 	if withBuckets {
 		p += "?buckets=1"
 	}
@@ -273,10 +340,11 @@ func (c *Client) do(method, path string, body, out any) error {
 			continue
 		}
 		// An HTTP-level error: the server answered; replay only an
-		// explicit 503 (backpressure/drain) or 429 (admission-control
-		// shed) + Retry-After on requests safe to repeat.
+		// explicit transient rejection (keyed off the envelope's error
+		// code, with a status fallback for pre-envelope servers) +
+		// Retry-After on requests safe to repeat.
 		var apiErr *APIError
-		if errors.As(err, &apiErr) && retryableStatus(apiErr.Status) &&
+		if errors.As(err, &apiErr) && retryable(apiErr) &&
 			apiErr.RetryAfter > 0 && retrySafe(method, path) {
 			wait = min(apiErr.RetryAfter, policy.MaxDelay)
 			continue
@@ -286,20 +354,31 @@ func (c *Client) do(method, path string, body, out any) error {
 	return lastErr
 }
 
-// retryableStatus reports the statuses whose Retry-After hint the
-// client honors: 503 (full / draining / mid-migration) and 429 (shed
-// by admission control).
-func retryableStatus(status int) bool {
-	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+// retryable reports the rejections whose Retry-After hint the client
+// honors, keyed off the envelope's stable code: shedding (admission
+// control), mailbox_full (ingestion backpressure), session_limit and
+// shutting_down (full / draining / mid-migration). A response with no
+// code (a pre-envelope server, or a proxy that ate the body) falls
+// back to the status: 503 and 429 were always the transient pair.
+func retryable(e *APIError) bool {
+	switch e.Code {
+	case CodeShedding, CodeMailboxFull, CodeSessionLimit, CodeShuttingDown, CodeMigrating, CodeNoBackends:
+		return true
+	case "":
+		return e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests
+	}
+	return false
 }
 
 // retrySafe reports whether a request may be replayed after a
 // Retry-After'd 503 or 429: reads and deletes are idempotent by
-// nature, answers by their sequence number. POST /sessions
+// nature, answers by their sequence number, and ingest posts because a
+// 429/503 rejection never enqueued the delta. POST /sessions
 // (open/restore) and POST .../import create state and could strand a
 // duplicate.
 func retrySafe(method, path string) bool {
-	return method != http.MethodPost || strings.HasSuffix(path, "/answer")
+	return method != http.MethodPost || strings.HasSuffix(path, "/answer") ||
+		strings.HasSuffix(path, "/claims") || strings.HasSuffix(path, "/sources")
 }
 
 func (c *Client) doOnce(method, path string, body []byte, out any) error {
@@ -325,11 +404,24 @@ func (c *Client) doOnce(method, path string, body []byte, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Method: method, Path: path, Status: resp.StatusCode}
+		// The error envelope is {"error": {"code", "message",
+		// "retryAfter"}}; pre-envelope servers sent {"error": "message"}.
+		// Decoding into a RawMessage first handles both shapes.
 		var e struct {
-			Error string `json:"error"`
+			Error json.RawMessage `json:"error"`
 		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			apiErr.Message = e.Error
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && len(e.Error) > 0 {
+			var info ErrorInfo
+			var msg string
+			if json.Unmarshal(e.Error, &info) == nil && (info.Code != "" || info.Message != "") {
+				apiErr.Code = info.Code
+				apiErr.Message = info.Message
+				if info.RetryAfter > 0 {
+					apiErr.RetryAfter = time.Duration(info.RetryAfter) * time.Second
+				}
+			} else if json.Unmarshal(e.Error, &msg) == nil {
+				apiErr.Message = msg
+			}
 		}
 		io.Copy(io.Discard, resp.Body)
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {

@@ -1,0 +1,393 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"factcheck/internal/persist"
+	"factcheck/internal/synth"
+)
+
+// rawDo issues one raw HTTP request — the contract tests bypass the Go
+// client on purpose: the envelope is a wire-format promise, not a
+// client-library one.
+func rawDo(t *testing.T, base, method, path, body string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// decodeEnvelope asserts the response body is exactly the JSON error
+// envelope and returns its payload.
+func decodeEnvelope(t *testing.T, resp *http.Response) ErrorInfo {
+	t.Helper()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		t.Fatalf("response %q is not the error envelope: %v", raw, err)
+	}
+	if body.Error.Code == "" {
+		t.Fatalf("envelope %q carries no error code", raw)
+	}
+	if body.Error.Message == "" {
+		t.Fatalf("envelope %q carries no message", raw)
+	}
+	return body.Error
+}
+
+// assertEnvelope checks one error response end to end: status, stable
+// code, the Retry-After header mirroring the envelope hint, and — on
+// legacy unversioned paths — the deprecation headers.
+func assertEnvelope(t *testing.T, resp *http.Response, status int, code string, retryAfter int, legacy bool) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, status)
+	}
+	info := decodeEnvelope(t, resp)
+	if info.Code != code {
+		t.Fatalf("envelope code = %q, want %q", info.Code, code)
+	}
+	if info.RetryAfter != retryAfter {
+		t.Fatalf("envelope retryAfter = %d, want %d", info.RetryAfter, retryAfter)
+	}
+	header := resp.Header.Get("Retry-After")
+	if retryAfter > 0 {
+		if header != fmt.Sprint(retryAfter) {
+			t.Fatalf("Retry-After header = %q, want %d (must mirror the envelope)", header, retryAfter)
+		}
+	} else if header != "" {
+		t.Fatalf("Retry-After header = %q on a response with no envelope hint", header)
+	}
+	if legacy {
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatal("legacy route missing the Deprecation header")
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, `rel="successor-version"`) || !strings.Contains(link, "/v1/") {
+			t.Fatalf("legacy route Link header = %q, want a /v1 successor-version", link)
+		}
+	} else {
+		if resp.Header.Get("Deprecation") != "" {
+			t.Fatal("/v1 route carries a Deprecation header")
+		}
+	}
+}
+
+// brokenStore fails every Load, modelling a store whose medium died
+// under a running manager.
+type brokenStore struct{ persist.Store }
+
+func (brokenStore) Load(string) (persist.Record, bool, error) {
+	return persist.Record{}, false, errors.New("stored records unreadable")
+}
+
+// TestErrorEnvelopeContract drives every handler error path — on the
+// canonical /v1 surface and, where a legacy alias exists, on the
+// unversioned path too — and asserts each refusal carries the JSON
+// error envelope with its stable code, the mirrored Retry-After hint,
+// and the deprecation headers exactly on the legacy aliases.
+func TestErrorEnvelopeContract(t *testing.T) {
+	client, m := newTestServer(t, Config{Workers: 1, MailboxCap: 1})
+	base := client.BaseURL
+
+	// "live": a session mid-run, one answer in, with a stale sequence
+	// and a wrong claim prepared for the 409 cases.
+	if _, err := m.OpenAs("live", fastOpen("wiki", 0.1, 41)); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := m.Next("live", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleSeq := n1.Seq
+	st, err := m.Answer("live", AnswerRequest{Claim: n1.Candidates[0].Claim, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := m.Next("live", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := n2.Candidates[0].Claim
+	wrong := (expected + 1) % st.Claims
+
+	// "done": driven to completion, so answering it again conflicts.
+	if _, err := m.OpenAs("done", fastOpen("wiki", 0.1, 43)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		next, err := m.Next("done", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Done {
+			break
+		}
+		if _, err := m.Answer("done", AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "moved": exported to another backend; requests answer 410.
+	if _, err := m.OpenAs("moved", fastOpen("wiki", 0.1, 47)); err != nil {
+		t.Fatal(err)
+	}
+	driveOracle(t, m, "moved", 1)
+	if _, err := m.Export("moved"); err != nil {
+		t.Fatal(err)
+	}
+
+	// "busy": its lock held for the whole table, so ingests queue
+	// instead of applying; with MailboxCap 1 the second is refused.
+	if _, err := m.OpenAs("busy", fastOpen("wiki", 0.08, 53)); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := m.get("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := synth.GenerateDelta(wikiShape(busy.corpus.DB), 0.1, 61)
+	prof := wikiShape(busy.corpus.DB)
+	growShape(&prof, d1)
+	d2 := synth.GenerateDelta(prof, 0.1, 67)
+	ingestBody := func(d any) string {
+		b, err := json.Marshal(map[string]any{"delta": d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	busy.mu.Lock()
+	unlockBusy := func() { busy.mu.Unlock() }
+	defer func() {
+		if unlockBusy != nil {
+			unlockBusy()
+		}
+	}()
+	if resp := rawDo(t, base, http.MethodPost, "/v1/sessions/busy/claims", ingestBody(d1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("busy-session ingest answered %d, want 202 (queued)", resp.StatusCode)
+	}
+
+	// Fixture servers for the manager-wide refusals.
+	fullClient, fullM := newTestServer(t, Config{Workers: 1, MaxSessions: 1})
+	if _, err := fullM.Open(fastOpen("wiki", 0.1, 59)); err != nil {
+		t.Fatal(err)
+	}
+
+	shutClient, shutM := newTestServer(t, Config{Workers: 1})
+	shutM.Shutdown()
+
+	persistClient, _ := newTestServer(t, Config{Workers: 1, Store: brokenStore{persist.NewMemStore()}})
+
+	// A controller walked to the shedding rung with virtual timestamps;
+	// real requests land earlier than its last evaluation, inside the
+	// cadence gate, so admission control sees the rung as-is.
+	shedClient, shedM := newTestServer(t, Config{Workers: 1, SLO: SLOConfig{
+		P99: 0.1, WindowSeconds: 10, Slots: 5, MinSamples: 2,
+		DegradeAfter: 2, ShedAfter: 2, RecoverAfter: 2,
+	}})
+	ctrl := shedM.Controller()
+	for i := 0; i < 8; i++ {
+		ctrl.ObserveAnswer(float64(i), 0.01, 0)
+	}
+	ctrl.ObserveAnswer(10, 0.5, 0)
+	ctrl.ObserveAnswer(11, 0.5, 0)
+	ctrl.ModeAt(12, 0)
+	ctrl.ModeAt(14, 1)
+	if got := ctrl.ModeAt(16, 2); got != ModeShedding {
+		t.Fatalf("controller mode = %v, want shedding", got)
+	}
+
+	openBody := `{"profile":"wiki","scale":0.1,"seed":71,"candidatePool":4}`
+	cases := []struct {
+		name   string
+		base   string
+		method string
+		path   string // canonical path, without the /v1 prefix
+		body   string
+		status int
+		code   string
+		retry  int
+		legacy bool // a legacy alias exists and must serve identically
+	}{
+		{"open malformed body", base, "POST", "/sessions", "{not json", 400, CodeBadRequest, 0, true},
+		{"open duplicate id", base, "POST", "/sessions", `{"id":"live","profile":"wiki","scale":0.1,"seed":41}`, 409, CodeExists, 0, true},
+		{"next bad k", base, "GET", "/sessions/live/next?k=0", "", 400, CodeBadRequest, 0, true},
+		{"next unknown session", base, "GET", "/sessions/ghost/next", "", 404, CodeNotFound, 0, true},
+		{"state unknown session", base, "GET", "/sessions/ghost/state", "", 404, CodeNotFound, 0, true},
+		{"snapshot unknown session", base, "GET", "/sessions/ghost/snapshot", "", 404, CodeNotFound, 0, true},
+		{"export unknown session", base, "GET", "/sessions/ghost/export", "", 404, CodeNotFound, 0, true},
+		{"delete unknown session", base, "DELETE", "/sessions/ghost", "", 404, CodeNotFound, 0, true},
+		{"answer unknown session", base, "POST", "/sessions/ghost/answer", `{"claim":0,"oracle":true}`, 404, CodeNotFound, 0, true},
+		{"answer malformed body", base, "POST", "/sessions/live/answer", "{not json", 400, CodeBadRequest, 0, true},
+		{"import malformed body", base, "POST", "/sessions/ghost/import", "{not json", 400, CodeBadRequest, 0, true},
+		{"answer wrong claim", base, "POST", "/sessions/live/answer",
+			fmt.Sprintf(`{"claim":%d,"oracle":true}`, wrong), 409, CodeWrongClaim, 0, true},
+		{"answer stale seq", base, "POST", "/sessions/live/answer",
+			fmt.Sprintf(`{"claim":%d,"oracle":true,"seq":%d}`, expected, staleSeq), 409, CodeStaleSeq, 0, true},
+		{"answer finished session", base, "POST", "/sessions/done/answer", `{"claim":0,"oracle":true}`, 409, CodeDone, 0, true},
+		{"exported session", base, "GET", "/sessions/moved/state", "", 410, CodeMigrated, 0, true},
+		{"ingest unknown session", base, "POST", "/sessions/ghost/claims", ingestBody(d1), 404, CodeNotFound, 0, false},
+		{"ingest malformed body", base, "POST", "/sessions/live/claims", "{not json", 400, CodeBadRequest, 0, false},
+		{"ingest empty delta", base, "POST", "/sessions/live/claims", `{"delta":{}}`, 400, CodeBadRequest, 0, false},
+		{"ingest truth mismatch", base, "POST", "/sessions/live/claims", `{"delta":{"newClaims":2,"truth":[true]}}`, 400, CodeBadRequest, 0, false},
+		{"sources endpoint with claims", base, "POST", "/sessions/live/sources",
+			`{"delta":{"newClaims":1,"truth":[true]}}`, 400, CodeBadRequest, 0, false},
+		{"mailbox full", base, "POST", "/sessions/busy/claims", ingestBody(d2), 429, CodeMailboxFull, 1, false},
+		{"session limit", fullClient.BaseURL, "POST", "/sessions", openBody, 503, CodeSessionLimit, 1, true},
+		{"shutting down", shutClient.BaseURL, "GET", "/sessions", "", 503, CodeShuttingDown, 1, true},
+		{"persist failure", persistClient.BaseURL, "DELETE", "/sessions/ghost", "", 500, CodePersistFailure, 0, true},
+		{"admission shed", shedClient.BaseURL, "POST", "/sessions", openBody, 429, CodeShedding, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := rawDo(t, tc.base, tc.method, "/v1"+tc.path, tc.body)
+			assertEnvelope(t, resp, tc.status, tc.code, tc.retry, false)
+			if tc.legacy {
+				resp := rawDo(t, tc.base, tc.method, tc.path, tc.body)
+				assertEnvelope(t, resp, tc.status, tc.code, tc.retry, true)
+			}
+		})
+	}
+	unlockBusy()
+	unlockBusy = nil
+
+	// The ingest endpoints are /v1-only: the unversioned spellings must
+	// not exist, not even as deprecated aliases.
+	for _, path := range []string{"/sessions/live/claims", "/sessions/live/sources"} {
+		resp := rawDo(t, base, http.MethodPost, path, ingestBody(d2))
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("legacy %s answered %d, want 404 (no alias)", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") != "" {
+			t.Fatalf("legacy %s carries a Deprecation header: the route must not exist at all", path)
+		}
+	}
+}
+
+// TestClientTypedErrors pins the client half of the error contract:
+// every envelope code decodes into an *APIError whose Unwrap maps onto
+// the matching service sentinel, so errors.Is works identically for
+// over-the-wire and in-process callers.
+func TestClientTypedErrors(t *testing.T) {
+	client, m := newTestServer(t, Config{Workers: 1, MailboxCap: 1})
+
+	info, err := client.Open(fastOpen("wiki", 0.1, 73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next2, err := client.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, err error, sentinel error, status int, code string) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("%s: errors.Is failed for %v", name, err)
+		}
+		var api *APIError
+		if !errors.As(err, &api) {
+			t.Fatalf("%s: not an *APIError: %v", name, err)
+		}
+		if api.Status != status || api.Code != code {
+			t.Fatalf("%s: APIError status/code = %d/%q, want %d/%q", name, api.Status, api.Code, status, code)
+		}
+	}
+
+	_, err = client.State("ghost", false)
+	check("unknown session", err, ErrNotFound, 404, CodeNotFound)
+
+	wrong := (next2.Candidates[0].Claim + 1) % st.Claims
+	_, err = client.Answer(info.ID, AnswerRequest{Claim: wrong, Oracle: true})
+	check("wrong claim", err, ErrWrongClaim, 409, CodeWrongClaim)
+
+	staleSeq := next.Seq
+	_, err = client.Answer(info.ID, AnswerRequest{Claim: next2.Candidates[0].Claim, Oracle: true, Seq: &staleSeq})
+	check("stale seq", err, ErrSeq, 409, CodeStaleSeq)
+
+	_, err = client.OpenAs(info.ID, fastOpen("wiki", 0.1, 73))
+	check("duplicate open", err, ErrExists, 409, CodeExists)
+
+	// Mailbox backpressure: hold the session lock so deltas queue, fill
+	// the 1-slot mailbox, and assert the refusal carries the hint.
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := synth.GenerateDelta(wikiShape(s.corpus.DB), 0.1, 79)
+	prof := wikiShape(s.corpus.DB)
+	growShape(&prof, d1)
+	d2 := synth.GenerateDelta(prof, 0.1, 83)
+	s.mu.Lock()
+	if _, err := client.IngestClaims(info.ID, IngestRequest{Delta: d1}); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	_, err = client.IngestClaims(info.ID, IngestRequest{Delta: d2})
+	s.mu.Unlock()
+	check("mailbox full", err, ErrMailboxFull, 429, CodeMailboxFull)
+	var api *APIError
+	if !errors.As(err, &api) || api.RetryAfter <= 0 {
+		t.Fatalf("mailbox refusal carries no Retry-After hint: %v", err)
+	}
+
+	// Migration: export the session, then address it.
+	if _, err := m.Export(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.State(info.ID, false)
+	check("exported session", err, ErrMigrated, 410, CodeMigrated)
+
+	fullClient, fullM := newTestServer(t, Config{Workers: 1, MaxSessions: 1})
+	if _, err := fullM.Open(fastOpen("wiki", 0.1, 89)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fullClient.Open(fastOpen("wiki", 0.1, 97))
+	check("session limit", err, ErrFull, 503, CodeSessionLimit)
+
+	shutClient, shutM := newTestServer(t, Config{Workers: 1})
+	shutM.Shutdown()
+	_, err = shutClient.Sessions()
+	check("shutdown", err, ErrShutdown, 503, CodeShuttingDown)
+
+	persistClient, _ := newTestServer(t, Config{Workers: 1, Store: brokenStore{persist.NewMemStore()}})
+	err = persistClient.Delete("ghost")
+	check("persist failure", err, ErrPersist, 500, CodePersistFailure)
+}

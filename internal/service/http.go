@@ -5,35 +5,95 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
-// API endpoints (all request/response bodies are JSON):
+// API endpoints (all request/response bodies are JSON). The canonical
+// surface is versioned under /v1; every route is also served at its
+// original unversioned path as a deprecated alias (see Deprecation
+// headers below) so pre-/v1 clients keep working:
 //
-//	POST   /sessions                  open a session (OpenRequest), or
-//	                                  restore one ({"restore": SessionSnapshot});
-//	                                  an "id" field pins the session id
-//	                                  (how a shard router keeps placement
-//	                                  consistent with its hash ring)
-//	GET    /sessions                  ids of every session this backend
-//	                                  owns, split into live and stored
-//	GET    /sessions/{id}/next?k=K    top-k guidance ranking (NextResponse)
-//	POST   /sessions/{id}/answer      submit a verdict (AnswerRequest → StateResponse)
-//	GET    /sessions/{id}/state       progress; ?marginals=1 adds marginals
-//	GET    /sessions/{id}/snapshot    durable SessionSnapshot
-//	GET    /sessions/{id}/export      freeze the session for migration and
-//	                                  return its portable record
-//	POST   /sessions/{id}/import      install an exported session under id
-//	DELETE /sessions/{id}             close and remove the session
-//	GET    /healthz                   liveness + load
-//	GET    /metrics                   serving telemetry (Metrics);
-//	                                  ?buckets=1 adds the raw latency buckets
+//	POST   /v1/sessions                  open a session (OpenRequest), or
+//	                                     restore one ({"restore": SessionSnapshot});
+//	                                     an "id" field pins the session id
+//	                                     (how a shard router keeps placement
+//	                                     consistent with its hash ring)
+//	GET    /v1/sessions                  ids of every session this backend
+//	                                     owns, split into live and stored
+//	GET    /v1/sessions/{id}/next?k=K    top-k guidance ranking (NextResponse)
+//	POST   /v1/sessions/{id}/answer      submit a verdict (AnswerRequest → StateResponse)
+//	POST   /v1/sessions/{id}/claims      stream a corpus delta into the live
+//	                                     session (IngestRequest → IngestResponse);
+//	                                     200 = applied, 202 = queued in the
+//	                                     session's mailbox
+//	POST   /v1/sessions/{id}/sources     same, restricted to deltas that
+//	                                     introduce no claims (new sources
+//	                                     and evidence on existing claims)
+//	GET    /v1/sessions/{id}/state       progress; ?marginals=1 adds marginals
+//	GET    /v1/sessions/{id}/snapshot    durable SessionSnapshot
+//	GET    /v1/sessions/{id}/export      freeze the session for migration and
+//	                                     return its portable record
+//	POST   /v1/sessions/{id}/import      install an exported session under id
+//	DELETE /v1/sessions/{id}             close and remove the session
+//	GET    /v1/healthz                   liveness + load
+//	GET    /v1/metrics                   serving telemetry (Metrics);
+//	                                     ?buckets=1 adds the raw latency buckets
 //
-// Errors are {"error": "..."} with 400 (bad request), 404 (unknown
-// session), 409 (answer for the wrong claim or a stale sequence,
-// answering a finished session, or an id collision), 410 (session was
-// exported to another backend), 429 (shed by the overload controller's
-// admission control; carries a Retry-After hint), 503 (session limit
-// reached / shutting down; carries a Retry-After hint).
+// Legacy aliases (the same paths without the /v1 prefix) serve
+// identically but stamp "Deprecation: true" and a successor-version
+// Link header on every response. The ingest endpoints (/claims,
+// /sources) are /v1-only: they postdate the versioned surface.
+//
+// Every non-2xx response carries the JSON error envelope
+//
+//	{"error": {"code": "...", "message": "...", "retryAfter": n}}
+//
+// with a stable machine-readable code (the Code* constants) and, on
+// 429/503, a retryAfter hint in seconds mirrored in the Retry-After
+// header. Statuses: 400 bad_request, 404 session_not_found, 409
+// wrong_claim / stale_seq / session_done / session_exists, 410
+// session_migrated, 429 shedding / mailbox_full, 500 persist_failure,
+// 503 session_limit / shutting_down.
+
+// Stable error codes carried by the error envelope. Clients dispatch
+// on these, never on message text.
+const (
+	CodeBadRequest     = "bad_request"
+	CodeNotFound       = "session_not_found"
+	CodeMigrated       = "session_migrated"
+	CodeWrongClaim     = "wrong_claim"
+	CodeStaleSeq       = "stale_seq"
+	CodeDone           = "session_done"
+	CodeExists         = "session_exists"
+	CodeShedding       = "shedding"
+	CodeMailboxFull    = "mailbox_full"
+	CodeSessionLimit   = "session_limit"
+	CodeShuttingDown   = "shutting_down"
+	CodePersistFailure = "persist_failure"
+
+	// Router-originated codes (the shard router speaks the same
+	// envelope): a session mid-migration, an empty backend ring, and an
+	// unreachable backend.
+	CodeMigrating  = "session_migrating"
+	CodeNoBackends = "no_backends"
+	CodeBadGateway = "bad_gateway"
+)
+
+// ErrorInfo is the payload of the API's JSON error envelope.
+type ErrorInfo struct {
+	// Code is the stable machine-readable error code (Code*).
+	Code string `json:"code"`
+	// Message is the human-readable detail; not a stable surface.
+	Message string `json:"message"`
+	// RetryAfter is the server's backoff hint in seconds (0 = none),
+	// mirrored in the Retry-After header.
+	RetryAfter int `json:"retryAfter,omitempty"`
+}
+
+// errorBody is the envelope: {"error": {...}}.
+type errorBody struct {
+	Error ErrorInfo `json:"error"`
+}
 
 // Server exposes a Manager over HTTP.
 type Server struct {
@@ -46,21 +106,49 @@ func NewServer(m *Manager) *Server { return &Server{m: m} }
 // Manager returns the underlying session manager.
 func (s *Server) Manager() *Manager { return s.m }
 
-// Handler returns the API's routing handler.
+// Handler returns the API's routing handler: the /v1 surface plus the
+// deprecated unversioned aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.counted("open", s.create))
-	mux.HandleFunc("GET /sessions", s.counted("list", s.list))
-	mux.HandleFunc("GET /sessions/{id}/next", s.counted("next", s.next))
-	mux.HandleFunc("POST /sessions/{id}/answer", s.counted("answer", s.answer))
-	mux.HandleFunc("GET /sessions/{id}/state", s.counted("state", s.state))
-	mux.HandleFunc("GET /sessions/{id}/snapshot", s.counted("snapshot", s.snapshot))
-	mux.HandleFunc("GET /sessions/{id}/export", s.counted("export", s.export))
-	mux.HandleFunc("POST /sessions/{id}/import", s.counted("import", s.importSession))
-	mux.HandleFunc("DELETE /sessions/{id}", s.counted("delete", s.delete))
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("GET /metrics", s.metrics)
+	s.route(mux, "POST /sessions", "open", s.create)
+	s.route(mux, "GET /sessions", "list", s.list)
+	s.route(mux, "GET /sessions/{id}/next", "next", s.next)
+	s.route(mux, "POST /sessions/{id}/answer", "answer", s.answer)
+	s.route(mux, "GET /sessions/{id}/state", "state", s.state)
+	s.route(mux, "GET /sessions/{id}/snapshot", "snapshot", s.snapshot)
+	s.route(mux, "GET /sessions/{id}/export", "export", s.export)
+	s.route(mux, "POST /sessions/{id}/import", "import", s.importSession)
+	s.route(mux, "DELETE /sessions/{id}", "delete", s.delete)
+	// The ingest endpoints postdate the versioned surface; no legacy
+	// alias exists for them.
+	mux.HandleFunc("POST /v1/sessions/{id}/claims", s.counted("ingest", s.ingestClaims))
+	mux.HandleFunc("POST /v1/sessions/{id}/sources", s.counted("ingest", s.ingestSources))
+	mux.HandleFunc("GET /v1/healthz", s.health)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", deprecated(s.health))
+	mux.HandleFunc("GET /metrics", deprecated(s.metrics))
 	return mux
+}
+
+// route registers a handler at its canonical /v1 path and at the
+// unversioned legacy alias, which serves identically but stamps the
+// deprecation headers.
+func (s *Server) route(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
+	method, path, _ := strings.Cut(pattern, " ")
+	mux.HandleFunc(method+" /v1"+path, s.counted(endpoint, h))
+	mux.HandleFunc(pattern, s.counted(endpoint, deprecated(h)))
+}
+
+// deprecated wraps a legacy unversioned handler: identical behavior to
+// its /v1 successor, plus a "Deprecation: true" header (RFC 8594
+// style) and a successor-version Link so clients can discover the
+// migration target mechanically.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // statusWriter captures the response status so counted can attribute
@@ -101,7 +189,7 @@ type createPayload struct {
 func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	var body createPayload
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeBadRequest(w, err)
 		return
 	}
 	var (
@@ -139,7 +227,7 @@ func (s *Server) next(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("k"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, errors.New("service: k must be a positive integer"))
+			writeBadRequest(w, errors.New("service: k must be a positive integer"))
 			return
 		}
 		k = n
@@ -155,7 +243,7 @@ func (s *Server) next(w http.ResponseWriter, r *http.Request) {
 func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 	var req AnswerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeBadRequest(w, err)
 		return
 	}
 	resp, err := s.m.Answer(r.PathValue("id"), req)
@@ -164,6 +252,42 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) ingestClaims(w http.ResponseWriter, r *http.Request) {
+	s.ingest(w, r, false)
+}
+
+func (s *Server) ingestSources(w http.ResponseWriter, r *http.Request) {
+	s.ingest(w, r, true)
+}
+
+// ingest serves both streaming endpoints; sourcesOnly is the /sources
+// restriction (no new claims — the endpoint exists so producers that
+// only ever contribute sources and evidence get a surface that rejects
+// claim-bearing payloads instead of quietly accepting them).
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, sourcesOnly bool) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if sourcesOnly && req.Delta.NewClaims != 0 {
+		writeBadRequest(w, errors.New("service: the sources endpoint cannot introduce claims; POST .../claims"))
+		return
+	}
+	resp, err := s.m.Ingest(r.PathValue("id"), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if !resp.Applied {
+		// Queued, not yet in the transcript: 202 tells the producer the
+		// delta was accepted but its effects are not observable yet.
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) state(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +321,7 @@ func (s *Server) export(w http.ResponseWriter, r *http.Request) {
 func (s *Server) importSession(w http.ResponseWriter, r *http.Request) {
 	var snap SessionSnapshot
 	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeBadRequest(w, err)
 		return
 	}
 	info, err := s.m.Import(r.PathValue("id"), snap)
@@ -240,32 +364,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// WriteError writes the API's JSON error envelope. retryAfter (seconds,
+// 0 = none) is mirrored in the Retry-After header so both envelope-
+// aware clients and HTTP-generic ones see the same hint. Exported for
+// the shard router, which speaks the identical envelope.
+func WriteError(w http.ResponseWriter, status int, code, message string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, errorBody{Error: ErrorInfo{Code: code, Message: message, RetryAfter: retryAfter}})
 }
 
-// writeServiceError maps the service's sentinel errors to statuses.
-// The 429s and 503s carry a Retry-After hint: overload and drain are
-// transient, and a client that honors the hint rides out a shard
-// migration or an admission-control shed.
+func writeBadRequest(w http.ResponseWriter, err error) {
+	WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
+}
+
+// writeServiceError maps the service's sentinel errors to statuses and
+// envelope codes. The 429s and 503s carry a Retry-After hint: overload,
+// mailbox backpressure and drain are transient, and a client that
+// honors the hint rides out a shard migration, a burst of arrivals or
+// an admission-control shed.
 func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
-		writeError(w, http.StatusNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 	case errors.Is(err, ErrMigrated):
-		writeError(w, http.StatusGone, err)
-	case errors.Is(err, ErrWrongClaim), errors.Is(err, ErrDone),
-		errors.Is(err, ErrSeq), errors.Is(err, ErrExists):
-		writeError(w, http.StatusConflict, err)
+		WriteError(w, http.StatusGone, CodeMigrated, err.Error(), 0)
+	case errors.Is(err, ErrWrongClaim):
+		WriteError(w, http.StatusConflict, CodeWrongClaim, err.Error(), 0)
+	case errors.Is(err, ErrSeq):
+		WriteError(w, http.StatusConflict, CodeStaleSeq, err.Error(), 0)
+	case errors.Is(err, ErrDone):
+		WriteError(w, http.StatusConflict, CodeDone, err.Error(), 0)
+	case errors.Is(err, ErrExists):
+		WriteError(w, http.StatusConflict, CodeExists, err.Error(), 0)
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrFull), errors.Is(err, ErrShutdown):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		WriteError(w, http.StatusTooManyRequests, CodeShedding, err.Error(), 1)
+	case errors.Is(err, ErrMailboxFull):
+		WriteError(w, http.StatusTooManyRequests, CodeMailboxFull, err.Error(), 1)
+	case errors.Is(err, ErrFull):
+		WriteError(w, http.StatusServiceUnavailable, CodeSessionLimit, err.Error(), 1)
+	case errors.Is(err, ErrShutdown):
+		WriteError(w, http.StatusServiceUnavailable, CodeShuttingDown, err.Error(), 1)
 	case errors.Is(err, ErrPersist):
-		writeError(w, http.StatusInternalServerError, err)
+		WriteError(w, http.StatusInternalServerError, CodePersistFailure, err.Error(), 0)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeBadRequest(w, err)
 	}
 }

@@ -1,0 +1,466 @@
+package service
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"factcheck/internal/core"
+	"factcheck/internal/factdb"
+	"factcheck/internal/stats"
+	"factcheck/internal/synth"
+)
+
+// liveTruth answers from a truth slice read at call time, so verdicts
+// stay defined for claims ingested after construction.
+type liveTruth struct{ truth *[]bool }
+
+func (o *liveTruth) Validate(c int) (bool, bool) { return (*o.truth)[c], true }
+
+// wikiShape returns the wiki profile's statistical knobs at a
+// database's actual totals — the shape synth.GenerateDelta needs to
+// produce a delta whose existing-row references validate.
+func wikiShape(db *factdb.DB) synth.Profile {
+	p := synth.Wikipedia
+	p.Claims = db.NumClaims
+	p.Sources = len(db.Sources)
+	p.Documents = len(db.Documents)
+	return p
+}
+
+func growShape(p *synth.Profile, d factdb.Delta) {
+	p.Claims += d.NewClaims
+	p.Sources += len(d.Sources)
+	p.Documents += len(d.Documents)
+}
+
+// TestServedIngestTraceBitIdenticalToLibrary extends the fidelity
+// acceptance test to the streaming path: a session driven over HTTP
+// with answers interleaved with corpus deltas must stay bit-identical
+// — transcript, ingest records included, z, marginals — to a library
+// core.Session fed the identical interleaving.
+func TestServedIngestTraceBitIdenticalToLibrary(t *testing.T) {
+	req := fastOpen("wiki", 0.1, 17)
+
+	opts, err := buildOptions(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	corpus, err := BuildCorpus(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.OpenSession(corpus.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := append([]bool(nil), corpus.Truth...)
+	oracle := &liveTruth{&truth}
+
+	client, _ := newTestServer(t, Config{Workers: 1})
+	info, err := client.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof := wikiShape(corpus.DB)
+	answerBoth := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			next, err := client.Next(info.ID, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next.Done {
+				t.Fatal("served session finished early")
+			}
+			if _, err := client.Answer(info.ID, AnswerRequest{Claim: next.Candidates[0].Claim, Oracle: true}); err != nil {
+				t.Fatal(err)
+			}
+			ref.Step(oracle)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		answerBoth(2)
+		d := synth.GenerateDelta(prof, 0.08, stats.StreamSeed(606, uint64(r)))
+		resp, err := client.IngestClaims(info.ID, IngestRequest{Delta: d})
+		if err != nil {
+			t.Fatalf("round %d: served ingest: %v", r, err)
+		}
+		growShape(&prof, d)
+		if resp.Claims != prof.Claims || resp.Sources != prof.Sources || resp.Documents != prof.Documents {
+			t.Fatalf("round %d: virtual totals %d/%d/%d, want %d/%d/%d",
+				r, resp.Claims, resp.Sources, resp.Documents, prof.Claims, prof.Sources, prof.Documents)
+		}
+		if _, err := ref.Ingest(d); err != nil {
+			t.Fatalf("round %d: library ingest: %v", r, err)
+		}
+		truth = append(truth, d.Truth...)
+	}
+	answerBoth(2) // forces a drain of any still-queued delta before comparing
+
+	snap, err := client.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Snapshot().Elicitations
+	if len(snap.Elicitations) != len(want) {
+		t.Fatalf("transcript lengths differ: served %d, library %d", len(snap.Elicitations), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(snap.Elicitations[i], want[i]) {
+			t.Fatalf("transcripts diverged at %d:\n served  %+v\n library %+v", i, snap.Elicitations[i], want[i])
+		}
+	}
+	st, err := client.State(info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Z != ref.ZScore() {
+		t.Fatalf("z diverged: served %v, library %v", st.Z, ref.ZScore())
+	}
+	if len(st.Marginals) != ref.DB.NumClaims {
+		t.Fatalf("marginals cover %d claims, library corpus has %d", len(st.Marginals), ref.DB.NumClaims)
+	}
+	for c, p := range st.Marginals {
+		if p != ref.State.P(c) {
+			t.Fatalf("marginal P(%d) diverged: served %v, library %v", c, p, ref.State.P(c))
+		}
+	}
+}
+
+// TestIngestSnapshotImportBitIdentical: a snapshot whose transcript
+// contains ingest records must import into a second session that
+// regrows the corpus by replay and then runs in lockstep with the
+// original.
+func TestIngestSnapshotImportBitIdentical(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOracle(t, m, info.ID, 3)
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.GenerateDelta(wikiShape(s.corpus.DB), 0.1, 9)
+	if _, err := m.Ingest(info.ID, IngestRequest{Delta: d}); err != nil {
+		t.Fatal(err)
+	}
+	driveOracle(t, m, info.ID, 2)
+
+	snap, err := m.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasIngest bool
+	for _, e := range snap.Elicitations {
+		hasIngest = hasIngest || e.Ingest != nil
+	}
+	if !hasIngest {
+		t.Fatal("snapshot carries no ingest record")
+	}
+	if _, err := m.Import("replica", snap); err != nil {
+		t.Fatalf("import with ingest records: %v", err)
+	}
+	assertSameTrace(t, m, "replica", m, info.ID)
+	driveOracle(t, m, info.ID, 2)
+	driveOracle(t, m, "replica", 2)
+	assertSameTrace(t, m, "replica", m, info.ID)
+}
+
+// TestCrashRecoveryWithIngestBitIdentical extends the durability
+// acceptance test to streaming arrivals: a manager is abandoned without
+// shutdown after answers and an applied corpus delta, a fresh manager
+// over the same directory replays checkpoint + WAL (ingest records
+// included), and the resumed run stays bit-identical to an
+// uninterrupted reference run fed the same interleaving.
+func TestCrashRecoveryWithIngestBitIdentical(t *testing.T) {
+	req := fastOpen("wiki", 0.08, 29)
+	corpus, err := BuildCorpus(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.GenerateDelta(wikiShape(corpus.DB), 0.1, 31)
+
+	drive := func(m *Manager, id string) {
+		t.Helper()
+		driveOracle(t, m, id, 3)
+		if _, err := m.Ingest(id, IngestRequest{Delta: d}); err != nil {
+			t.Fatal(err)
+		}
+		// The trailing answers drain the mailbox if the apply was not
+		// inline, so the delta is in the WAL before the crash.
+		driveOracle(t, m, id, 3)
+	}
+
+	ref := NewManager(Config{Workers: 1})
+	defer ref.Shutdown()
+	refInfo, err := ref.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(ref, refInfo.ID)
+
+	dir := t.TempDir()
+	m1 := fileManager(t, dir, 3) // forces a compaction below the ingest record plus a WAL tail
+	info, err := m1.Open(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m1, info.ID)
+	// No Shutdown: m1 is abandoned, as SIGKILL would leave it.
+
+	m2 := fileManager(t, dir, 3)
+	defer m2.Shutdown()
+	if n, err := m2.RecoverAll(); err != nil || n != 1 {
+		t.Fatalf("RecoverAll = %d, %v", n, err)
+	}
+	st, err := m2.State(info.ID, false)
+	if err != nil {
+		t.Fatalf("recovered session unavailable: %v", err)
+	}
+	if st.Claims != corpus.DB.NumClaims+d.NewClaims {
+		t.Fatalf("recovered corpus has %d claims, want %d", st.Claims, corpus.DB.NumClaims+d.NewClaims)
+	}
+	assertSameTrace(t, m2, info.ID, ref, refInfo.ID)
+
+	// The recovered session keeps serving — including ingested claims.
+	driveOracle(t, m2, info.ID, 2)
+	driveOracle(t, ref, refInfo.ID, 2)
+	assertSameTrace(t, m2, info.ID, ref, refInfo.ID)
+}
+
+// TestIngestMailboxBackpressure pins the bounded-mailbox contract: with
+// the session lock held (a busy session), arrivals queue rather than
+// apply; a full mailbox refuses the next delta with ErrMailboxFull; and
+// the queue drains before the next worker-holding request's work.
+func TestIngestMailboxBackpressure(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MailboxCap: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseClaims := s.corpus.DB.NumClaims
+	d1 := synth.GenerateDelta(wikiShape(s.corpus.DB), 0.1, 41)
+	prof := wikiShape(s.corpus.DB)
+	growShape(&prof, d1)
+	d2 := synth.GenerateDelta(prof, 0.1, 43)
+
+	s.mu.Lock() // the session is "busy": opportunistic apply must not run
+	resp, err := m.Ingest(info.ID, IngestRequest{Delta: d1})
+	if err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	if resp.Applied || resp.Queued != 1 {
+		s.mu.Unlock()
+		t.Fatalf("busy-session ingest = %+v, want queued", resp)
+	}
+	_, err = m.Ingest(info.ID, IngestRequest{Delta: d2})
+	s.mu.Unlock()
+	if !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("full mailbox accepted a delta: %v", err)
+	}
+
+	// The next ranking drains the queue: the corpus grows and the
+	// refused delta is welcome again.
+	if _, err := m.Next(info.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.State(info.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Claims != baseClaims+d1.NewClaims {
+		t.Fatalf("drained corpus has %d claims, want %d", st.Claims, baseClaims+d1.NewClaims)
+	}
+	resp, err = m.Ingest(info.ID, IngestRequest{Delta: d2})
+	if err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	if !resp.Applied {
+		t.Fatalf("uncontended retry not applied inline: %+v", resp)
+	}
+}
+
+// TestIngestQueuedValidatesAgainstVirtualShape: a delta referencing a
+// claim that exists only once the delta queued ahead of it applies must
+// validate at enqueue time (virtual totals), and both must drain
+// cleanly — apply-time failure is impossible by induction.
+func TestIngestQueuedValidatesAgainstVirtualShape(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.corpus.DB.NumClaims
+	docFeat := make([]float64, s.docDim)
+	first := factdb.Delta{
+		NewClaims: 1,
+		Truth:     []bool{true},
+		Documents: []factdb.DeltaDocument{{Source: 0, Features: docFeat, Refs: []factdb.DeltaRef{{Claim: -1}}}},
+	}
+	// References the claim `first` introduces, by its future global id.
+	second := factdb.Delta{
+		Documents: []factdb.DeltaDocument{{Source: 0, Features: docFeat, Refs: []factdb.DeltaRef{{Claim: base}}}},
+	}
+
+	s.mu.Lock()
+	if _, err := m.Ingest(info.ID, IngestRequest{Delta: second}); err == nil {
+		s.mu.Unlock()
+		t.Fatal("delta referencing a not-yet-applied claim validated against the bare corpus")
+	}
+	if _, err := m.Ingest(info.ID, IngestRequest{Delta: first}); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	resp, err := m.Ingest(info.ID, IngestRequest{Delta: second})
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatalf("virtual-shape validation rejected a valid chained delta: %v", err)
+	}
+	if resp.Applied || resp.Queued != 2 {
+		t.Fatalf("chained ingest = %+v, want 2 queued", resp)
+	}
+	if _, err := m.Next(info.ID, 1); err != nil {
+		t.Fatalf("drain of chained deltas failed: %v", err)
+	}
+	st, err := m.State(info.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Claims != base+1 {
+		t.Fatalf("corpus has %d claims after chained drain, want %d", st.Claims, base+1)
+	}
+}
+
+// TestIngestRejectsMalformedRequests covers the request-level guards:
+// empty deltas and truth vectors not matching the new-claim count are
+// refused before touching the session.
+func TestIngestRejectsMalformedRequests(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest(info.ID, IngestRequest{}); err == nil {
+		t.Fatal("empty delta accepted")
+	}
+	d := synth.GenerateDelta(wikiShape(mustCorpus(t, fastOpen("wiki", 0.08, 53)).DB), 0.1, 3)
+	d.Truth = d.Truth[:len(d.Truth)-1]
+	if _, err := m.Ingest(info.ID, IngestRequest{Delta: d}); err == nil {
+		t.Fatal("truth/claims mismatch accepted")
+	}
+	if _, err := m.Ingest("nope", IngestRequest{Delta: synth.GenerateDelta(synth.Wikipedia, 0.01, 5)}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown session: %v, want ErrNotFound", err)
+	}
+}
+
+func mustCorpus(t *testing.T, req OpenRequest) *synth.Corpus {
+	t.Helper()
+	c, err := BuildCorpus(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestIngestSeqTolerance: server-side ingestion commits transcript
+// records the client cannot have seen, so an answer declaring the
+// sequence from before an ingest must still apply — while a sequence
+// stale by an actual answer keeps the conflict semantics.
+func TestIngestSeqTolerance(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Ingest(info.ID, IngestRequest{Delta: synth.GenerateDelta(wikiShape(s.corpus.DB), 0.1, 61)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Applied {
+		t.Fatalf("uncontended ingest not applied: %+v", resp)
+	}
+	// The ingest re-ranked, so ask for the current expected claim — but
+	// declare the sequence read before the ingest committed.
+	after, err := m.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := next.Seq // stale by exactly one ingest record
+	if _, err := m.Answer(info.ID, AnswerRequest{Claim: after.Candidates[0].Claim, Oracle: true, Seq: &seq}); err != nil {
+		t.Fatalf("ingest-stale sequence bounced: %v", err)
+	}
+	// Stale by an answer: conflict.
+	next2, err := m.Next(info.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Answer(info.ID, AnswerRequest{Claim: next2.Candidates[0].Claim, Oracle: true, Seq: &seq}); !errors.Is(err, ErrSeq) {
+		t.Fatalf("answer-stale sequence: %v, want ErrSeq", err)
+	}
+}
+
+// TestExportDrainsMailbox: acknowledged arrivals still queued in the
+// mailbox must be folded into the exported snapshot, not dropped with
+// the live copy.
+func TestExportDrainsMailbox(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown()
+	info, err := m.Open(fastOpen("wiki", 0.08, 67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOracle(t, m, info.ID, 1)
+	s, err := m.get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.GenerateDelta(wikiShape(s.corpus.DB), 0.1, 71)
+
+	s.mu.Lock()
+	resp, err := m.Ingest(info.ID, IngestRequest{Delta: d})
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied {
+		t.Fatalf("ingest under a held lock applied inline: %+v", resp)
+	}
+	snap, err := m.Export(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := snap.Elicitations[len(snap.Elicitations)-1]
+	if last.Ingest == nil {
+		t.Fatal("export dropped the queued delta")
+	}
+	if !reflect.DeepEqual(*last.Ingest, d) {
+		t.Fatal("exported ingest record does not match the queued delta")
+	}
+}

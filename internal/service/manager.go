@@ -50,6 +50,7 @@ import (
 
 	"factcheck/internal/core"
 	"factcheck/internal/em"
+	"factcheck/internal/factdb"
 	"factcheck/internal/guidance"
 	"factcheck/internal/persist"
 	"factcheck/internal/stats"
@@ -90,6 +91,11 @@ var (
 	// session (when one exists) is still consistent, but its durable
 	// record may be stale until a later write succeeds.
 	ErrPersist = errors.New("service: session persistence failed")
+	// ErrMailboxFull reports a corpus delta rejected because the
+	// session's ingestion mailbox is at capacity (429 + Retry-After at
+	// the API layer): arrivals are outpacing the answer loop that drains
+	// them, and the producer should back off and retry.
+	ErrMailboxFull = errors.New("service: session ingestion mailbox is full")
 )
 
 // EMBudgets optionally overrides the inference budgets of em.Config;
@@ -314,6 +320,11 @@ type Config struct {
 	// CheckpointEvery compacts a session's write-ahead log into a fresh
 	// checkpoint after this many appended elicitations (0 = 16).
 	CheckpointEvery int
+	// MailboxCap bounds each session's ingestion mailbox: corpus deltas
+	// queued (validated but not yet applied) between answers (0 = 16).
+	// A delta arriving at a full mailbox is refused with ErrMailboxFull
+	// — the streaming path's backpressure.
+	MailboxCap int
 	// SLO enables the overload controller: graceful degradation to the
 	// uncertainty ranking while the windowed answer-latency p99 breaches
 	// SLO.P99, and 429-shedding admission control once saturation
@@ -339,6 +350,25 @@ type Session struct {
 	// walLen counts elicitations appended to the store since the last
 	// checkpoint; reaching Config.CheckpointEvery triggers compaction.
 	walLen int
+	// boxMu guards the ingestion mailbox independently of mu: an arrival
+	// must enqueue (or bounce with ErrMailboxFull) without waiting for
+	// inference running under mu. boxClaims/boxSources/boxDocs are the
+	// session's virtual corpus totals — the database's counts plus every
+	// queued delta — maintained here so enqueue-time validation never
+	// reads the database while another request is growing it under mu;
+	// srcDim/docDim are the corpus feature dimensionalities (immutable).
+	// Queue slots are deltas already validated against exactly the shape
+	// they will apply at, which makes apply-time failure impossible by
+	// induction (see core.ValidateDeltaShape). The mailbox is in-memory
+	// only: a delta acknowledged as queued is applied at the latest by
+	// the next worker-holding request, but is lost if the process dies
+	// or the session is deleted before then — ingestion is at-least-once
+	// from the producer's side, and producers that need the stronger
+	// guarantee check IngestResponse.Applied.
+	boxMu                          sync.Mutex
+	box                            []factdb.Delta
+	boxClaims, boxSources, boxDocs int
+	srcDim, docDim                 int
 	// lastApplied memoises the most recently applied answer request and
 	// its response. A retried POST whose first response was lost on the
 	// wire (connection reset after the server committed) arrives as an
@@ -412,6 +442,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 16
+	}
+	if cfg.MailboxCap <= 0 {
+		cfg.MailboxCap = 16
 	}
 	if cfg.Store == nil {
 		cfg.Store = persist.NewMemStore()
@@ -597,6 +630,10 @@ func (m *Manager) spill(s *Session, stale func(*Session) bool) bool {
 	if s.core.Closed() {
 		return false
 	}
+	// Queued arrivals were acknowledged to their producers; fold them
+	// into the spill checkpoint rather than dropping them with the live
+	// copy (best effort, like the checkpoint itself).
+	_ = m.drainWithBudget(s)
 	// Compact WAL + checkpoint into one fresh checkpoint. Failure is
 	// non-fatal: the store still holds the session as the previous
 	// checkpoint plus its WAL, which Load merges.
@@ -658,6 +695,7 @@ func (m *Manager) Shutdown() {
 	m.wg.Wait()
 	for _, s := range victims {
 		s.mu.Lock()
+		_ = m.drainWithBudget(s)  // acknowledged arrivals ride the final checkpoint
 		_ = m.checkpointLocked(s) // best effort; WAL already covers the transcript
 		_ = s.core.Close()
 		s.mu.Unlock()
@@ -854,6 +892,13 @@ func (m *Manager) Export(id string) (SessionSnapshot, error) {
 		// Evicted or deleted between lookup and lock.
 		return SessionSnapshot{}, ErrNotFound
 	}
+	// Acknowledged arrivals migrate with the session: drain the mailbox
+	// into the transcript before the payload is cut. Unlike spill this
+	// is not best-effort — an exported record silently missing deltas
+	// would diverge from what producers were told.
+	if err := m.drainWithBudget(s); err != nil {
+		return SessionSnapshot{}, err
+	}
 	// Final compacting checkpoint: the local durable record (the
 	// rollback copy) must match the payload that travels.
 	if err := m.checkpointLocked(s); err != nil {
@@ -961,12 +1006,29 @@ func (m *Manager) buildSession(id string, req OpenRequest, snap *core.Snapshot) 
 	if err != nil {
 		return nil, err
 	}
+	if snap != nil {
+		// Replay grew the corpus through recorded ingest records; the
+		// ground truth of ingested claims rides inside the deltas (the
+		// database itself is truth-free), so the truth vector is grown
+		// here to keep oracle answers and precision defined over the
+		// full corpus.
+		for _, e := range snap.Elicitations {
+			if e.Ingest != nil {
+				corpus.Truth = append(corpus.Truth, e.Ingest.Truth...)
+			}
+		}
+	}
 	return &Session{
-		id:       id,
-		core:     cs,
-		corpus:   corpus,
-		cfg:      req,
-		lastUsed: m.nowFn(),
+		id:         id,
+		core:       cs,
+		corpus:     corpus,
+		cfg:        req,
+		boxClaims:  corpus.DB.NumClaims,
+		boxSources: len(corpus.DB.Sources),
+		boxDocs:    len(corpus.DB.Documents),
+		srcDim:     corpus.DB.SourceFeatureDim(),
+		docDim:     corpus.DB.DocFeatureDim(),
+		lastUsed:   m.nowFn(),
 	}, nil
 }
 
@@ -1328,6 +1390,12 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 			// afford.
 			s.core.SetDegraded(m.slo.ModeAt(m.nowSec(), waits) != ModeNormal)
 		}
+		// Drain the ingestion mailbox before the request's own work: a
+		// worker-holding request is the batch boundary arrivals queue
+		// between, so every ranking and answer sees the freshest corpus.
+		if err := m.drainLocked(s); err != nil {
+			return err
+		}
 	}
 	return fn(s)
 }
@@ -1407,6 +1475,24 @@ func (s *Session) budgetExhausted() bool {
 	return b > 0 && s.core.State.NumLabeled() >= b
 }
 
+// ingestOnlySince reports whether every transcript record at or after
+// seq is a corpus-ingestion arrival. Clients echo the sequence they
+// last saw, but server-side ingestion commits transcript records the
+// client cannot know about; a sequence stale only by ingest records
+// still uniquely identifies "the next answer", so the sequence check
+// tolerates it instead of bouncing the answer with ErrSeq.
+func (s *Session) ingestOnlySince(seq int) bool {
+	if seq < 0 || seq > s.core.TranscriptLen() {
+		return false
+	}
+	for _, e := range s.core.TranscriptTail(seq) {
+		if e.Ingest == nil {
+			return false
+		}
+	}
+	return true
+}
+
 // Answer applies one response to the currently expected claim and, when
 // it completes an iteration, runs incremental inference. Every
 // elicitation the step records (the answer itself, a materialised skip,
@@ -1473,6 +1559,157 @@ func (m *Manager) persistTail(s *Session, from int) error {
 	return nil
 }
 
+// IngestRequest streams one corpus delta into a live session (POST
+// /v1/sessions/{id}/claims and .../sources). Because this server
+// doubles as the evaluation harness, a delta introducing claims must
+// carry their ground truth (Delta.Truth, one value per new claim):
+// oracle answers and precision reporting are defined over the full
+// corpus, ingested claims included. A production deployment ingesting
+// real corpora would drop that requirement along with the other
+// truth-derived fields.
+type IngestRequest struct {
+	Delta factdb.Delta `json:"delta"`
+}
+
+// IngestResponse acknowledges an accepted corpus delta.
+type IngestResponse struct {
+	ID string `json:"id"`
+	// Applied reports that the delta (and everything queued ahead of
+	// it) was applied to the live session before this response was
+	// sent. False means it passed validation and is queued in the
+	// session's mailbox — it will be applied before the next ranking or
+	// answer, but is not yet in the transcript and would not survive a
+	// crash.
+	Applied bool `json:"applied"`
+	// Queued is the number of deltas waiting in the mailbox after this
+	// request (0 when Applied).
+	Queued int `json:"queued"`
+	// Claims/Sources/Documents are the session's virtual corpus totals:
+	// the database plus every queued delta.
+	Claims    int `json:"claims"`
+	Sources   int `json:"sources"`
+	Documents int `json:"documents"`
+	// Seq is the transcript sequence after this request's effects;
+	// meaningful only when Applied (a queued delta has no transcript
+	// position yet).
+	Seq int `json:"seq,omitempty"`
+}
+
+// Ingest accepts one corpus delta for a live session: the delta is
+// validated against the session's virtual corpus shape (database plus
+// queued deltas — apply-time failure is impossible by induction) and
+// enqueued in the session's bounded mailbox, then applied immediately
+// when the session lock and a worker lane are free right now. A full
+// mailbox is refused with ErrMailboxFull and counts as a shed toward
+// the SLO controller's telemetry: arrivals outpacing the drain are
+// exactly the overload admission control exists to push back on.
+func (m *Manager) Ingest(id string, req IngestRequest) (IngestResponse, error) {
+	if req.Delta.Empty() {
+		return IngestResponse{}, errors.New("service: empty delta")
+	}
+	if len(req.Delta.Truth) != req.Delta.NewClaims {
+		return IngestResponse{}, fmt.Errorf(
+			"service: delta carries %d truth values for %d new claims (this server grades against ground truth; see IngestRequest)",
+			len(req.Delta.Truth), req.Delta.NewClaims)
+	}
+	s, err := m.get(id)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	resp := IngestResponse{ID: id}
+	s.boxMu.Lock()
+	if len(s.box) >= m.cfg.MailboxCap {
+		s.boxMu.Unlock()
+		if m.slo != nil {
+			m.slo.RecordShed()
+		}
+		return IngestResponse{}, fmt.Errorf("%w: %d deltas queued", ErrMailboxFull, m.cfg.MailboxCap)
+	}
+	if err := req.Delta.Validate(s.boxClaims, s.boxSources, s.srcDim, s.docDim); err != nil {
+		s.boxMu.Unlock()
+		return IngestResponse{}, err
+	}
+	s.box = append(s.box, req.Delta)
+	c, src, docs := req.Delta.Counts()
+	s.boxClaims += c
+	s.boxSources += src
+	s.boxDocs += docs
+	resp.Queued = len(s.box)
+	resp.Claims, resp.Sources, resp.Documents = s.boxClaims, s.boxSources, s.boxDocs
+	s.boxMu.Unlock()
+
+	// Opportunistic apply: when the session lock and a worker lane are
+	// both free right now, the arrival is folded in before the response
+	// leaves (Applied = true, and the delta is durably in the WAL).
+	// Contention skips this — the mailbox drains at the next ranking or
+	// answer — so a busy session never makes producers wait behind
+	// inference.
+	if s.mu.TryLock() {
+		defer s.mu.Unlock()
+		if s.core.Closed() {
+			// The session was evicted or deleted between lookup and
+			// lock; the enqueue above landed in a dead object.
+			return IngestResponse{}, ErrNotFound
+		}
+		if grant, release, ok := m.budget.TryAcquire(m.budget.Total()); ok {
+			s.core.SetWorkers(grant)
+			err := m.drainLocked(s)
+			release()
+			if err != nil {
+				return IngestResponse{}, err
+			}
+			resp.Applied = true
+			resp.Queued = 0
+			resp.Seq = s.core.TranscriptLen()
+		}
+	}
+	return resp, nil
+}
+
+// drainLocked applies every queued delta to the live session, records
+// the arrivals in the transcript, and persists the tail; s.mu must be
+// held with a worker grant installed. Enqueue-time validation against
+// the virtual shape makes apply failure impossible; one anyway would
+// indicate corruption and is surfaced as the internal error it is.
+func (m *Manager) drainLocked(s *Session) error {
+	s.boxMu.Lock()
+	deltas := s.box
+	s.box = nil
+	s.boxMu.Unlock()
+	if len(deltas) == 0 {
+		return nil
+	}
+	from := s.core.TranscriptLen()
+	for _, d := range deltas {
+		if _, err := s.core.Ingest(d); err != nil {
+			return fmt.Errorf("service: queued delta failed to apply: %w", err)
+		}
+		// Ground truth for the new claims travels inside the delta; the
+		// truth vector grows in lockstep with the corpus so oracle
+		// answers and precision stay defined.
+		s.corpus.Truth = append(s.corpus.Truth, d.Truth...)
+	}
+	return m.persistTail(s, from)
+}
+
+// drainWithBudget drains the mailbox under a fresh worker grant; s.mu
+// must be held. It serves the paths that persist a session outside the
+// request flow (spill, export, shutdown), where acknowledged arrivals
+// must be folded into the durable record rather than dropped with the
+// live copy.
+func (m *Manager) drainWithBudget(s *Session) error {
+	s.boxMu.Lock()
+	n := len(s.box)
+	s.boxMu.Unlock()
+	if n == 0 || s.core.Closed() {
+		return nil
+	}
+	grant, release := m.budget.Acquire(m.budget.Total())
+	defer release()
+	s.core.SetWorkers(grant)
+	return m.drainLocked(s)
+}
+
 // appliedAnswer memoises one applied answer for duplicate detection:
 // the request, the transcript sequence it was applied at, and the
 // response the client may never have received.
@@ -1517,6 +1754,15 @@ func (s *Session) transcriptReplay(req AnswerRequest) (StateResponse, bool) {
 		return StateResponse{}, false
 	}
 	tail := s.core.TranscriptTail(*req.Seq)
+	// Ingest arrivals may have committed between the client's read of
+	// the sequence and the answer's apply; they are not elicitations, so
+	// the match steps over them.
+	for len(tail) > 0 && tail[0].Ingest != nil {
+		tail = tail[1:]
+	}
+	if len(tail) == 0 {
+		return StateResponse{}, false
+	}
 	// The Step that applied the original recorded, starting at the
 	// declared sequence: an optional materialised skip of the then-top
 	// claim (a different claim than the answered one), then the answer.
@@ -1536,9 +1782,9 @@ func (s *Session) transcriptReplay(req AnswerRequest) (StateResponse, bool) {
 		return StateResponse{}, false
 	}
 	// Everything after the answer must be auto-skipped repair prompts
-	// from the same Step's confirmation check; a later accepted answer
-	// means the declared sequence is genuinely stale, not a lost
-	// response.
+	// from the same Step's confirmation check or later ingest arrivals
+	// (both OK=false records); a later accepted answer means the
+	// declared sequence is genuinely stale, not a lost response.
 	for _, r := range tail[j+1:] {
 		if r.OK {
 			return StateResponse{}, false
@@ -1562,7 +1808,7 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 	if resp, ok := s.transcriptReplay(req); ok {
 		return resp, nil
 	}
-	if req.Seq != nil && *req.Seq != s.core.TranscriptLen() {
+	if req.Seq != nil && *req.Seq != s.core.TranscriptLen() && !s.ingestOnlySince(*req.Seq) {
 		return StateResponse{}, fmt.Errorf("%w: expected sequence %d, got %d",
 			ErrSeq, s.core.TranscriptLen(), *req.Seq)
 	}
@@ -1582,7 +1828,14 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 		verdict = s.corpus.Truth[req.Claim]
 	}
 
+	// The duplicate-detection memo is keyed by the client's declared
+	// sequence when one was sent: server-side ingestion may have pushed
+	// the transcript past it (tolerated above), and a retry repeats the
+	// declared value, not the position the answer actually committed at.
 	seqAtApply := s.core.TranscriptLen()
+	if req.Seq != nil {
+		seqAtApply = *req.Seq
+	}
 
 	if req.Skip && !s.skipped && len(rank) > 1 {
 		// First skip: the question moves to the second-best candidate

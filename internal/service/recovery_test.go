@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -49,7 +50,8 @@ func assertSameTrace(t *testing.T, got *Manager, gotID string, want *Manager, wa
 		t.Fatalf("transcript lengths diverged: %d vs %d", len(gs.Elicitations), len(ws.Elicitations))
 	}
 	for i := range ws.Elicitations {
-		if gs.Elicitations[i] != ws.Elicitations[i] {
+		// DeepEqual, not ==: ingest records hold the delta by pointer.
+		if !reflect.DeepEqual(gs.Elicitations[i], ws.Elicitations[i]) {
 			t.Fatalf("transcripts diverged at %d: %+v vs %+v", i, gs.Elicitations[i], ws.Elicitations[i])
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"factcheck/internal/service"
 	"factcheck/internal/sim"
 	"factcheck/internal/stats"
+	"factcheck/internal/synth"
 )
 
 // User outcomes.
@@ -43,22 +44,29 @@ type fleetUser struct {
 	skips     int
 	burstLeft int
 	outcome   int
+	// Ingesting users stream corpus deltas into their session. The
+	// delta profile tracks the corpus's virtual shape (base + every
+	// delta already posted) so each next delta's existing-row references
+	// stay valid; ingestBase seeds the per-delta stream, truths of new
+	// claims extend u.truth in posting order (deltas apply FIFO, ids are
+	// assigned densely, and only this user writes to its session).
+	deltaProf   synth.Profile
+	ingestBase  int64
+	ingests     int
+	sinceIngest int
 	// precisions[k] and efforts[k] are the session's precision and
 	// effort after the k-th answer; index 0 is the post-open baseline.
 	precisions []float64
 	efforts    []float64
 }
 
-// userTruth regenerates the ground truth of the corpus the server will
-// build for req — synthetic corpora are a pure function of (profile,
-// scale, seed), and both sides call the same service.BuildCorpus, so
-// the fleet's local truth is guaranteed to match the served corpus.
-func userTruth(req service.OpenRequest) ([]bool, error) {
-	corpus, err := service.BuildCorpus(req)
-	if err != nil {
-		return nil, err
-	}
-	return corpus.Truth, nil
+// userCorpus regenerates the corpus the server will build for req —
+// synthetic corpora are a pure function of (profile, scale, seed), and
+// both sides call the same service.BuildCorpus, so the fleet's local
+// ground truth (and, for ingesting users, the corpus shape their deltas
+// must validate against) is guaranteed to match the served corpus.
+func userCorpus(req service.OpenRequest) (*synth.Corpus, error) {
+	return service.BuildCorpus(req)
 }
 
 // newFleetUser builds user idx of the run from its fleet group. All of
@@ -73,10 +81,11 @@ func newFleetUser(sc *Scenario, idx, groupIdx int) (*fleetUser, error) {
 
 	req := sc.Session
 	req.Seed += int64(idx)
-	truth, err := userTruth(req)
+	corpus, err := userCorpus(req)
 	if err != nil {
 		return nil, err
 	}
+	truth := corpus.Truth
 
 	u := &fleetUser{
 		idx:       idx,
@@ -88,9 +97,30 @@ func newFleetUser(sc *Scenario, idx, groupIdx int) (*fleetUser, error) {
 		session:   req,
 		burstLeft: b.BurstLen,
 	}
+	if b.Kind == KindIngesting {
+		// Deltas are generated from the base profile's statistical knobs
+		// at the served corpus's actual shape (community partitioning and
+		// scale floors can round the sizes away from the nominal profile;
+		// the shape is what existing-row references validate against).
+		prof, err := synth.ByName(req.Profile)
+		if err != nil {
+			return nil, err
+		}
+		prof.Claims = corpus.DB.NumClaims
+		prof.Sources = len(corpus.DB.Sources)
+		prof.Documents = len(corpus.DB.Documents)
+		u.deltaProf = prof
+		u.ingestBase = streamID(6)
+	}
 	switch b.Kind {
 	case KindExpert, KindCrowd:
 		u.worker = sim.NewWorker(b.Reliability, b.ThinkMedianSeconds, b.ThinkSigma, streamID(2))
+	case KindIngesting:
+		// The inner simulator must read the *live* truth slice — it
+		// grows as deltas land, and a sim.Oracle/Erroneous would capture
+		// the pre-ingest header and index out of range on a new claim.
+		u.think = sim.NewWorker(1, b.ThinkMedianSeconds, b.ThinkSigma, streamID(2))
+		u.inner = &liveTruthUser{u: u, p: b.ErrorP, rng: stats.NewRNG(streamID(3))}
 	default:
 		u.think = sim.NewWorker(1, b.ThinkMedianSeconds, b.ThinkSigma, streamID(2))
 		var inner simUser = &sim.Oracle{Truth: truth}
@@ -106,6 +136,24 @@ func newFleetUser(sc *Scenario, idx, groupIdx int) (*fleetUser, error) {
 		u.gap = sim.NewWorker(1, b.BurstGapSeconds, b.ThinkSigma, streamID(5))
 	}
 	return u, nil
+}
+
+// liveTruthUser is the ingesting kind's verdict source: it answers
+// from the owning fleetUser's truth slice at call time (the slice
+// grows with every posted delta), flipping the verdict with
+// probability p exactly like sim.Erroneous.
+type liveTruthUser struct {
+	u   *fleetUser
+	p   float64
+	rng *stats.RNG
+}
+
+func (l *liveTruthUser) Validate(c int) (bool, bool) {
+	v := l.u.truth[c]
+	if l.p > 0 && l.rng.Bernoulli(l.p) {
+		v = !v
+	}
+	return v, true
 }
 
 // drawThink returns the log-normal pause before this user's next
@@ -178,6 +226,11 @@ func (u *fleetUser) round(rec *recorder) (think float64, done bool) {
 		u.outcome = outcomeAbandoned
 		return 0, true
 	}
+	if u.behavior.Kind == KindIngesting && u.sinceIngest >= u.behavior.IngestEvery {
+		if !u.ingest(rec) {
+			return 0, true
+		}
+	}
 	var next service.NextResponse
 	err := rec.timed(opNext, func() error {
 		var err error
@@ -212,6 +265,7 @@ func (u *fleetUser) round(rec *recorder) (think float64, done bool) {
 		u.skips++
 	} else {
 		u.answers++
+		u.sinceIngest++
 		u.precisions = append(u.precisions, st.Precision)
 		u.efforts = append(u.efforts, st.Effort)
 	}
@@ -220,6 +274,33 @@ func (u *fleetUser) round(rec *recorder) (think float64, done bool) {
 		return 0, true
 	}
 	return think, false
+}
+
+// ingest streams one deterministically generated corpus delta into the
+// user's session; ok=false means the operation failed and the user is
+// done. The local ground truth and virtual corpus shape are extended
+// whether the server applied the delta inline or queued it — the
+// mailbox is FIFO and drains before the session's next guidance work,
+// so by the time any new claim can be offered as a candidate its truth
+// is in place.
+func (u *fleetUser) ingest(rec *recorder) bool {
+	seed := stats.StreamSeed(uint64(u.ingestBase), uint64(u.ingests))
+	d := synth.GenerateDelta(u.deltaProf, u.behavior.IngestScale, seed)
+	err := rec.timed(opIngest, func() error {
+		_, err := u.sess.Ingest(service.IngestRequest{Delta: d})
+		return err
+	})
+	if err != nil {
+		u.outcome = outcomeFailed
+		return false
+	}
+	u.truth = append(u.truth, d.Truth...)
+	u.deltaProf.Claims += d.NewClaims
+	u.deltaProf.Sources += len(d.Sources)
+	u.deltaProf.Documents += len(d.Documents)
+	u.ingests++
+	u.sinceIngest = 0
+	return true
 }
 
 // complete closes out a finished user: the session is deleted (freeing

@@ -18,6 +18,7 @@ const (
 	opOpen   = "open"
 	opNext   = "next"
 	opAnswer = "answer"
+	opIngest = "ingest"
 	opDelete = "delete"
 )
 

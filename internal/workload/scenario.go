@@ -55,6 +55,7 @@ const (
 	KindCrowd      = "crowd"
 	KindAbandoning = "abandoning"
 	KindBursty     = "bursty"
+	KindIngesting  = "ingesting"
 )
 
 // Scenario declares one workload: who arrives, when, and what they do.
@@ -145,6 +146,10 @@ type Behavior struct {
 	//                the server's idle-eviction problem now)
 	//   bursty     — answers in bursts of BurstLen, then leaves for a
 	//                log-normal gap around BurstGapSeconds and revisits
+	//   ingesting  — a streaming fact checker: answers like erroneous,
+	//                and after every IngestEvery answers posts a corpus
+	//                delta (IngestScale of the corpus size) into its own
+	//                live session, exercising the /v1 ingestion path
 	Kind string `json:"kind"`
 	// ErrorP is the per-answer mistake probability (erroneous, and the
 	// inner user of skipping/abandoning/bursty; default 0).
@@ -169,6 +174,12 @@ type Behavior struct {
 	// ThinkSigma is the log-normal shape of the think time
 	// (default 0.5; experts 0.35).
 	ThinkSigma float64 `json:"thinkSigma,omitempty"`
+	// IngestEvery is the number of answers between corpus deltas
+	// (ingesting; default 3).
+	IngestEvery int `json:"ingestEvery,omitempty"`
+	// IngestScale sizes each delta as a fraction of the session corpus
+	// (ingesting; default 0.05).
+	IngestScale float64 `json:"ingestScale,omitempty"`
 }
 
 // withDefaults resolves the per-kind default knobs.
@@ -203,6 +214,13 @@ func (b Behavior) withDefaults() Behavior {
 		if b.BurstLen <= 0 {
 			b.BurstLen = 3
 		}
+	case KindIngesting:
+		if b.IngestEvery <= 0 {
+			b.IngestEvery = 3
+		}
+		if b.IngestScale == 0 {
+			b.IngestScale = 0.05
+		}
 	}
 	if b.ThinkMedianSeconds == 0 {
 		b.ThinkMedianSeconds = 15
@@ -220,6 +238,7 @@ func (b Behavior) withDefaults() Behavior {
 var validKinds = map[string]bool{
 	KindOracle: true, KindErroneous: true, KindSkipping: true,
 	KindExpert: true, KindCrowd: true, KindAbandoning: true, KindBursty: true,
+	KindIngesting: true,
 }
 
 // Validate checks the scenario for structural errors; it is called by
@@ -278,6 +297,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if b.ThinkMedianSeconds < 0 || b.ThinkSigma < 0 || b.BurstGapSeconds < 0 || b.BurstLen < 0 {
 			return fmt.Errorf("workload: fleet[%d] has a negative timing knob", i)
+		}
+		if b.IngestEvery < 0 || b.IngestScale < 0 || b.IngestScale > 1 {
+			return fmt.Errorf("workload: fleet[%d] has an ingestion knob outside its range", i)
 		}
 	}
 	if _, err := synth.ByName(sc.Session.Profile); err != nil {

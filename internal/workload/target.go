@@ -26,6 +26,9 @@ type Target interface {
 type TargetSession interface {
 	Next(k int) (service.NextResponse, error)
 	Answer(req service.AnswerRequest) (service.StateResponse, error)
+	// Ingest streams a corpus delta into the live session (the
+	// "ingesting" behavior kind drives it).
+	Ingest(req service.IngestRequest) (service.IngestResponse, error)
 	Delete() error
 }
 
@@ -91,6 +94,9 @@ func (s *managerSession) Next(k int) (service.NextResponse, error) { return s.m.
 func (s *managerSession) Answer(req service.AnswerRequest) (service.StateResponse, error) {
 	return s.m.Answer(s.id, req)
 }
+func (s *managerSession) Ingest(req service.IngestRequest) (service.IngestResponse, error) {
+	return s.m.Ingest(s.id, req)
+}
 func (s *managerSession) Delete() error { return s.m.Delete(s.id) }
 
 // ClientTarget drives a live factcheck-server through service.Client.
@@ -143,5 +149,13 @@ type clientSession struct {
 func (s *clientSession) Next(k int) (service.NextResponse, error) { return s.c.Next(s.id, k) }
 func (s *clientSession) Answer(req service.AnswerRequest) (service.StateResponse, error) {
 	return s.c.Answer(s.id, req)
+}
+func (s *clientSession) Ingest(req service.IngestRequest) (service.IngestResponse, error) {
+	// The HTTP surface splits ingestion by payload: deltas carrying new
+	// claims go to /claims, source/evidence-only deltas to /sources.
+	if req.Delta.NewClaims > 0 {
+		return s.c.IngestClaims(s.id, req)
+	}
+	return s.c.IngestSources(s.id, req)
 }
 func (s *clientSession) Delete() error { return s.c.Delete(s.id) }

@@ -119,6 +119,32 @@ func TestWallModePoissonArrivals(t *testing.T) {
 	}
 }
 
+// TestWallModeIngestingFleet covers the streaming path over real HTTP:
+// ingesting users must drive POST /v1/sessions/{id}/claims through
+// service.Client against a live server without errors.
+func TestWallModeIngestingFleet(t *testing.T) {
+	sc := testScenario()
+	sc.Mode = ModeWall
+	sc.WallTimeScale = 400
+	sc.MaxUsers = 4
+	sc.AnswersPerUser = 4
+	sc.Fleet = []FleetGroup{
+		{Behavior: Behavior{Kind: KindIngesting, IngestEvery: 2, IngestScale: 0.05, ThinkMedianSeconds: 5}},
+	}
+	target := newHTTPTarget(t, 2, 64)
+	res, err := Run(sc, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &res.Report
+	if r.OpCounts[opIngest] == 0 {
+		t.Fatalf("wall ingesting fleet posted no deltas: %+v", r.OpCounts)
+	}
+	if r.Errors != 0 || r.UsersFailed != 0 {
+		t.Fatalf("errors in a clean wall ingesting run: %+v (opErrors %v)", r, r.OpErrors)
+	}
+}
+
 // dropFirst slams the first n connections shut before answering (the
 // shape of a server still coming up), then serves normally.
 func dropFirst(n int64, next http.Handler) http.Handler {

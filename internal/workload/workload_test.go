@@ -163,10 +163,42 @@ func TestShippedScenarios(t *testing.T) {
 	if !names["router-fleet"] {
 		t.Error("the router-fleet preset is missing")
 	}
-	for _, k := range []string{KindOracle, KindErroneous, KindSkipping, KindExpert, KindCrowd, KindAbandoning, KindBursty} {
+	for _, k := range []string{KindOracle, KindErroneous, KindSkipping, KindExpert, KindCrowd, KindAbandoning, KindBursty, KindIngesting} {
 		if !behaviorKinds[k] {
 			t.Errorf("no shipped scenario uses behavior kind %q", k)
 		}
+	}
+}
+
+// TestIngestingFleetVirtual drives the shipped ingesting-crowd preset
+// through the library target: streaming users must actually post
+// deltas, the run must stay clean (every delta validates against the
+// virtual corpus shape, truths stay aligned), and the report must be
+// bit-reproducible like any other virtual scenario.
+func TestIngestingFleetVirtual(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "scenarios", "ingesting-crowd.json")
+	encode := func() ([]byte, *Report) {
+		sc, err := LoadScenario(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLibrary(t, sc)
+		buf, err := res.Report.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf, &res.Report
+	}
+	a, r := encode()
+	if r.OpCounts[opIngest] == 0 {
+		t.Fatalf("ingesting fleet posted no deltas: %+v", r.OpCounts)
+	}
+	if r.Errors != 0 || r.UsersFailed != 0 {
+		t.Fatalf("errors in a clean ingesting run: %+v (opErrors %v)", r, r.OpErrors)
+	}
+	b, _ := encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("ingesting virtual reports differ across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
 	}
 }
 
@@ -420,7 +452,7 @@ func TestBehaviorDefaults(t *testing.T) {
 
 func TestUserTruthMatchesServerCorpus(t *testing.T) {
 	req := service.OpenRequest{Profile: "wiki", Scale: 0.05, Seed: 77, EM: fastEM()}
-	truth, err := userTruth(req)
+	corpus, err := userCorpus(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,13 +462,13 @@ func TestUserTruthMatchesServerCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Claims != len(truth) {
-		t.Fatalf("client-side truth has %d claims, server corpus %d", len(truth), info.Claims)
+	if info.Claims != len(corpus.Truth) {
+		t.Fatalf("client-side truth has %d claims, server corpus %d", len(corpus.Truth), info.Claims)
 	}
-	if _, err := userTruth(service.OpenRequest{Profile: "nope"}); err == nil {
+	if _, err := userCorpus(service.OpenRequest{Profile: "nope"}); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
-	if _, err := userTruth(service.OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
+	if _, err := userCorpus(service.OpenRequest{Profile: "wiki", Scale: -1}); err == nil {
 		t.Fatal("negative scale accepted")
 	}
 }

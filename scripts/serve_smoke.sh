@@ -4,11 +4,15 @@
 #
 # Builds the server, boots it with a durable -data-dir on a free port,
 # opens a session over the HTTP API, drives it with oracle-answered
-# validations, exports a snapshot — then kills the server with SIGKILL
-# mid-session, restarts it on the same -data-dir, asserts the session
-# resumed with an identical transcript, keeps answering, deletes the
-# session, and shuts the server down cleanly via SIGTERM. Needs only
-# curl + standard tools (no jq). Run as `make serve-smoke`.
+# validations, streams a corpus delta into the open session over the
+# /v1 ingest endpoint, exports a snapshot — then kills the server with
+# SIGKILL mid-session, restarts it on the same -data-dir, asserts the
+# session resumed with an identical transcript (ingest record
+# included), keeps answering, and asserts the full served trace matches
+# the in-process library path ingesting the same delta at the same
+# position (scripts/tracecheck). Finally deletes the session and shuts
+# the server down cleanly via SIGTERM. Needs only curl + standard tools
+# (no jq). Run as `make serve-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -104,8 +108,29 @@ claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
 [ -n "$claim" ] || fail "no candidate in: $next"
 answers=0
 trace=""
-answer_loop 6
-[ "$answers" -ge 1 ] || fail "no answers driven"
+answer_loop 3
+[ "$answers" -eq 3 ] || fail "pre-ingest drive fell short ($answers answers)"
+
+# Stream a corpus delta into the live session over the /v1-only ingest
+# endpoint — byte-for-byte the delta the library path folds in after
+# its 3rd answer (tracecheck -emit-delta, same profile and seeds).
+delta=$(go run ./scripts/tracecheck -profile wiki -scale 0.1 -communities 3 \
+  -seed 42 -pool 8 -emit-delta) || fail "tracecheck -emit-delta failed"
+claims_before=$(echo "$st" | grep -o '"claims":[0-9]*' | cut -d: -f2)
+ing=$(curl -sf -X POST "$base/v1/sessions/$id/claims" \
+  -H 'Content-Type: application/json' -d "$delta") || fail "mid-session ingest rejected"
+echo "$ing" | grep -q '"applied":true' || fail "ingest not applied inline: $ing"
+claims_after=$(echo "$ing" | grep -o '"claims":[0-9]*' | head -1 | cut -d: -f2)
+[ "$claims_after" -gt "$claims_before" ] \
+  || fail "corpus did not grow across the ingest ($claims_before -> $claims_after): $ing"
+echo "smoke: ingested corpus delta mid-session ($claims_before -> $claims_after claims)"
+
+# The ingest re-ranks over the grown corpus: refresh the expected claim.
+next=$(curl -sf "$base/sessions/$id/next?k=1") || fail "/next after ingest rejected"
+claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
+[ -n "$claim" ] || fail "no candidate after ingest in: $next"
+answer_loop 3
+[ "$answers" -ge 4 ] || fail "post-ingest drive fell short ($answers answers)"
 
 # The /metrics endpoint must report the served answers and a populated
 # answer-latency histogram (this is what factcheck-loadtest scrapes).
@@ -120,8 +145,10 @@ echo "$metrics" | grep -q '"answerLatencyBuckets":\[{"lo":' \
 echo "smoke: /metrics reports $served served answers with a latency histogram"
 
 snap_before=$(curl -sf "$base/sessions/$id/snapshot") || fail "snapshot before kill rejected"
-n_before=$(echo "$snap_before" | grep -o '"claim":' | wc -l)
-echo "smoke: snapshot holds $n_before elicitations; killing server with SIGKILL"
+n_before=$(echo "$snap_before" | grep -o '"ok":' | wc -l)
+echo "$snap_before" | grep -q '"ingest":{' \
+  || fail "snapshot does not record the corpus arrival: $snap_before"
+echo "smoke: snapshot holds $n_before elicitations (ingest record included); killing server with SIGKILL"
 
 # Crash: SIGKILL, no drain, no checkpoint — recovery must come from the
 # WAL the server wrote before each answer's response.
@@ -149,12 +176,13 @@ claim=$(echo "$next" | grep -o '"claim":[0-9]*' | head -1 | cut -d: -f2)
 answer_loop 4
 [ "$answers" -ge 7 ] || fail "resumed session only reached $answers answers"
 
-# Trace fidelity across the incremental path and the crash: the claims
-# the served session asked (before and after the SIGKILL) must be the
-# exact sequence the in-process library path produces for the same
-# configuration.
+# Trace fidelity across the incremental path, the mid-session ingest
+# and the crash: the claims the served session asked (before the
+# ingest, after it, and after the SIGKILL) must be the exact sequence
+# the in-process library path produces when it ingests the same delta
+# at the same transcript position.
 want_trace=$(go run ./scripts/tracecheck -profile wiki -scale 0.1 -communities 3 \
-  -seed 42 -pool 8 -steps "$answers") || fail "tracecheck failed"
+  -seed 42 -pool 8 -steps "$answers" -ingest-after 3) || fail "tracecheck failed"
 got_trace=$(echo $trace)
 [ "$got_trace" = "$want_trace" ] || fail "served trace diverged from the library path:
 served:  $got_trace
@@ -162,7 +190,7 @@ library: $want_trace"
 echo "smoke: served trace matches the library path ($answers answers)"
 
 snap=$(curl -sf "$base/sessions/$id/snapshot") || fail "final snapshot rejected"
-n=$(echo "$snap" | grep -o '"claim":' | wc -l)
+n=$(echo "$snap" | grep -o '"ok":' | wc -l)
 echo "smoke: final snapshot holds $n elicitations"
 [ "$n" -ge "$answers" ] || fail "snapshot too short: $snap"
 

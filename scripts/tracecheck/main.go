@@ -3,18 +3,34 @@
 // serve_smoke.sh drives the same configuration over HTTP and asserts the
 // two claim sequences are identical — the trace-fidelity guarantee of
 // DESIGN.md §8 extended to the incremental dirty-component re-ranking
-// path (§12), checked end to end through a real server process.
+// path (§12) and to live corpus ingestion (§15), checked end to end
+// through a real server process.
+//
+// With -ingest-after N (and -ingest-frac/-ingest-seed), the library
+// session ingests a deterministic synthetic delta after its N-th
+// answer, exactly where the smoke script streams the same delta over
+// HTTP. -emit-delta prints that delta as an IngestRequest JSON body
+// instead of tracing, so the script POSTs byte-for-byte the delta the
+// library path folds in.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"factcheck/internal/core"
 	"factcheck/internal/service"
-	"factcheck/internal/sim"
+	"factcheck/internal/synth"
 )
+
+// liveOracle answers from a truth slice that grows as deltas land; a
+// sim.Oracle would capture the pre-ingest header and index out of
+// range on an ingested claim.
+type liveOracle struct{ truth *[]bool }
+
+func (o *liveOracle) Validate(c int) (bool, bool) { return (*o.truth)[c], true }
 
 func main() {
 	profile := flag.String("profile", "wiki", "corpus profile name")
@@ -23,6 +39,10 @@ func main() {
 	pool := flag.Int("pool", 0, "candidate pool bound")
 	communities := flag.Int("communities", 0, "multi-community corpus parts")
 	steps := flag.Int("steps", 8, "oracle answers to trace")
+	ingestAfter := flag.Int("ingest-after", -1, "ingest a delta after this many answers (-1 = never)")
+	ingestFrac := flag.Float64("ingest-frac", 0.08, "delta size as a fraction of the corpus")
+	ingestSeed := flag.Int64("ingest-seed", 777, "delta generation seed")
+	emitDelta := flag.Bool("emit-delta", false, "print the delta as an IngestRequest JSON body and exit")
 	flag.Parse()
 
 	req := service.OpenRequest{
@@ -40,21 +60,52 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// The delta is generated from the base profile's statistical knobs
+	// at the served corpus's actual shape (community partitioning and
+	// scale floors can round sizes away from the nominal profile).
+	prof, err := synth.ByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	prof.Claims = corpus.DB.NumClaims
+	prof.Sources = len(corpus.DB.Sources)
+	prof.Documents = len(corpus.DB.Documents)
+	delta := synth.GenerateDelta(prof, *ingestFrac, *ingestSeed)
+	if *emitDelta {
+		if err := json.NewEncoder(os.Stdout).Encode(service.IngestRequest{Delta: delta}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	s, err := core.OpenSession(corpus.DB, opts)
 	if err != nil {
 		fatal(err)
 	}
-	oracle := &sim.Oracle{Truth: corpus.Truth}
+	truth := corpus.Truth
+	oracle := &liveOracle{truth: &truth}
 	for i := 0; i < *steps; i++ {
+		if i == *ingestAfter {
+			if _, err := s.Ingest(delta); err != nil {
+				fatal(err)
+			}
+			truth = append(truth, delta.Truth...)
+		}
 		if s.Step(oracle) {
 			break
 		}
 	}
-	for i, e := range s.Snapshot().Elicitations {
-		if i > 0 {
+	printed := 0
+	for _, e := range s.Snapshot().Elicitations {
+		if e.Ingest != nil {
+			continue // arrival records carry no asked claim
+		}
+		if printed > 0 {
 			fmt.Print(" ")
 		}
 		fmt.Print(e.Claim)
+		printed++
 	}
 	fmt.Println()
 }
