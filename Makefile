@@ -12,7 +12,7 @@ BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInf
 
 .PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
 	router-smoke bench-smoke bench bench-json bench-gate bench-baseline \
-	slo-gate slo-baseline
+	slo-gate slo-baseline profile
 
 ci: fmt-check vet build test race cover bench-gate slo-gate serve-smoke loadtest-smoke router-smoke
 
@@ -89,6 +89,18 @@ bench-gate: bench-json
 # Refresh the committed baseline (run on an idle machine, then commit).
 bench-baseline: bench-json
 	cp BENCH.json bench_baseline.json
+
+# Run the hot-path benchmarks under the CPU and heap profilers and
+# drop pprof profiles into profiles/, alongside the same BENCH.json the
+# gate reads — `go tool pprof profiles/cpu.prof` then shows where the
+# benchmarked substrates spend their time. Works because BENCH_HOT
+# lives in a single package (profiling flags require one).
+profile:
+	mkdir -p profiles
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 0.5s -benchmem -count 3 \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		-o profiles/bench.test . \
+		| $(GO) run ./scripts/benchgate -emit -out profiles/BENCH.json
 
 # Replay the pinned flash-crowd scenario through the deterministic SLO
 # simulation and gate the overload arc against the committed baseline:

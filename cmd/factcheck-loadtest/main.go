@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"os"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/workload"
 )
 
@@ -53,6 +54,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker lanes for the in-process target (0 = GOMAXPROCS)")
 		out          = flag.String("out", "", "write the JSON report here (empty = stdout)")
 		quiet        = flag.Bool("quiet", false, "suppress the human-readable table on stderr")
+		logLevel     = flag.String("log-level", "", "structured-log level on stderr for the HTTP client's retry/backoff events (debug|info|warn|error; empty = silent)")
 	)
 	flag.Parse()
 	if *scenarioPath == "" {
@@ -80,7 +82,15 @@ func main() {
 
 	var target workload.Target
 	if *targetURL != "" {
-		target = workload.NewClientTarget(*targetURL)
+		ct := workload.NewClientTarget(*targetURL)
+		if *logLevel != "" {
+			level, err := obs.ParseLevel(*logLevel)
+			if err != nil {
+				fatal(err)
+			}
+			ct.Client().Logger = obs.NewLogger(os.Stderr, "factcheck-loadtest", level)
+		}
+		target = ct
 	} else {
 		target = workload.NewLibraryTarget(*workers, 0)
 	}

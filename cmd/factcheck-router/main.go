@@ -15,6 +15,15 @@
 //	                   owner, then it leaves the fleet
 //	GET  /healthz      fleet-summed health
 //	GET  /metrics      fleet-aggregated serving telemetry
+//	                   (?format=prometheus for text exposition, with
+//	                   router placement series appended)
+//
+// Every request gets an X-Factcheck-Trace id (minted here unless the
+// client sent a valid one) that is forwarded on the proxy hop, echoed
+// on the response, and attached to the structured request logs
+// -log-level controls; migrations mint their own id and stamp it on
+// every export/import/delete control call. -debug-addr starts an
+// opt-in net/http/pprof listener on a separate port.
 //
 // Sessions move between backends as their portable checkpoint+WAL
 // records (export → import → tombstone), rebuilt by the same replay
@@ -52,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/router"
 )
 
@@ -62,17 +72,34 @@ func main() {
 		vnodes   = flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = 64)")
 		probe    = flag.Duration("probe-interval", 2*time.Second, "health-probe period")
 		failN    = flag.Int("fail-after", 2, "consecutive failed probes before a backend leaves the ring")
+		logLevel = flag.String("log-level", "info", "structured-log level for request logs on stderr (debug|info|warn|error); 4xx/5xx log at warn, proxied requests at debug")
+		debug    = flag.String("debug-addr", "", "listen address for the net/http/pprof diagnostics mux (empty = disabled; port 0 picks a free port)")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	logger := log.New(os.Stdout, "", log.LstdFlags)
 	rt := router.New(router.Config{
 		VNodes:        *vnodes,
 		ProbeInterval: *probe,
 		FailAfter:     *failN,
 		Logf:          logger.Printf,
+		Logger:        obs.NewLogger(os.Stderr, "factcheck-router", level),
 	})
 	defer rt.Close()
+
+	if *debug != "" {
+		bound, err := obs.DebugServer(*debug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("factcheck-router: pprof diagnostics on http://%s/debug/pprof/\n", bound)
+	}
 
 	joined := 0
 	for _, b := range strings.Split(*backends, ",") {

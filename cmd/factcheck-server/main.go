@@ -13,13 +13,23 @@
 //	POST   /sessions/{id}/answer      submit a verdict
 //	GET    /sessions/{id}/state       progress and precision
 //	GET    /sessions/{id}/snapshot    durable session snapshot
+//	GET    /sessions/{id}/trace       recent request spans (trace id +
+//	                                  per-stage timings) for the session
 //	DELETE /sessions/{id}             close the session
 //	GET    /healthz                   liveness and load
 //	GET    /metrics                   serving telemetry: sessions open and
 //	                                  spilled, worker lanes in use, and the
 //	                                  answer-latency histogram (?buckets=1
 //	                                  adds the raw buckets) — what
-//	                                  factcheck-loadtest scrapes
+//	                                  factcheck-loadtest scrapes;
+//	                                  ?format=prometheus serves the same
+//	                                  snapshot as Prometheus text exposition
+//
+// Every request carries an X-Factcheck-Trace id (honored when the
+// client sends one, minted otherwise), echoed on the response, stamped
+// into JSON error envelopes, and attached to the structured request
+// logs -log-level controls. -debug-addr starts an opt-in net/http/pprof
+// listener on a separate port.
 //
 // Usage:
 //
@@ -27,6 +37,7 @@
 //	factcheck-server -addr 127.0.0.1:0     # pick a free port, announce it
 //	factcheck-server -data-dir /var/lib/factcheck  # durable sessions
 //	factcheck-server -slo-p99 0.5                  # overload controller on
+//	factcheck-server -log-level debug -debug-addr 127.0.0.1:6060
 //
 // With -slo-p99 set, an overload controller watches the windowed
 // answer-latency p99 against the SLO: on a sustained breach it degrades
@@ -57,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/persist"
 	"factcheck/internal/service"
 )
@@ -72,8 +84,17 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 16, "compact a session's write-ahead log into a checkpoint every N answers")
 		sloP99      = flag.Float64("slo-p99", 0, "answer-latency p99 SLO in seconds; enables the overload controller (degrade what-if scoring, then shed with 429 + Retry-After) — 0 disables")
 		sloWindow   = flag.Float64("slo-window", 0, "rolling window in seconds the SLO p99 is read over (0 = controller default)")
+		logLevel    = flag.String("log-level", "info", "structured-log level for request logs on stderr (debug|info|warn|error); 4xx/5xx log at warn, served requests at debug")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the net/http/pprof diagnostics mux (empty = disabled; port 0 picks a free port)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, "factcheck-server", level)
 
 	var store persist.Store
 	if *dataDir != "" {
@@ -98,7 +119,18 @@ func main() {
 	} else if *dataDir != "" {
 		fmt.Printf("factcheck-server: recovered %d stored session(s) from %s\n", recovered, *dataDir)
 	}
-	server := &http.Server{Handler: service.NewServer(manager).Handler()}
+	srv := service.NewServer(manager)
+	srv.SetLogger(logger)
+	server := &http.Server{Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		bound, err := obs.DebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("factcheck-server: pprof diagnostics on http://%s/debug/pprof/\n", bound)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer starts the opt-in diagnostics listener: net/http/pprof
+// handlers registered explicitly on a private mux, never the process's
+// serving mux — the profiling endpoints must not be reachable through
+// the public API, and the explicit registrations avoid the package's
+// DefaultServeMux side effects. Returns the bound address (so
+// -debug-addr host:0 works); the listener serves until the process
+// exits.
+func DebugServer(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

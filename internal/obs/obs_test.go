@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: want 16 hex chars", id)
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("minted id %q does not validate", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "deadbeef01234567", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "has space", `q"uote`, "new\nline", "semi;colon", "ütf8"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("empty ctx carries trace %q", got)
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("TraceID = %q, want abc123", got)
+	}
+	if got := TraceID(WithTrace(context.Background(), "")); got != "" {
+		t.Fatalf("empty id stored: %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, s := range []string{"debug", "info", "warn", "error", ""} {
+		if _, err := ParseLevel(s); err != nil {
+			t.Errorf("ParseLevel(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring holds %d spans", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		r.Append(Span{Stage: StageAnswer, Start: int64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(got))
+	}
+	for i, s := range got {
+		if want := int64(i + 2); s.Start != want {
+			t.Fatalf("snapshot[%d].Start = %d, want %d (oldest first)", i, s.Start, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Append(Span{Start: 1})
+	r.Append(Span{Start: 2})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Start != 1 || got[1].Start != 2 {
+		t.Fatalf("partial snapshot = %+v", got)
+	}
+}
+
+func TestStagesAggregation(t *testing.T) {
+	st := NewStages()
+	if st.Summaries() != nil || st.Buckets() != nil {
+		t.Fatal("empty Stages exports non-nil maps")
+	}
+	st.Observe(StageResample, 0.010)
+	st.Observe(StageResample, 0.020)
+	st.Observe(StageWALAppend, 0.001)
+	sums := st.Summaries()
+	if sums[StageResample].Count != 2 || sums[StageWALAppend].Count != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	bks := st.Buckets()
+	var n int64
+	for _, b := range bks[StageResample] {
+		n += b.Count
+	}
+	if n != 2 {
+		t.Fatalf("resample buckets hold %d observations, want 2", n)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+
+	"factcheck/internal/stats"
+)
+
+// Labels is an ordered label set for one exposition sample. Order is
+// preserved as given (Prometheus treats label order as insignificant,
+// but deterministic output keeps scrapes diffable and tests exact).
+type Labels [][2]string
+
+// With returns base extended by one label, without mutating base.
+func (ls Labels) With(name, value string) Labels {
+	out := make(Labels, 0, len(ls)+1)
+	out = append(out, ls...)
+	return append(out, [2]string{name, value})
+}
+
+// Expo accumulates Prometheus text-exposition (version 0.0.4) output:
+// HELP/TYPE comment pairs emitted once per metric name, then samples.
+// Callers emit all samples of one name consecutively — the format
+// requires one uninterrupted block per metric — which the fleet's
+// emitters do by construction (one call per name, or one loop over a
+// sorted label dimension).
+type Expo struct {
+	buf   bytes.Buffer
+	typed map[string]bool
+}
+
+// ContentType is the scrape response content type for the text format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (e *Expo) header(name, help, typ string) {
+	if e.typed == nil {
+		e.typed = make(map[string]bool)
+	}
+	if e.typed[name] {
+		return
+	}
+	e.typed[name] = true
+	e.buf.WriteString("# HELP " + name + " " + help + "\n")
+	e.buf.WriteString("# TYPE " + name + " " + typ + "\n")
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (e *Expo) sample(name string, ls Labels, v float64) {
+	e.buf.WriteString(name)
+	if len(ls) > 0 {
+		e.buf.WriteByte('{')
+		for i, l := range ls {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(l[0] + `="` + escapeLabel(l[1]) + `"`)
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatFloat(v))
+	e.buf.WriteByte('\n')
+}
+
+// Counter emits one counter sample.
+func (e *Expo) Counter(name, help string, ls Labels, v float64) {
+	e.header(name, help, "counter")
+	e.sample(name, ls, v)
+}
+
+// Gauge emits one gauge sample.
+func (e *Expo) Gauge(name, help string, ls Labels, v float64) {
+	e.header(name, help, "gauge")
+	e.sample(name, ls, v)
+}
+
+// Histogram maps one stats.LogHist (its exported non-cumulative
+// buckets plus its summary) onto a native Prometheus histogram: the
+// log-bucket upper bounds become cumulative le bounds, a +Inf bucket
+// closes the series, and sum is reconstructed as mean*count (exact up
+// to float rounding — the histogram never stored the raw sum).
+func (e *Expo) Histogram(name, help string, ls Labels, buckets []stats.HistBucket, s stats.Summary) {
+	e.header(name, help, "histogram")
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		e.sample(name+"_bucket", ls.With("le", formatFloat(b.Hi)), float64(cum))
+	}
+	// The +Inf bucket and _count must agree; cum == s.Count whenever
+	// buckets and summary were exported from the same histogram, and the
+	// max keeps the series monotone even if a caller pairs them loosely.
+	total := s.Count
+	if cum > total {
+		total = cum
+	}
+	e.sample(name+"_bucket", ls.With("le", "+Inf"), float64(total))
+	e.sample(name+"_sum", ls, s.Mean*float64(s.Count))
+	e.sample(name+"_count", ls, float64(total))
+}
+
+// HistogramMap emits one histogram per key of a label dimension (e.g.
+// stage or endpoint), keys sorted so the exposition is deterministic.
+func (e *Expo) HistogramMap(name, help, label string, ls Labels,
+	buckets map[string][]stats.HistBucket, sums map[string]stats.Summary) {
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Histogram(name, help, ls.With(label, k), buckets[k], sums[k])
+	}
+}
+
+// Bytes returns the accumulated exposition.
+func (e *Expo) Bytes() []byte {
+	return e.buf.Bytes()
+}

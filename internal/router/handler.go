@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/service"
 )
 
@@ -44,15 +46,92 @@ func (rt *Router) Handler() http.Handler {
 	route("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rt.AggregateHealth())
 	})
-	route("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, rt.AggregateMetrics(r.URL.Query().Get("buckets") != ""))
-	})
+	route("GET /metrics", rt.metrics)
 	route("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rt.Fleet())
 	})
 	route("POST /fleet/join", rt.fleetJoin)
 	route("POST /fleet/leave", rt.fleetLeave)
-	return mux
+	return rt.traced(mux)
+}
+
+// traced wraps the router mux with the fleet's trace boundary: a valid
+// X-Factcheck-Trace on the inbound request is honored, anything else is
+// replaced with a freshly minted id. The id is stamped back into
+// r.Header — which is exactly what send forwards to the backend, so the
+// proxy hop carries it for free — and onto the response before the
+// handler runs, then every request is structured-logged with it (warn
+// with the envelope code for 4xx/5xx, debug otherwise).
+func (rt *Router) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		r.Header.Set(obs.TraceHeader, trace)
+		w.Header().Set(obs.TraceHeader, trace)
+		sw := &traceWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.String("trace", trace),
+		}
+		if sw.status >= 400 {
+			attrs = append(attrs, slog.String("code", sw.errCode))
+			rt.log.LogAttrs(r.Context(), slog.LevelWarn, "request failed", attrs...)
+			return
+		}
+		rt.log.LogAttrs(r.Context(), slog.LevelDebug, "request served", attrs...)
+	})
+}
+
+// traceWriter records the status and envelope error code a handler
+// writes, for the trace middleware's structured log line. SetErrorCode
+// is the interface service.WriteError feeds the code through.
+type traceWriter struct {
+	http.ResponseWriter
+	status  int
+	errCode string
+}
+
+func (tw *traceWriter) WriteHeader(status int) {
+	tw.status = status
+	tw.ResponseWriter.WriteHeader(status)
+}
+
+func (tw *traceWriter) SetErrorCode(code string) { tw.errCode = code }
+
+// metrics serves the fleet-aggregated scrape: the single-server JSON
+// shape by default, Prometheus text exposition with
+// ?format=prometheus. The Prometheus view is the backend renderer over
+// the merged fleet snapshot (every series labeled backend="fleet")
+// plus the router's own placement series.
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") != "prometheus" {
+		writeJSON(w, http.StatusOK, rt.AggregateMetrics(r.URL.Query().Get("buckets") != ""))
+		return
+	}
+	m := rt.AggregateMetrics(true)
+	fs := rt.Fleet()
+	up := 0
+	for _, b := range fs.Backends {
+		if b.Up {
+			up++
+		}
+	}
+	var e obs.Expo
+	labels := obs.Labels{{"backend", "fleet"}}
+	e.Counter("factcheck_migrations_total", "Completed session migrations since router boot.", labels, float64(rt.Migrations()))
+	e.Gauge("factcheck_ring_members", "Backends currently on the placement ring.", labels, float64(len(fs.RingMembers)))
+	e.Gauge("factcheck_backends_up", "Registered backends answering probes.", labels, float64(up))
+	e.Gauge("factcheck_backends_known", "Registered backends, up or down.", labels, float64(len(fs.Backends)))
+	e.Gauge("factcheck_sessions_migrating", "Sessions currently mid-migration.", labels, float64(fs.Migrating))
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(service.PromText(m))
+	_, _ = w.Write(e.Bytes())
 }
 
 // deprecated stamps the RFC 8594-style deprecation headers on a legacy
@@ -312,15 +391,22 @@ func (rt *Router) send(b *backend, r *http.Request, uri string, body []byte) (*h
 	} else if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// The trace middleware normalized the inbound trace id into
+	// r.Header, so forwarding it threads one id through the proxy hop:
+	// the backend's span ring and logs carry the id the client saw.
+	if trace := r.Header.Get(obs.TraceHeader); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	return rt.hc.Do(req)
 }
 
 // copyResponse relays a backend response: status, the headers that
-// matter to this API (content type and the Retry-After backpressure
-// hint), and the body.
+// matter to this API (content type, the Retry-After backpressure hint,
+// and the trace id — the backend echoes the one the router forwarded),
+// and the body.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", obs.TraceHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -5,12 +5,15 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/service"
 	"factcheck/internal/stats"
 )
@@ -32,8 +35,13 @@ type Config struct {
 	// the slowest session open the profiles produce).
 	HTTPClient *http.Client
 	// Logf receives operational events: backends joining, leaving,
-	// failing, sessions migrating (nil = silent).
+	// failing, sessions migrating (nil = silent). It predates Logger and
+	// stays because operator tooling greps its exact lines.
 	Logf func(format string, args ...any)
+	// Logger receives structured request and migration logs (nil =
+	// silent). Every proxied request is logged with its trace id, and
+	// every 4xx/5xx with its envelope code.
+	Logger *slog.Logger
 }
 
 // backend is one fleet member: its control client plus the placement
@@ -65,6 +73,11 @@ type Router struct {
 	cfg  Config
 	hc   *http.Client
 	logf func(format string, args ...any)
+	log  *slog.Logger
+
+	// migrations counts completed session migrations since boot, for
+	// the router's own Prometheus series.
+	migrations atomic.Int64
 
 	// opMu serializes control-plane operations (Join, Leave,
 	// rebalances): concurrent topology changes would race their
@@ -98,10 +111,15 @@ func New(cfg Config) *Router {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	rt := &Router{
 		cfg:       cfg,
 		hc:        hc,
 		logf:      logf,
+		log:       log,
 		ring:      NewRing(cfg.VNodes),
 		backends:  make(map[string]*backend),
 		migrating: make(map[string]bool),
@@ -162,6 +180,7 @@ func (rt *Router) Join(base string) error {
 	rt.ring.Add(base)
 	rt.mu.Unlock()
 	rt.logf("router: backend %s (%s) joined, %d in ring", base, id, rt.Ring().Len())
+	rt.log.Info("backend joined", "backend", id, "url", base, "ring", rt.Ring().Len())
 
 	rt.rebalance()
 	return nil
@@ -285,6 +304,12 @@ func (rt *Router) migrateAll(from *backend, ids []string) int {
 // import failure the session is imported back onto the source, which
 // clears its exported mark and re-lives it: a failed migration leaves
 // the fleet exactly as it was.
+//
+// Every migration mints a trace id and drives all its control calls
+// (export, import, rollback, tombstone) through clients stamping that
+// id, so one grep across the fleet's logs reconstructs the move hop by
+// hop. Fresh clients per migration because service.Client embeds
+// atomics and must not be copied.
 func (rt *Router) migrate(id string, from *backend) error {
 	rt.mu.Lock()
 	ownerBase, ok := rt.ring.Owner(id)
@@ -296,27 +321,38 @@ func (rt *Router) migrate(id string, from *backend) error {
 	if to.base == from.base {
 		return nil
 	}
-	snap, err := from.client.Export(id)
+	trace := obs.NewTraceID()
+	src := &service.Client{BaseURL: from.base, HTTPClient: rt.hc, Trace: trace, Logger: rt.log}
+	dst := &service.Client{BaseURL: to.base, HTTPClient: rt.hc, Trace: trace, Logger: rt.log}
+	snap, err := src.Export(id)
 	if err != nil {
 		if apiStatus(err) == http.StatusNotFound {
 			return nil // deleted or idle-evicted concurrently; nothing to move
 		}
 		return fmt.Errorf("export: %w", err)
 	}
-	if _, err := to.client.Import(id, snap); err != nil {
-		if _, rb := from.client.Import(id, snap); rb != nil {
+	if _, err := dst.Import(id, snap); err != nil {
+		if _, rb := src.Import(id, snap); rb != nil {
 			rt.logf("router: ROLLBACK FAILED for %s on %s: %v (frozen in source store; re-import manually)", id, from.base, rb)
+			rt.log.Error("migration rollback failed",
+				"session", id, "backend", from.base, "trace", trace, "err", rb)
 		}
 		return fmt.Errorf("import on %s: %w", to.base, err)
 	}
 	if !(from.store != "" && from.store == to.store) {
-		if err := from.client.Delete(id); err != nil && apiStatus(err) != http.StatusNotFound {
+		if err := src.Delete(id); err != nil && apiStatus(err) != http.StatusNotFound {
 			rt.logf("router: tombstone of %s on %s failed: %v (stale rollback copy remains)", id, from.base, err)
 		}
 	}
-	rt.logf("router: migrated session %s: %s -> %s", id, from.base, to.base)
+	rt.migrations.Add(1)
+	rt.logf("router: migrated session %s: %s -> %s (trace %s)", id, from.base, to.base, trace)
+	rt.log.Info("session migrated",
+		"session", id, "from", from.base, "to", to.base, "trace", trace)
 	return nil
 }
+
+// Migrations reports completed session migrations since boot.
+func (rt *Router) Migrations() int64 { return rt.migrations.Load() }
 
 // rebalance reconciles placement with the current ring: any live
 // session sitting on a backend the ring no longer maps it to is
@@ -387,6 +423,7 @@ func (rt *Router) probeAll() {
 				b.down = true
 				rt.ring.Remove(b.base)
 				rt.logf("router: backend %s (%s) marked down after %d failed probe(s)", b.base, b.id, b.fails)
+				rt.log.Warn("backend marked down", "backend", b.id, "url", b.base, "fails", b.fails, "cause", "probe")
 			}
 		} else {
 			b.fails = 0
@@ -413,6 +450,7 @@ func (rt *Router) markDown(b *backend) {
 	b.fails = rt.cfg.FailAfter
 	rt.ring.Remove(b.base)
 	rt.logf("router: backend %s (%s) marked down after a proxy transport error", b.base, b.id)
+	rt.log.Warn("backend marked down", "backend", b.id, "url", b.base, "cause", "proxy transport error")
 }
 
 // shedding reports whether b's last good probe put its overload
@@ -551,6 +589,7 @@ func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
 		Endpoints: make(map[string]service.EndpointCounters),
 	}
 	var lat stats.LogHist
+	stages := make(map[string]*stats.LogHist)
 	for _, b := range rt.upBackends() {
 		m, err := b.client.Metrics(true)
 		if err != nil {
@@ -562,6 +601,10 @@ func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
 		out.WorkersGranted += m.WorkersGranted
 		out.SessionsOpened += m.SessionsOpened
 		out.AnswersServed += m.AnswersServed
+		out.LaneWaits += m.LaneWaits
+		out.MailboxQueued += m.MailboxQueued
+		out.GainCacheHits += m.GainCacheHits
+		out.GainCacheMisses += m.GainCacheMisses
 		if m.Controller != nil {
 			if out.Controller == nil {
 				out.Controller = &service.ControllerStatus{Mode: service.ModeNormal.String()}
@@ -569,6 +612,14 @@ func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
 			out.Controller.Merge(*m.Controller)
 		}
 		lat.AbsorbBuckets(m.AnswerLatencyBuckets, m.AnswerLatency)
+		for stage, bks := range m.StageBuckets {
+			h := stages[stage]
+			if h == nil {
+				h = &stats.LogHist{}
+				stages[stage] = h
+			}
+			h.AbsorbBuckets(bks, m.Stages[stage])
+		}
 		for ep, c := range m.Endpoints {
 			agg := out.Endpoints[ep]
 			agg.Requests += c.Requests
@@ -579,6 +630,18 @@ func (rt *Router) AggregateMetrics(withBuckets bool) service.Metrics {
 	out.AnswerLatency = lat.Summary()
 	if withBuckets {
 		out.AnswerLatencyBuckets = lat.Buckets()
+	}
+	if len(stages) > 0 {
+		out.Stages = make(map[string]stats.Summary, len(stages))
+		for stage, h := range stages {
+			out.Stages[stage] = h.Summary()
+		}
+		if withBuckets {
+			out.StageBuckets = make(map[string][]stats.HistBucket, len(stages))
+			for stage, h := range stages {
+				out.StageBuckets[stage] = h.Buckets()
+			}
+		}
 	}
 	if len(out.Endpoints) == 0 {
 		out.Endpoints = nil

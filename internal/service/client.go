@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"factcheck/internal/obs"
 	"factcheck/internal/stats"
 )
 
@@ -144,6 +146,16 @@ type Client struct {
 	// Off by default; the load-testing harness turns it on so a fleet
 	// run rides out transient connection failures.
 	Retry *RetryPolicy
+	// Trace, when non-empty, is stamped on every request as the
+	// X-Factcheck-Trace header. The router sets it on the per-migration
+	// clients it builds, so one trace id follows a session's export →
+	// import → tombstone hop across backends. Set before first use.
+	Trace string
+	// Logger, when non-nil, receives a structured warn line for every
+	// retried request (attempt, backoff, the error being retried) —
+	// silent by default, so the retry path stops dropping its evidence
+	// on the floor without making quiet tools chatty.
+	Logger *slog.Logger
 
 	retries atomic.Int64
 
@@ -328,6 +340,12 @@ func (c *Client) do(method, path string, body, out any) error {
 			if wait <= 0 {
 				wait = c.backoff(policy, attempt-1)
 			}
+			if c.Logger != nil {
+				c.Logger.Warn("retrying request",
+					"method", method, "path", path,
+					"attempt", attempt, "of", attempts,
+					"backoff", wait.String(), "err", lastErr)
+			}
 			time.Sleep(wait)
 		}
 		err := c.doOnce(method, path, buf, out)
@@ -392,6 +410,9 @@ func (c *Client) doOnce(method, path string, body []byte, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Trace != "" {
+		req.Header.Set(obs.TraceHeader, c.Trace)
 	}
 	hc := c.HTTPClient
 	if hc == nil {

@@ -3,9 +3,12 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"factcheck/internal/obs"
 )
 
 // API endpoints (all request/response bodies are JSON). The canonical
@@ -29,6 +32,9 @@ import (
 //	POST   /v1/sessions/{id}/sources     same, restricted to deltas that
 //	                                     introduce no claims (new sources
 //	                                     and evidence on existing claims)
+//	GET    /v1/sessions/{id}/trace       the session's recent request spans
+//	                                     (TraceResponse: the bounded ring of
+//	                                     lane/drain/resample/rescore/WAL stages)
 //	GET    /v1/sessions/{id}/state       progress; ?marginals=1 adds marginals
 //	GET    /v1/sessions/{id}/snapshot    durable SessionSnapshot
 //	GET    /v1/sessions/{id}/export      freeze the session for migration and
@@ -37,12 +43,15 @@ import (
 //	DELETE /v1/sessions/{id}             close and remove the session
 //	GET    /v1/healthz                   liveness + load
 //	GET    /v1/metrics                   serving telemetry (Metrics);
-//	                                     ?buckets=1 adds the raw latency buckets
+//	                                     ?buckets=1 adds the raw latency buckets;
+//	                                     ?format=prometheus serves the Prometheus
+//	                                     text exposition instead
 //
 // Legacy aliases (the same paths without the /v1 prefix) serve
 // identically but stamp "Deprecation: true" and a successor-version
 // Link header on every response. The ingest endpoints (/claims,
-// /sources) are /v1-only: they postdate the versioned surface.
+// /sources) and the trace endpoint are /v1-only: they postdate the
+// versioned surface.
 //
 // Every non-2xx response carries the JSON error envelope
 //
@@ -88,6 +97,11 @@ type ErrorInfo struct {
 	// RetryAfter is the server's backoff hint in seconds (0 = none),
 	// mirrored in the Retry-After header.
 	RetryAfter int `json:"retryAfter,omitempty"`
+	// TraceID echoes the request's trace id (the X-Factcheck-Trace
+	// header, minted by the router or this server when the client sent
+	// none), so a refused request is joinable with server logs and the
+	// session's span ring.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // errorBody is the envelope: {"error": {...}}.
@@ -97,11 +111,23 @@ type errorBody struct {
 
 // Server exposes a Manager over HTTP.
 type Server struct {
-	m *Manager
+	m   *Manager
+	log *slog.Logger
 }
 
 // NewServer wraps a manager.
-func NewServer(m *Manager) *Server { return &Server{m: m} }
+func NewServer(m *Manager) *Server { return &Server{m: m, log: obs.Discard()} }
+
+// SetLogger installs a structured logger for the API layer: every
+// 4xx/5xx response is logged at warn with its envelope code, trace id,
+// method, path and session id, and every served request at debug. nil
+// restores the silent default.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Discard()
+	}
+	s.log = l
+}
 
 // Manager returns the underlying session manager.
 func (s *Server) Manager() *Manager { return s.m }
@@ -119,10 +145,11 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /sessions/{id}/export", "export", s.export)
 	s.route(mux, "POST /sessions/{id}/import", "import", s.importSession)
 	s.route(mux, "DELETE /sessions/{id}", "delete", s.delete)
-	// The ingest endpoints postdate the versioned surface; no legacy
-	// alias exists for them.
+	// The ingest and trace endpoints postdate the versioned surface; no
+	// legacy alias exists for them.
 	mux.HandleFunc("POST /v1/sessions/{id}/claims", s.counted("ingest", s.ingestClaims))
 	mux.HandleFunc("POST /v1/sessions/{id}/sources", s.counted("ingest", s.ingestSources))
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.counted("trace", s.trace))
 	mux.HandleFunc("GET /v1/healthz", s.health)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", deprecated(s.health))
@@ -152,10 +179,12 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // statusWriter captures the response status so counted can attribute
-// errors per endpoint.
+// errors per endpoint, and the envelope code WriteError stamped so the
+// error log line carries it.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	errCode string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -163,15 +192,48 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// SetErrorCode records the envelope's machine-readable error code;
+// WriteError calls it through an interface assertion so the same
+// envelope writer serves wrapped and bare ResponseWriters (the router
+// has its own wrapper satisfying the same method).
+func (w *statusWriter) SetErrorCode(code string) { w.errCode = code }
+
 // counted wraps a handler with the per-endpoint request/error counters
 // surfaced in /metrics — what a shard router's fleet view attributes
-// load with. /healthz and /metrics themselves are uncounted: probe
-// traffic would drown the serving signal.
+// load with — plus the request-trace plumbing: a valid inbound
+// X-Factcheck-Trace id (minted upstream by the router) is adopted,
+// anything else replaced with a fresh id; the id is echoed on the
+// response, carried in the request context for span recording, and
+// stamped on the structured log line every 4xx/5xx (warn) and served
+// request (debug) emits. /healthz and /metrics themselves are
+// uncounted: probe traffic would drown the serving signal.
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, trace)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		s.m.RecordEndpoint(endpoint, sw.status >= 400)
+		level := slog.LevelDebug
+		msg := "request served"
+		if sw.status >= 400 {
+			level = slog.LevelWarn
+			msg = "request refused"
+		}
+		s.log.LogAttrs(r.Context(), level, msg,
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.status),
+			slog.String("code", sw.errCode),
+			slog.String("trace", trace),
+			slog.String("session", r.PathValue("id")),
+			slog.String("backend", s.m.cfg.BackendID),
+		)
 	}
 }
 
@@ -232,7 +294,7 @@ func (s *Server) next(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	resp, err := s.m.Next(r.PathValue("id"), k)
+	resp, err := s.m.NextCtx(r.Context(), r.PathValue("id"), k)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -246,7 +308,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	resp, err := s.m.Answer(r.PathValue("id"), req)
+	resp, err := s.m.AnswerCtx(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -276,7 +338,7 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, sourcesOnly bool
 		writeBadRequest(w, errors.New("service: the sources endpoint cannot introduce claims; POST .../claims"))
 		return
 	}
-	resp, err := s.m.Ingest(r.PathValue("id"), req)
+	resp, err := s.m.IngestCtx(r.Context(), r.PathValue("id"), req)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -288,6 +350,19 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, sourcesOnly bool
 		status = http.StatusAccepted
 	}
 	writeJSON(w, status, resp)
+}
+
+// trace serves the session's span ring (GET /v1/sessions/{id}/trace):
+// the last spanRingCap spans, oldest first, each carrying the trace id
+// of the request that produced it. Live sessions only — a diagnostic
+// read neither revives a spilled session nor waits behind inference.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.m.Trace(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) state(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +427,13 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	// ?format=prometheus serves the text exposition a standard scraper
+	// understands; the default stays the JSON blob the loadtest and the
+	// fleet aggregation scrape.
+	if r.URL.Query().Get("format") == "prometheus" {
+		WritePrometheus(w, s.m.Metrics(true))
+		return
+	}
 	// ParseBool keeps the documented ?buckets=1 contract honest:
 	// buckets=0/false (or garbage) stays digest-only.
 	withBuckets, _ := strconv.ParseBool(r.URL.Query().Get("buckets"))
@@ -372,7 +454,20 @@ func WriteError(w http.ResponseWriter, status int, code, message string, retryAf
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
-	writeJSON(w, status, errorBody{Error: ErrorInfo{Code: code, Message: message, RetryAfter: retryAfter}})
+	// The trace id was stamped on the response header by the request
+	// middleware (server or router); echoing it in the envelope makes a
+	// client-side failure joinable with server logs without header
+	// spelunking. SetErrorCode hands the code to the wrapping status
+	// writer so the error log line carries it.
+	if sw, ok := w.(interface{ SetErrorCode(string) }); ok {
+		sw.SetErrorCode(code)
+	}
+	writeJSON(w, status, errorBody{Error: ErrorInfo{
+		Code:       code,
+		Message:    message,
+		RetryAfter: retryAfter,
+		TraceID:    w.Header().Get(obs.TraceHeader),
+	}})
 }
 
 func writeBadRequest(w http.ResponseWriter, err error) {

@@ -38,6 +38,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -52,6 +53,7 @@ import (
 	"factcheck/internal/em"
 	"factcheck/internal/factdb"
 	"factcheck/internal/guidance"
+	"factcheck/internal/obs"
 	"factcheck/internal/persist"
 	"factcheck/internal/stats"
 	"factcheck/internal/synth"
@@ -287,6 +289,25 @@ type Metrics struct {
 	// degraded-answer counters); nil when the controller is disabled. A
 	// fleet scrape merges members' statuses via ControllerStatus.Merge.
 	Controller *ControllerStatus `json:"controller,omitempty"`
+	// LaneWaits is the worker budget's cumulative contention counter:
+	// how many requests arrived to find every lane taken (the SLO
+	// controller's saturation signal).
+	LaneWaits int64 `json:"laneWaits"`
+	// MailboxQueued is the number of corpus deltas currently queued
+	// across live sessions' ingestion mailboxes.
+	MailboxQueued int `json:"mailboxQueued"`
+	// GainCacheHits/GainCacheMisses accumulate the sessions' guidance
+	// gain-cache telemetry (sampled after each worker-holding request;
+	// deleted sessions' counts are retained).
+	GainCacheHits   int64 `json:"gainCacheHits"`
+	GainCacheMisses int64 `json:"gainCacheMisses"`
+	// Stages digests the answer path's per-stage span latencies
+	// (lane_acquire, ingest_apply, resample, rescore, wal_append, and
+	// the whole-path answer); StageBuckets carries the raw buckets when
+	// the scrape asked for them — what the Prometheus exposition and
+	// the fleet aggregation merge from.
+	Stages       map[string]stats.Summary      `json:"stages,omitempty"`
+	StageBuckets map[string][]stats.HistBucket `json:"stageBuckets,omitempty"`
 }
 
 // EndpointCounters is one endpoint's cumulative request telemetry in
@@ -380,8 +401,25 @@ type Session struct {
 	// before any response leaves).
 	lastApplied *appliedAnswer
 
+	// spans is the bounded per-session span ring behind
+	// GET /v1/sessions/{id}/trace. It has its own lock and recording
+	// into it never blocks on (or draws from) the inference path, so
+	// tracing is trace-neutral by construction. The ring does not
+	// survive a spill or migration — spans are diagnostics of this
+	// process's serving, not session state.
+	spans *obs.Ring
+	// gcHits/gcMisses memoise the last sampled gain-cache counters, so
+	// the manager can fold per-answer deltas into its cumulative
+	// telemetry without /metrics ever taking s.mu (guarded by s.mu).
+	gcHits, gcMisses int64
+
 	lastUsed time.Time // guarded by the manager's mu
 }
+
+// spanRingCap bounds each session's span ring: 64 spans ≈ the last
+// ~10 answers with their stage decomposition — enough to explain "why
+// was that slow" after the fact at a few KB per session.
+const spanRingCap = 64
 
 // Manager hosts concurrent sessions over one shared worker budget.
 type Manager struct {
@@ -402,7 +440,16 @@ type Manager struct {
 		answersServed  int64
 		answerLatency  *stats.LogHist
 		endpoints      map[string]EndpointCounters
+		// gainHits/gainMisses accumulate the per-session gain-cache
+		// deltas sampled after each worker-holding request (see
+		// sampleGainCache); they survive session deletion.
+		gainHits, gainMisses int64
 	}
+
+	// stages aggregates the answer path's span durations per stage; it
+	// carries its own lock (inside obs.Stages), so recording never
+	// contends with the telemetry mutex or mu.
+	stages *obs.Stages
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -460,6 +507,7 @@ func NewManager(cfg Config) *Manager {
 		exported:   make(map[string]bool),
 		opening:    make(map[string]bool),
 		stop:       make(chan struct{}),
+		stages:     obs.NewStages(),
 	}
 	m.slo = NewSLOController(cfg.SLO)
 	m.epoch = m.nowFn()
@@ -518,10 +566,16 @@ func (m *Manager) Metrics(withBuckets bool) Metrics {
 		Spilled:        m.Spilled(),
 		WorkersTotal:   m.budget.Total(),
 		WorkersGranted: m.budget.InUse(),
+		LaneWaits:      m.budget.Waits(),
+		MailboxQueued:  m.mailboxQueued(),
 	}
 	if m.slo != nil {
 		st := m.slo.Status(m.nowSec(), m.waitsNow())
 		out.Controller = &st
+	}
+	out.Stages = m.stages.Summaries()
+	if withBuckets {
+		out.StageBuckets = m.stages.Buckets()
 	}
 	t := &m.telemetry
 	t.Lock()
@@ -529,6 +583,8 @@ func (m *Manager) Metrics(withBuckets bool) Metrics {
 	out.SessionsOpened = t.sessionsOpened
 	out.AnswersServed = t.answersServed
 	out.AnswerLatency = t.answerLatency.Summary()
+	out.GainCacheHits = t.gainHits
+	out.GainCacheMisses = t.gainMisses
 	if withBuckets {
 		out.AnswerLatencyBuckets = t.answerLatency.Buckets()
 	}
@@ -562,6 +618,85 @@ func (m *Manager) recordAnswer(seconds float64) {
 	t.answersServed++
 	t.answerLatency.Add(seconds)
 	t.Unlock()
+}
+
+// mailboxQueued sums the deltas currently queued across live sessions'
+// mailboxes. It takes only boxMu per session (never s.mu), so the
+// scrape cannot stall behind inference.
+func (m *Manager) mailboxQueued() int {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range sessions {
+		s.boxMu.Lock()
+		n += len(s.box)
+		s.boxMu.Unlock()
+	}
+	return n
+}
+
+// observeSpan records one finished stage: into the manager's per-stage
+// histograms, and into the session's span ring when a session is in
+// hand. Wall-clocked with time.Now directly — never through nowFn,
+// whose test fakes advance per call and would perturb timings the
+// tests assert on.
+func (m *Manager) observeSpan(s *Session, trace, stage string, start time.Time) {
+	d := time.Since(start).Seconds()
+	m.stages.Observe(stage, d)
+	if s != nil && s.spans != nil {
+		s.spans.Append(obs.Span{Trace: trace, Stage: stage, Start: start.UnixNano(), Seconds: d})
+	}
+}
+
+// sampleGainCache folds the session's gain-cache counter growth since
+// the last sample into the manager's cumulative telemetry; s.mu must
+// be held (the cache's counters are written by scoring under the same
+// lock).
+func (m *Manager) sampleGainCache(s *Session) {
+	gc := s.core.GainCache()
+	if gc == nil {
+		return
+	}
+	h, mi := gc.Hits(), gc.Misses()
+	dh, dm := h-s.gcHits, mi-s.gcMisses
+	s.gcHits, s.gcMisses = h, mi
+	if dh == 0 && dm == 0 {
+		return
+	}
+	t := &m.telemetry
+	t.Lock()
+	t.gainHits += dh
+	t.gainMisses += dm
+	t.Unlock()
+}
+
+// TraceResponse is the GET /v1/sessions/{id}/trace payload: the
+// session's buffered spans, oldest first.
+type TraceResponse struct {
+	ID    string     `json:"id"`
+	Spans []obs.Span `json:"spans"`
+}
+
+// Trace returns the session's span ring. Live sessions only: a trace
+// read is a diagnostic and must not revive a spilled session (the ring
+// is per-process and would be empty anyway), bump its idle clock, or
+// wait behind inference.
+func (m *Manager) Trace(id string) (TraceResponse, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return TraceResponse{}, ErrNotFound
+	}
+	spans := s.spans.Snapshot()
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	return TraceResponse{ID: id, Spans: spans}, nil
 }
 
 // Len returns the number of open sessions.
@@ -1028,6 +1163,7 @@ func (m *Manager) buildSession(id string, req OpenRequest, snap *core.Snapshot) 
 		boxDocs:    len(corpus.DB.Documents),
 		srcDim:     corpus.DB.SourceFeatureDim(),
 		docDim:     corpus.DB.DocFeatureDim(),
+		spans:      obs.NewRing(spanRingCap),
 		lastUsed:   m.nowFn(),
 	}, nil
 }
@@ -1352,7 +1488,8 @@ func (m *Manager) Delete(id string) error {
 // degrade transition drains at the cheap cost). The mode flip is
 // trace-safe: core captures the mode at ranking time, so a cached
 // ranking from a previous request keeps the mode it was computed under.
-func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) error) error {
+func (m *Manager) withSession(ctx context.Context, id string, needWorkers bool, fn func(*Session) error) error {
+	trace := obs.TraceID(ctx)
 	s, err := m.get(id)
 	if err != nil {
 		return err
@@ -1369,6 +1506,7 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 		// meet a saturated budget", not "is the budget busy while I
 		// hold it".
 		waits := m.waitsNow()
+		laneStart := time.Now()
 		if m.slo != nil && m.slo.ModeAt(m.nowSec(), waits) == ModeShedding {
 			grant, release, ok := m.budget.TryAcquire(m.budget.Total())
 			if !ok {
@@ -1382,6 +1520,7 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 			defer release()
 			s.core.SetWorkers(grant)
 		}
+		m.observeSpan(s, trace, obs.StageLaneAcquire, laneStart)
 		if m.slo != nil {
 			// The ranking mode is stamped at execution time, after any
 			// queue wait: when the controller degrades mid-backlog, the
@@ -1393,9 +1532,19 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 		// Drain the ingestion mailbox before the request's own work: a
 		// worker-holding request is the batch boundary arrivals queue
 		// between, so every ranking and answer sees the freshest corpus.
+		// The span is recorded only when there was something to drain —
+		// an empty mailbox is not an ingest_apply stage.
+		s.boxMu.Lock()
+		queued := len(s.box)
+		s.boxMu.Unlock()
+		drainStart := time.Now()
 		if err := m.drainLocked(s); err != nil {
 			return err
 		}
+		if queued > 0 {
+			m.observeSpan(s, trace, obs.StageIngestApply, drainStart)
+		}
+		defer m.sampleGainCache(s)
 	}
 	return fn(s)
 }
@@ -1404,8 +1553,16 @@ func (m *Manager) withSession(id string, needWorkers bool, fn func(*Session) err
 // ranking is cached inside the core session, so polling is idempotent
 // and trace-neutral.
 func (m *Manager) Next(id string, k int) (NextResponse, error) {
+	return m.NextCtx(context.Background(), id, k)
+}
+
+// NextCtx is Next with a request context carrying the trace id (see
+// obs.WithTrace); the HTTP layer threads it through so the lane and
+// drain spans it records land in the session's trace ring under the
+// request's id.
+func (m *Manager) NextCtx(ctx context.Context, id string, k int) (NextResponse, error) {
 	var resp NextResponse
-	err := m.withSession(id, true, func(s *Session) error {
+	err := m.withSession(ctx, id, true, func(s *Session) error {
 		resp = s.next(k)
 		return nil
 	})
@@ -1501,13 +1658,26 @@ func (s *Session) ingestOnlySince(seq int) bool {
 // most an answer whose response the client never saw, and resubmitting
 // it after recovery is consistent.
 func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
+	return m.AnswerCtx(context.Background(), id, req)
+}
+
+// AnswerCtx is Answer with a request context carrying the trace id.
+// The whole path is decomposed into spans (lane acquire → mailbox
+// drain → Gibbs resample → dirty-component rescore → WAL append, plus
+// the whole-path answer span) recorded in the session's trace ring and
+// the per-stage histograms behind /metrics.
+func (m *Manager) AnswerCtx(ctx context.Context, id string, req AnswerRequest) (StateResponse, error) {
+	trace := obs.TraceID(ctx)
 	start := m.nowFn()
+	wallStart := time.Now()
 	var resp StateResponse
 	var degraded bool
-	err := m.withSession(id, true, func(s *Session) error {
+	err := m.withSession(ctx, id, true, func(s *Session) error {
 		from := s.core.TranscriptLen()
 		var err error
-		resp, err = s.answer(req)
+		resp, err = s.answer(req, func(stage string, t0 time.Time) {
+			m.observeSpan(s, trace, stage, t0)
+		})
 		if err != nil {
 			return err
 		}
@@ -1516,7 +1686,13 @@ func (m *Manager) Answer(id string, req AnswerRequest) (StateResponse, error) {
 				degraded = true
 			}
 		}
-		return m.persistTail(s, from)
+		walStart := time.Now()
+		if err := m.persistTail(s, from); err != nil {
+			return err
+		}
+		m.observeSpan(s, trace, obs.StageWALAppend, walStart)
+		m.observeSpan(s, trace, obs.StageAnswer, wallStart)
+		return nil
 	})
 	if err == nil {
 		lat := m.nowFn().Sub(start).Seconds()
@@ -1604,6 +1780,13 @@ type IngestResponse struct {
 // the SLO controller's telemetry: arrivals outpacing the drain are
 // exactly the overload admission control exists to push back on.
 func (m *Manager) Ingest(id string, req IngestRequest) (IngestResponse, error) {
+	return m.IngestCtx(context.Background(), id, req)
+}
+
+// IngestCtx is Ingest with a request context carrying the trace id;
+// an opportunistic inline apply records its ingest_apply span under
+// the producing request's trace.
+func (m *Manager) IngestCtx(ctx context.Context, id string, req IngestRequest) (IngestResponse, error) {
 	if req.Delta.Empty() {
 		return IngestResponse{}, errors.New("service: empty delta")
 	}
@@ -1653,11 +1836,13 @@ func (m *Manager) Ingest(id string, req IngestRequest) (IngestResponse, error) {
 		}
 		if grant, release, ok := m.budget.TryAcquire(m.budget.Total()); ok {
 			s.core.SetWorkers(grant)
+			drainStart := time.Now()
 			err := m.drainLocked(s)
 			release()
 			if err != nil {
 				return IngestResponse{}, err
 			}
+			m.observeSpan(s, obs.TraceID(ctx), obs.StageIngestApply, drainStart)
 			resp.Applied = true
 			resp.Queued = 0
 			resp.Seq = s.core.TranscriptLen()
@@ -1796,7 +1981,11 @@ func (s *Session) transcriptReplay(req AnswerRequest) (StateResponse, bool) {
 	return s.state(false), true
 }
 
-func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
+// answer applies one validation. span receives each finished
+// inference stage (the Gibbs resample Step and the what-if rescore
+// that warms the next ranking) — observation only, after the work is
+// done, so instrumentation cannot perturb the selection trace.
+func (s *Session) answer(req AnswerRequest, span func(stage string, start time.Time)) (StateResponse, error) {
 	// Idempotency: a replay of the most recently applied request (a
 	// client retry after its response was lost in transit) returns the
 	// stored response instead of double-submitting or conflicting.
@@ -1861,15 +2050,19 @@ func (s *Session) answer(req AnswerRequest) (StateResponse, error) {
 	}
 	script.q = append(script.q, core.Elicitation{Claim: req.Claim, Verdict: verdict, OK: !req.Skip})
 	s.skipped = false
+	stepStart := time.Now()
 	s.core.Step(&script)
 	if script.err != nil {
 		return StateResponse{}, script.err
 	}
+	span(obs.StageResample, stepStart)
 	// Warm the next iteration's ranking so the response can carry the
 	// next expected claim and a follow-up GET /next is served from
 	// cache; skipped when the session is finished anyway.
 	if !s.budgetExhausted() {
+		rescoreStart := time.Now()
 		_ = s.ranking()
+		span(obs.StageRescore, rescoreStart)
 	}
 	resp := s.state(false)
 	s.lastApplied = &appliedAnswer{req: req, seq: seqAtApply, resp: resp}
@@ -1901,7 +2094,7 @@ func (u *scriptUser) Validate(c int) (bool, bool) {
 // per-claim credibility marginals.
 func (m *Manager) State(id string, withMarginals bool) (StateResponse, error) {
 	var resp StateResponse
-	err := m.withSession(id, false, func(s *Session) error {
+	err := m.withSession(context.Background(), id, false, func(s *Session) error {
 		resp = s.state(withMarginals)
 		return nil
 	})
@@ -1940,7 +2133,7 @@ func (s *Session) state(withMarginals bool) StateResponse {
 // Snapshot exports a session's durable form.
 func (m *Manager) Snapshot(id string) (SessionSnapshot, error) {
 	var snap SessionSnapshot
-	err := m.withSession(id, false, func(s *Session) error {
+	err := m.withSession(context.Background(), id, false, func(s *Session) error {
 		cs := s.core.Snapshot()
 		snap = SessionSnapshot{
 			Version:      cs.Version,

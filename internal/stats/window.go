@@ -107,6 +107,14 @@ func (w *WindowedHist) Summary(t float64) (Summary, bool) {
 	return h.Summary(), true
 }
 
+// Buckets exports the occupied log-buckets of the window ending at t,
+// ascending — the windowed analogue of LogHist.Buckets, so a scraper
+// can map the rolling view onto cumulative exposition buckets exactly
+// like the cumulative histograms.
+func (w *WindowedHist) Buckets(t float64) []HistBucket {
+	return w.merged(t).Buckets()
+}
+
 // Reset empties every slot.
 func (w *WindowedHist) Reset() {
 	for i := range w.slots {

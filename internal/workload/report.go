@@ -150,6 +150,20 @@ type Report struct {
 	// Server is the target's /metrics scrape at the end of the run
 	// (wall mode only).
 	Server *service.Metrics `json:"server,omitempty"`
+
+	// SLORungHistory records the overload controller's rung transitions
+	// observed over the run, sampled from the target's metrics (wall
+	// mode only — a wall-clock sampling schedule in a virtual report
+	// would break bit-reproducibility). Empty when the target runs
+	// without a controller.
+	SLORungHistory []RungSample `json:"sloRungHistory,omitempty"`
+}
+
+// RungSample is one observed SLO-controller rung transition: the rung
+// entered and the elapsed run seconds when the sampler first saw it.
+type RungSample struct {
+	T    float64 `json:"t"`
+	Mode string  `json:"mode"`
 }
 
 // Result pairs the report with the informational wall-latency digests,
@@ -213,7 +227,7 @@ func buildQuality(users []*fleetUser) []CurvePoint {
 
 // buildReport assembles the report from a finished run's users and
 // telemetry.
-func buildReport(sc *Scenario, target Target, users []*fleetUser, rec *recorder, elapsed float64, wall bool) *Result {
+func buildReport(sc *Scenario, target Target, users []*fleetUser, rec *recorder, elapsed float64, wall bool, rungs []RungSample) *Result {
 	counts, errs, latency := rec.snapshot()
 	r := Report{
 		Scenario:        sc.Name,
@@ -253,6 +267,7 @@ func buildReport(sc *Scenario, target Target, users []*fleetUser, rec *recorder,
 	if wall {
 		r.Latency = latency
 		r.Retries = target.Retries()
+		r.SLORungHistory = rungs
 		if m, err := target.Metrics(true); err == nil {
 			r.Server = &m
 		}
@@ -324,10 +339,29 @@ func (res *Result) RenderTable(w io.Writer) {
 		fmt.Fprintf(w, "  server     sessions=%d spilled=%d lanes=%d/%d answers=%d p99=%s\n",
 			r.Server.Sessions, r.Server.Spilled, r.Server.WorkersGranted, r.Server.WorkersTotal,
 			r.Server.AnswersServed, fmtSec(r.Server.AnswerLatency.P99))
+		if len(r.Server.Stages) > 0 {
+			stages := make([]string, 0, len(r.Server.Stages))
+			for st := range r.Server.Stages {
+				stages = append(stages, st)
+			}
+			sort.Strings(stages)
+			parts := make([]string, 0, len(stages))
+			for _, st := range stages {
+				parts = append(parts, fmt.Sprintf("%s p99=%s", st, fmtSec(r.Server.Stages[st].P99)))
+			}
+			fmt.Fprintf(w, "  stage p99  %s\n", strings.Join(parts, "  "))
+		}
 		if c := r.Server.Controller; c != nil {
 			fmt.Fprintf(w, "  slo        mode=%s p99=%s/%s breaches=%d shed=%d degraded=%d\n",
 				c.Mode, fmtSec(c.WindowP99), fmtSec(c.SLOSeconds), c.Breaches, c.Sheds, c.DegradedAnswers)
 		}
+	}
+	if len(r.SLORungHistory) > 0 {
+		parts := make([]string, 0, len(r.SLORungHistory))
+		for _, s := range r.SLORungHistory {
+			parts = append(parts, fmt.Sprintf("%s@%s", s.Mode, fmtSec(s.T)))
+		}
+		fmt.Fprintf(w, "  slo rungs  %s\n", strings.Join(parts, " -> "))
 	}
 }
 

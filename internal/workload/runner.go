@@ -253,7 +253,7 @@ func runVirtual(sc *Scenario, target Target) (*Result, error) {
 			return nil, v.err
 		}
 	}
-	return buildReport(sc, target, v.users, v.rec, sc.DurationSeconds, false), nil
+	return buildReport(sc, target, v.users, v.rec, sc.DurationSeconds, false, nil), nil
 }
 
 // runWall drives the scenario in real (optionally compressed) time:
@@ -274,6 +274,35 @@ func runWall(sc *Scenario, target Target) (*Result, error) {
 		buildErr error
 	)
 	picker := newFleetPicker(sc)
+
+	// Rung sampler: poll the target's metrics on a wall cadence and
+	// record each SLO-controller rung transition, so the report shows
+	// when the run pushed the server into degraded or shedding mode and
+	// when it recovered. The slice is touched only by this goroutine
+	// until its channel closes, which the final read waits on.
+	var rungs []RungSample
+	rungsDone := make(chan struct{})
+	go func() {
+		defer close(rungsDone)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		last := ""
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				m, err := target.Metrics(false)
+				if err != nil || m.Controller == nil {
+					continue
+				}
+				if m.Controller.Mode != last {
+					last = m.Controller.Mode
+					rungs = append(rungs, RungSample{T: time.Since(start).Seconds(), Mode: m.Controller.Mode})
+				}
+			}
+		}
+	}()
 
 	// sleep pauses for sec virtual seconds (compressed by scale);
 	// false means the run's deadline arrived first.
@@ -366,6 +395,7 @@ func runWall(sc *Scenario, target Target) (*Result, error) {
 	}
 	wg.Wait()
 	cancel()
+	<-rungsDone
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -373,5 +403,5 @@ func runWall(sc *Scenario, target Target) (*Result, error) {
 		return nil, buildErr
 	}
 	elapsed := time.Since(start).Seconds()
-	return buildReport(sc, target, users, rec, elapsed, true), nil
+	return buildReport(sc, target, users, rec, elapsed, true, rungs), nil
 }

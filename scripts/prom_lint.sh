@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# prom_lint.sh — promtool-style validator for Prometheus text
+# exposition (version 0.0.4), reading a scrape from stdin (or a file
+# argument). Checks what a real Prometheus server would choke on:
+#
+#   - only blank lines, # HELP/# TYPE comments, and samples appear;
+#   - metric names and label names match the exposition grammar;
+#   - label values are quoted with only valid escapes;
+#   - sample values parse as floats (Inf/NaN included);
+#   - every sample is preceded by a # TYPE for its family (histogram
+#     suffixes _bucket/_sum/_count resolve to their base family);
+#   - every histogram family has a le="+Inf" bucket.
+#
+# Exits non-zero with one line per violation. The smoke scripts pipe
+# the servers' /metrics?format=prometheus through this, so a malformed
+# exposition fails CI before a real scraper ever sees it.
+set -euo pipefail
+
+awk '
+function fail(msg) {
+  printf "prom-lint: line %d: %s\n", NR, msg > "/dev/stderr"
+  bad = 1
+}
+/^$/ { next }
+/^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+/^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/ {
+  split($0, a, " ")
+  typed[a[3]] = a[4]
+  next
+}
+/^#/ { fail("malformed comment (want # HELP name text or # TYPE name kind): " $0); next }
+{
+  if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+    fail("bad metric name: " $0)
+    next
+  }
+  name = substr($0, 1, RLENGTH)
+  rest = substr($0, RLENGTH + 1)
+  labels = ""
+  if (rest ~ /^\{/) {
+    close_idx = index(rest, "}")
+    if (close_idx == 0) {
+      fail("unclosed label block: " $0)
+      next
+    }
+    labels = substr(rest, 2, close_idx - 2)
+    rest = substr(rest, close_idx + 1)
+    if (labels !~ /^[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*")*$/) {
+      fail("bad label block {" labels "}")
+      next
+    }
+  }
+  if (rest !~ /^ (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$/) {
+    fail("bad sample value: " $0)
+    next
+  }
+  base = name
+  sub(/_(bucket|sum|count)$/, "", base)
+  if (!(name in typed) && !(base in typed)) {
+    fail("sample without a preceding # TYPE: " name)
+    next
+  }
+  if ((base in typed) && typed[base] == "histogram" && name == base "_bucket") {
+    saw_bucket[base] = 1
+    if (labels ~ /le="\+Inf"/) saw_inf[base] = 1
+  }
+}
+END {
+  for (b in saw_bucket) {
+    if (!(b in saw_inf)) {
+      printf "prom-lint: histogram %s has no le=\"+Inf\" bucket\n", b > "/dev/stderr"
+      bad = 1
+    }
+  }
+  if (bad) exit 1
+}
+' "${1:--}"

@@ -204,6 +204,19 @@ grep -q '"endpoints"' "$workdir/report.json" \
   || fail "report metrics carry no per-endpoint counters"
 echo "router-smoke: wall loadtest with a mid-run drain scraped fleet metrics cleanly"
 
+# Fleet-aggregated Prometheus exposition: must lint clean, carry the
+# fleet label, and count the migrations the drains above performed.
+promr=$(curl -sf "$base/metrics?format=prometheus") || fail "router prometheus scrape rejected"
+echo "$promr" | scripts/prom_lint.sh || fail "malformed fleet Prometheus exposition:
+$promr"
+echo "$promr" | grep -q 'backend="fleet"' \
+  || fail "fleet exposition not labeled backend=\"fleet\": $promr"
+echo "$promr" | grep -q '^factcheck_migrations_total' \
+  || fail "fleet exposition missing the migrations counter: $promr"
+echo "$promr" | grep '^factcheck_migrations_total' | grep -qv ' 0$' \
+  || fail "migrations counter stayed zero across the drains: $promr"
+echo "router-smoke: fleet prometheus exposition lints clean with migrations counted"
+
 kill -TERM "$router_pid"
 wait "$router_pid" 2>/dev/null || true
 router_pid=""

@@ -144,6 +144,39 @@ echo "$metrics" | grep -q '"answerLatencyBuckets":\[{"lo":' \
   || fail "metrics missing latency buckets: $metrics"
 echo "smoke: /metrics reports $served served answers with a latency histogram"
 
+# The same snapshot as Prometheus text exposition: must lint clean
+# (scripts/prom_lint.sh is a promtool-style validator) and carry the
+# serving series, the native latency histogram, and the per-stage
+# histograms the answers above populated.
+prom=$(curl -sf "$base/metrics?format=prometheus") || fail "prometheus scrape rejected"
+echo "$prom" | scripts/prom_lint.sh || fail "malformed Prometheus exposition:
+$prom"
+echo "$prom" | grep -q '^factcheck_answers_served_total' \
+  || fail "exposition missing the answers counter: $prom"
+echo "$prom" | grep -q '^factcheck_answer_latency_seconds_bucket' \
+  || fail "exposition missing the latency histogram: $prom"
+echo "$prom" | grep -q 'factcheck_stage_latency_seconds_bucket{.*stage="resample"' \
+  || fail "exposition missing the resample stage histogram: $prom"
+echo "smoke: prometheus exposition lints clean with stage histograms"
+
+# Trace plumbing: a client-supplied X-Factcheck-Trace id is echoed on
+# the response, lands in the session's span ring (served by /trace),
+# and error envelopes carry a traceId.
+curl -sfD "$workdir/trace-headers" -o /dev/null \
+  -H 'X-Factcheck-Trace: smoke-trace-1' "$base/sessions/$id/next?k=1" \
+  || fail "/next with a trace header rejected"
+grep -qi '^x-factcheck-trace: smoke-trace-1' "$workdir/trace-headers" \
+  || fail "trace header not echoed: $(cat "$workdir/trace-headers")"
+trace_resp=$(curl -sf "$base/v1/sessions/$id/trace") || fail "/trace endpoint rejected"
+echo "$trace_resp" | grep -q '"stage":"resample"' \
+  || fail "span ring holds no resample span: $trace_resp"
+echo "$trace_resp" | grep -q '"trace":"smoke-trace-1"' \
+  || fail "forced trace id absent from the span ring: $trace_resp"
+err_env=$(curl -s "$base/sessions/no-such-session/state")
+echo "$err_env" | grep -q '"traceId":"' \
+  || fail "error envelope missing traceId: $err_env"
+echo "smoke: trace id echoed, recorded in the span ring, and stamped on error envelopes"
+
 snap_before=$(curl -sf "$base/sessions/$id/snapshot") || fail "snapshot before kill rejected"
 n_before=$(echo "$snap_before" | grep -o '"ok":' | wc -l)
 echo "$snap_before" | grep -q '"ingest":{' \
