@@ -10,17 +10,26 @@ GO ?= go
 # focused.
 BENCH_HOT = BenchmarkGuidanceScoring|BenchmarkGibbsSweep|BenchmarkIncrementalInference|BenchmarkIncrementalRank|BenchmarkIngestDelta
 
-.PHONY: ci fmt-check vet build test race cover serve-smoke loadtest-smoke \
+.PHONY: ci fmt-check lint vet build test race cover serve-smoke loadtest-smoke \
 	router-smoke bench-smoke bench bench-json bench-gate bench-baseline \
 	slo-gate slo-baseline profile
 
-ci: fmt-check vet build test race cover bench-gate slo-gate serve-smoke loadtest-smoke router-smoke
+ci: fmt-check lint vet build test race cover bench-gate slo-gate serve-smoke loadtest-smoke router-smoke
 
 fmt-check:
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
+
+# Static invariant enforcement: the custom go/analysis-style suite
+# (detrand, wallclock, errenvelope, lockdiscipline — see
+# internal/analysis and DESIGN.md §17) over every package, then the
+# pinned third-party linters (staticcheck, govulncheck) via
+# scripts/lint_tools.sh, which skips them loudly when offline.
+lint:
+	$(GO) run ./cmd/factcheck-lint ./...
+	./scripts/lint_tools.sh
 
 vet:
 	$(GO) vet ./...

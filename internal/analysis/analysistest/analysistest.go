@@ -1,0 +1,140 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which the module cannot
+// depend on) closely enough that fixtures would port unchanged.
+//
+// A fixture is a directory of .go files type-checked under a declared
+// import path, so an analyzer that scopes itself to trace-affecting
+// packages can be pointed at testdata impersonating internal/gibbs. An
+// expectation is a comment on the flagged line:
+//
+//	rand.Intn(6) // want "global math/rand"
+//
+// Each double-quoted string is a regexp that must match one diagnostic
+// reported on that line; diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. Suppression directives
+// (//lint:allow) are applied before matching, so escape-hatch fixtures
+// assert the absence of a finding by carrying no want.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"factcheck/internal/analysis"
+)
+
+// T is the slice of testing.T the harness needs, mirroring
+// x/tools analysistest.Testing so the harness itself stays testable
+// with a recording fake.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture directory as declaredPath, applies the
+// analyzer (suppressions included), and matches findings against the
+// fixture's // want comments.
+func Run(t T, fixtureDir, declaredPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(fixtureDir, declaredPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags := analysis.Run([]*analysis.Analyzer{a}, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want satisfied by d.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of double-quoted Go strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want arguments must be double-quoted regexps, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"factcheck/internal/analysis"
+)
+
+// fakeT records failures instead of failing, so the harness's own
+// mismatch reporting is testable. Fatalf panics with a sentinel to
+// model testing.T's stop-the-test semantics.
+type fakeT struct {
+	errors []string
+	fatals []string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeT) Helper() {}
+
+func (f *fakeT) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+	panic(fatalSentinel{})
+}
+
+func expectFatal(t *testing.T, f *fakeT, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected a Fatalf, got none")
+		} else if _, ok := r.(fatalSentinel); !ok {
+			panic(r)
+		}
+		if len(f.fatals) == 0 {
+			t.Fatal("panic without a recorded Fatalf")
+		}
+	}()
+	fn()
+}
+
+// writeFixture materializes one fixture file inside the module (the
+// loader walks up to go.mod), invisible to go list under testdata.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("testdata", "fix-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunCleanFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	f := &fakeT{}
+	dir := writeFixture(t, `package gibbs
+
+import "time"
+
+func noisy() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func quiet() int {
+	return 1
+}
+`)
+	Run(f, dir, "factcheck/internal/gibbs", analysis.Detrand)
+	if len(f.errors) != 0 || len(f.fatals) != 0 {
+		t.Errorf("clean fixture produced failures: %v %v", f.errors, f.fatals)
+	}
+}
+
+func TestRunReportsMismatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	f := &fakeT{}
+	dir := writeFixture(t, `package gibbs
+
+import "time"
+
+func noisy() time.Time {
+	return time.Now()
+}
+
+func quiet() int {
+	return 1 // want "never reported"
+}
+`)
+	Run(f, dir, "factcheck/internal/gibbs", analysis.Detrand)
+	if len(f.errors) != 2 {
+		t.Fatalf("got %d errors, want 2 (one unexpected diagnostic, one unmatched want): %v", len(f.errors), f.errors)
+	}
+	if !strings.Contains(f.errors[0], "unexpected diagnostic") {
+		t.Errorf("first error should flag the unexpected diagnostic: %q", f.errors[0])
+	}
+	if !strings.Contains(f.errors[1], "expected diagnostic matching") {
+		t.Errorf("second error should flag the unmatched want: %q", f.errors[1])
+	}
+}
+
+func TestRunFatalOnMissingFixture(t *testing.T) {
+	f := &fakeT{}
+	expectFatal(t, f, func() {
+		Run(f, filepath.Join(t.TempDir(), "missing"), "x", analysis.Detrand)
+	})
+}
+
+func TestRunFatalOnBadWantComment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	f := &fakeT{}
+	dir := writeFixture(t, `package gibbs
+
+func a() int {
+	return 1 // want unquoted
+}
+`)
+	expectFatal(t, f, func() {
+		Run(f, dir, "factcheck/internal/gibbs", analysis.Detrand)
+	})
+	if !strings.Contains(f.fatals[0], "bad want comment") {
+		t.Errorf("fatal should flag the unquoted want: %q", f.fatals[0])
+	}
+}
+
+func TestRunFatalOnBadWantPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	f := &fakeT{}
+	dir := writeFixture(t, `package gibbs
+
+func a() int {
+	return 1 // want "("
+}
+`)
+	expectFatal(t, f, func() {
+		Run(f, dir, "factcheck/internal/gibbs", analysis.Detrand)
+	})
+	if !strings.Contains(f.fatals[0], "bad want pattern") {
+		t.Errorf("fatal should flag the unparsable regexp: %q", f.fatals[0])
+	}
+}
+
+func TestClaim(t *testing.T) {
+	w := &want{file: "f.go", line: 3, re: regexp.MustCompile("boom")}
+	wants := []*want{w}
+	d := analysis.Diagnostic{
+		Pos:     token.Position{Filename: "f.go", Line: 3},
+		Message: "boom went the invariant",
+	}
+	if !claim(wants, d) {
+		t.Fatal("matching diagnostic not claimed")
+	}
+	if !w.hit {
+		t.Fatal("claimed want not marked hit")
+	}
+	if claim(wants, d) {
+		t.Error("a want may only be claimed once")
+	}
+	other := analysis.Diagnostic{Pos: token.Position{Filename: "g.go", Line: 3}, Message: "boom"}
+	if claim(wants, other) {
+		t.Error("diagnostic in another file claimed a spent want")
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	got, err := splitQuoted(`"a" "b c"`)
+	if err != nil || len(got) != 2 || got[0] != "a" || got[1] != "b c" {
+		t.Errorf(`splitQuoted("a" "b c") = %v, %v`, got, err)
+	}
+	got, err = splitQuoted(`"esc\"aped"`)
+	if err != nil || len(got) != 1 || got[0] != `esc"aped` {
+		t.Errorf("splitQuoted escaped quote = %v, %v", got, err)
+	}
+	if got, err := splitQuoted(""); err != nil || got != nil {
+		t.Errorf("splitQuoted empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{`unquoted`, `"unterminated`, `"\q"`} {
+		if _, err := splitQuoted(bad); err == nil {
+			t.Errorf("splitQuoted(%q) succeeded, want error", bad)
+		}
+	}
+}

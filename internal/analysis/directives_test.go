@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"factcheck/internal/analysis"
+)
+
+// TestAllowDirectives pins the escape hatch's audit rules: a reason is
+// mandatory, suppression is per-analyzer, and a well-formed directive
+// silences exactly the finding on (or below) its line.
+func TestAllowDirectives(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/directives", "factcheck/internal/gibbs")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := analysis.Run([]*analysis.Analyzer{analysis.Detrand}, pkg)
+
+	var gotMalformed, gotUnsuppressed int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lintdirective" && strings.Contains(d.Message, "malformed"):
+			gotMalformed++
+		case d.Analyzer == "detrand":
+			gotUnsuppressed++
+		default:
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	// missingReason: the reasonless directive is malformed and does not
+	// suppress, so its rand.Intn reports too. wrongAnalyzer: the
+	// errenvelope-scoped directive leaves the detrand finding standing.
+	// properlySuppressed: silence.
+	if gotMalformed != 1 {
+		t.Errorf("malformed-directive findings = %d, want 1\n%v", gotMalformed, diags)
+	}
+	if gotUnsuppressed != 2 {
+		t.Errorf("unsuppressed detrand findings = %d, want 2\n%v", gotUnsuppressed, diags)
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path the package was type-checked under.
+	PkgPath string
+	// Dir is the directory holding the sources.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Load lists the packages matching patterns (go list syntax, e.g.
+// "./...") from dir and type-checks each from source. Dependency types
+// come from compiler export data via `go list -export -deps`, so
+// loading works offline and without golang.org/x/tools — the same
+// trick go/packages plays, minus the module dependency.
+//
+// Test files are not loaded: the invariants under analysis are
+// production invariants, and test helpers (fake clocks, seeded
+// rand.New streams) would drown the signal.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportData(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(t.ImportPath, t.Dir, files, exports)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", t.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir parses every .go file in dir and type-checks them as a
+// package imported as declaredPath. Fixture packages use this to
+// impersonate real packages (an analyzer that scopes itself to
+// internal/gibbs sees a testdata directory declared as such), with
+// imports — stdlib and this module's — resolved through export data
+// from the enclosing module.
+func LoadDir(dir, declaredPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loaddir %s: no .go files", dir)
+	}
+	sort.Strings(files)
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the fixture's imports syntactically, then ask the module
+	// for their export data (plus transitive deps).
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	for _, f := range files {
+		pf, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range pf.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("loaddir %s: bad import %s", dir, im.Path.Value)
+			}
+			importSet[p] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		exports, err = exportData(root, imports...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkg, err := typeCheck(declaredPath, dir, files, exports)
+	if err != nil {
+		return nil, fmt.Errorf("loaddir %s: %w", dir, err)
+	}
+	return pkg, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportData maps every dependency of patterns (the listed packages
+// included) to its compiled export-data file. `go list -export`
+// compiles through the build cache, so this is warm after the first
+// run and needs no network.
+func exportData(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+func typeCheck(pkgPath, dir string, filenames []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, f := range filenames {
+		pf, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, pf)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

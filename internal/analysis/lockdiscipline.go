@@ -1,0 +1,544 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockdiscipline enforces "// guarded by <mu>" field annotations:
+// within the annotating package, an annotated field may only be read
+// or written while the named sibling mutex is held on the same
+// receiver. The check is intraprocedural and deliberately
+// conservative in what it blesses:
+//
+//   - x.mu.Lock() / x.mu.RLock() put the (x, mu) pair in the held set;
+//     Unlock/RUnlock remove it; defer x.mu.Unlock() keeps it held to
+//     the end of the function.
+//   - At branch merges the held set is intersected over the branches
+//     that can fall through (a branch ending in return/panic/continue/
+//     break is excluded), so "if bad { x.mu.Unlock(); return }" keeps
+//     the lock held below.
+//   - Methods whose name ends in "Locked" assert the caller holds the
+//     lock and are exempt.
+//   - A value freshly built in the same function from a composite
+//     literal (the constructor idiom) is exempt: nothing else can see
+//     it yet.
+//   - Function literals run with an empty held set (a goroutine does
+//     not inherit its spawner's locks), except literals that are
+//     deferred in place, which inherit the held set at the defer
+//     statement (the "defer cleanup while holding" idiom).
+//
+// Anything the approximation cannot see (lock handoff across
+// functions, TryLock) takes a //lint:allow lockdiscipline annotation
+// with its proof obligation spelled out in the reason.
+var Lockdiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "fields annotated \"guarded by mu\" are only accessed with the mutex held",
+	Run:  runLockdiscipline,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockKey identifies one mutex instance: the object the receiver
+// expression is rooted in, plus the mutex field's name.
+type lockKey struct {
+	root  types.Object
+	mutex string
+}
+
+type lockState map[lockKey]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(states []lockState) lockState {
+	if len(states) == 0 {
+		return lockState{}
+	}
+	out := make(lockState)
+	for k := range states[0] {
+		all := true
+		for _, s := range states[1:] {
+			if !s[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type lockChecker struct {
+	pass *Pass
+	// guarded maps an annotated field object to its guard's field name.
+	guarded map[types.Object]string
+	// guardedStructs holds the type names owning annotated fields, for
+	// the constructor exemption.
+	guardedStructs map[types.Object]bool
+	// constructed holds local variables built from composite literals
+	// of guarded structs in the function under analysis.
+	constructed map[types.Object]bool
+	// handledLits are function literals analyzed in place (deferred
+	// closures), not to be re-analyzed with an empty held set.
+	handledLits map[*ast.FuncLit]bool
+	// exempt marks the whole function (name ends in "Locked").
+	exempt bool
+}
+
+func runLockdiscipline(pass *Pass) error {
+	c := &lockChecker{
+		pass:           pass,
+		guarded:        make(map[types.Object]string),
+		guardedStructs: make(map[types.Object]bool),
+		handledLits:    make(map[*ast.FuncLit]bool),
+	}
+	for _, f := range pass.Files {
+		c.collectAnnotations(f)
+	}
+	if len(c.guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Name.Name, fd.Body)
+		}
+		// Function literals not claimed by a defer in a checked
+		// function body (goroutines, callbacks, package-level vars)
+		// start with no locks held.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && !c.handledLits[lit] {
+				c.handledLits[lit] = true
+				saved := c.constructed
+				c.constructed = c.collectConstructed(lit.Body)
+				c.stmt(lit.Body, lockState{})
+				c.constructed = saved
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (c *lockChecker) collectAnnotations(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		owner := objOf(c.pass.TypesInfo, ts.Name)
+		for _, field := range st.Fields.List {
+			text := field.Doc.Text() + " " + field.Comment.Text()
+			m := guardedRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			// The named guard must be a sibling mutex field; prose
+			// like "guarded by the manager's mu" (a cross-object
+			// guard this intraprocedural check cannot express) is
+			// not an annotation.
+			if !hasMutexField(owner, m[1]) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := objOf(c.pass.TypesInfo, name); obj != nil {
+					c.guarded[obj] = m[1]
+					if owner != nil {
+						c.guardedStructs[owner] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasMutexField reports whether the struct named by owner has a field
+// with the given name whose type is a sync mutex (value or pointer).
+func hasMutexField(owner types.Object, name string) bool {
+	if owner == nil {
+		return false
+	}
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		t := f.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+	}
+	return false
+}
+
+func (c *lockChecker) checkFunc(name string, body *ast.BlockStmt) {
+	c.exempt = strings.HasSuffix(name, "Locked")
+	c.constructed = c.collectConstructed(body)
+	c.stmt(body, lockState{})
+	c.exempt = false
+}
+
+// collectConstructed finds local variables defined from composite
+// literals of guarded structs anywhere in the body: a value this
+// function built is unshared until published, so its fields may be
+// initialized without the lock.
+func (c *lockChecker) collectConstructed(body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			e := ast.Unparen(rhs)
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = ast.Unparen(u.X)
+			}
+			lit, ok := e.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			t := c.pass.TypesInfo.Types[lit].Type
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !c.guardedStructs[named.Obj()] {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(c.pass.TypesInfo, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stmt checks one statement under the entry held set and returns the
+// held set after it.
+func (c *lockChecker) stmt(s ast.Stmt, st lockState) lockState {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			st = c.stmt(inner, st)
+		}
+		return st
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		st = c.stmt(s.Init, st)
+		c.checkExpr(s.Cond, st)
+		var outcomes []lockState
+		thenSt := c.stmt(s.Body, st.clone())
+		if !terminates(s.Body) {
+			outcomes = append(outcomes, thenSt)
+		}
+		if s.Else != nil {
+			elseSt := c.stmt(s.Else, st.clone())
+			if !terminates(s.Else) {
+				outcomes = append(outcomes, elseSt)
+			}
+		} else {
+			outcomes = append(outcomes, st)
+		}
+		if len(outcomes) == 0 {
+			return st // everything below is unreachable
+		}
+		return intersect(outcomes)
+	case *ast.ForStmt:
+		st = c.stmt(s.Init, st)
+		c.checkExpr(s.Cond, st)
+		bodySt := c.stmt(s.Body, st.clone())
+		c.stmt(s.Post, bodySt)
+		return intersect([]lockState{st, bodySt})
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		bodySt := c.stmt(s.Body, st.clone())
+		return intersect([]lockState{st, bodySt})
+	case *ast.SwitchStmt:
+		st = c.stmt(s.Init, st)
+		c.checkExpr(s.Tag, st)
+		return c.clauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		st = c.stmt(s.Init, st)
+		c.stmt(s.Assign, st)
+		return c.clauses(s.Body, st)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body, st)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held below; a deferred
+		// closure runs while whatever is held here is still held.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.handledLits[lit] = true
+			c.stmt(lit.Body, st.clone())
+		} else {
+			c.checkExpr(s.Call.Fun, st)
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, st)
+		}
+		return st
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the spawner's locks.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.handledLits[lit] = true
+			c.stmt(lit.Body, lockState{})
+		} else {
+			c.checkExpr(s.Call.Fun, st)
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, st)
+		}
+		return st
+	default:
+		// Leaf statements: check accesses, then apply lock operations
+		// in source order.
+		c.checkStmtExprs(s, st)
+		return c.applyLockOps(s, st)
+	}
+}
+
+// clauses folds a switch/select body: each clause starts from the
+// entry state; the result intersects the fall-through outcomes. A
+// switch without terminating clauses that covers no default still
+// merges with the entry state via the default path.
+func (c *lockChecker) clauses(body *ast.BlockStmt, st lockState) lockState {
+	outcomes := []lockState{}
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkExpr(e, st)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		clSt := st.clone()
+		term := false
+		for _, inner := range stmts {
+			clSt = c.stmt(inner, clSt)
+			if terminates(inner) {
+				term = true
+			}
+		}
+		if !term {
+			outcomes = append(outcomes, clSt)
+		}
+	}
+	if !hasDefault {
+		outcomes = append(outcomes, st)
+	}
+	if len(outcomes) == 0 {
+		return st
+	}
+	return intersect(outcomes)
+}
+
+// applyLockOps scans a leaf statement for x.<mutex>.Lock()-shaped
+// calls and updates the held set in source order.
+func (c *lockChecker) applyLockOps(s ast.Stmt, st lockState) lockState {
+	out := st.clone()
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op, ok := c.lockOp(call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			out[key] = true
+		case "Unlock", "RUnlock":
+			delete(out, key)
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp decodes x.mu.Lock() / x.Lock() into a lock key and operation.
+func (c *lockChecker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	// x.mu.Lock(): the mutex is the last selector before the op; x.Lock()
+	// (embedded mutex) uses the receiver's own name as the key.
+	mutex := ""
+	base := sel.X
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		mutex = inner.Sel.Name
+		base = inner.X
+	}
+	root := rootIdent(base)
+	if root == nil {
+		if mutex == "" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				root = id
+			}
+		}
+		if root == nil {
+			return lockKey{}, "", false
+		}
+	}
+	obj := objOf(c.pass.TypesInfo, root)
+	if obj == nil {
+		return lockKey{}, "", false
+	}
+	if mutex == "" {
+		mutex = root.Name
+	}
+	return lockKey{root: obj, mutex: mutex}, op, true
+}
+
+// checkStmtExprs walks a leaf statement's expressions for guarded
+// accesses. Nested function literals are handled by their own pass.
+func (c *lockChecker) checkStmtExprs(s ast.Stmt, st lockState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if !c.handledLits[lit] {
+				c.handledLits[lit] = true
+				c.stmt(lit.Body, lockState{})
+			}
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			c.checkSelector(sel, st)
+		}
+		return true
+	})
+}
+
+func (c *lockChecker) checkExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if !c.handledLits[lit] {
+				c.handledLits[lit] = true
+				c.stmt(lit.Body, lockState{})
+			}
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			c.checkSelector(sel, st)
+		}
+		return true
+	})
+}
+
+func (c *lockChecker) checkSelector(sel *ast.SelectorExpr, st lockState) {
+	obj := objOf(c.pass.TypesInfo, sel.Sel)
+	if obj == nil {
+		return
+	}
+	mutex, guarded := c.guarded[obj]
+	if !guarded || c.exempt {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	rootObj := objOf(c.pass.TypesInfo, root)
+	if rootObj == nil || c.constructed[rootObj] {
+		return
+	}
+	if st[lockKey{root: rootObj, mutex: mutex}] {
+		return
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		"%s.%s is guarded by %s.%s, which is not held here; lock it, or rename the function *Locked if the caller holds it",
+		root.Name, sel.Sel.Name, root.Name, mutex)
+}
+
+// terminates reports whether control cannot fall out of the bottom of
+// a statement: it ends in return, a branch, or a panic/Fatal-style
+// call.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			return name == "Fatal" || name == "Fatalf" || name == "Exit" || name == "Goexit"
+		}
+		return false
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}

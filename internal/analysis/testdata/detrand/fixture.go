@@ -1,0 +1,134 @@
+// Fixture for the detrand analyzer, type-checked as
+// factcheck/internal/gibbs (a trace-affecting package).
+package gibbs
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+)
+
+// --- global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand"
+}
+
+func globalFloat() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand"
+	return rand.Float64()              // want "global math/rand"
+}
+
+func seededRandOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// --- wall clock ---
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func wallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func durationOK() time.Duration {
+	return 3 * time.Second
+}
+
+// --- map iteration order ---
+
+func mapRangeUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapRangeSortedOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapRangeLocalSortOK(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+func mapRangeAggregateOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapRangeIndexWrite(m map[int]string, out []string) {
+	for i, v := range m { // want "map iteration order"
+		out[i] = v
+	}
+}
+
+func mapRangeFormatted(m map[string]int) {
+	for k, v := range m { // want "map iteration order"
+		fmt.Println(k, v)
+	}
+}
+
+func mapRangeRebuildOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mapRangeBuilderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func mapRangeSlicesSortOK(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func sameLineAllowed() int64 {
+	return rand.Int63() //lint:allow detrand fixture exercises the same-line directive placement
+}
+
+func inversePermutationAllowed(m map[int]int, out []int) {
+	//lint:allow detrand inverse permutation: every index written exactly once
+	for k, v := range m {
+		out[v] = k
+	}
+}
+
+func sortInts(s []int) {
+	for a := 1; a < len(s); a++ {
+		for b := a; b > 0 && s[b-1] > s[b]; b-- {
+			s[b-1], s[b] = s[b], s[b-1]
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Fixture for the //lint:allow directive rules: a directive without a
+// reason is itself a finding, and a directive only suppresses the
+// analyzer it names.
+package gibbs
+
+import "math/rand"
+
+func missingReason() int {
+	//lint:allow detrand
+	return rand.Intn(6)
+}
+
+func wrongAnalyzer() int {
+	//lint:allow errenvelope stray justification aimed at the wrong check
+	return rand.Intn(6)
+}
+
+func properlySuppressed() int {
+	//lint:allow detrand fixture exercises the escape hatch end to end
+	return rand.Intn(6)
+}

@@ -1,0 +1,204 @@
+// Fixture for the lockdiscipline analyzer: fields annotated
+// "guarded by <mu>" are only touched with the mutex held.
+package service
+
+import "sync"
+
+type Mgr struct {
+	mu sync.Mutex
+	// sessions is the live table. guarded by mu
+	sessions map[string]int
+	// guarded by mu
+	closed bool
+
+	rw sync.RWMutex
+	// guarded by rw
+	stats []int
+
+	// plain has no annotation and is never checked.
+	plain int
+}
+
+func (m *Mgr) unguardedRead() int {
+	return m.sessions["x"] // want "guarded by m.mu, which is not held"
+}
+
+func (m *Mgr) unguardedWrite() {
+	m.closed = true // want "guarded by m.mu, which is not held"
+}
+
+func (m *Mgr) lockedOK() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions["x"]
+}
+
+func (m *Mgr) rlockedOK() int {
+	m.rw.RLock()
+	n := len(m.stats)
+	m.rw.RUnlock()
+	return n
+}
+
+func (m *Mgr) wrongMutex() {
+	m.rw.Lock()
+	defer m.rw.Unlock()
+	m.closed = true // want "guarded by m.mu, which is not held"
+}
+
+func (m *Mgr) earlyReturnOK(bad bool) {
+	m.mu.Lock()
+	if bad {
+		m.mu.Unlock()
+		return
+	}
+	m.sessions["x"] = 1
+	m.mu.Unlock()
+}
+
+func (m *Mgr) conditionalLock(maybe bool) {
+	if maybe {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.sessions["x"] = 1 // want "guarded by m.mu, which is not held"
+}
+
+func (m *Mgr) unlockedBelow() {
+	m.mu.Lock()
+	m.sessions["x"] = 1
+	m.mu.Unlock()
+	m.closed = true // want "guarded by m.mu, which is not held"
+}
+
+// snapshotLocked asserts by name that the caller holds mu.
+func (m *Mgr) snapshotLocked() int {
+	return len(m.sessions)
+}
+
+// NewMgr builds an unshared value; initialization needs no lock.
+func NewMgr() *Mgr {
+	m := &Mgr{sessions: make(map[string]int)}
+	m.sessions["boot"] = 1
+	m.plain = 2
+	return m
+}
+
+func (m *Mgr) goroutineDoesNotInherit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.sessions["x"] = 2 // want "guarded by m.mu, which is not held"
+	}()
+}
+
+func (m *Mgr) deferredCleanupOK() {
+	m.mu.Lock()
+	defer func() {
+		delete(m.sessions, "x")
+		m.mu.Unlock()
+	}()
+	m.sessions["x"] = 3
+}
+
+func (m *Mgr) plainFieldOK() int {
+	return m.plain
+}
+
+func (m *Mgr) allowedHandoff() {
+	//lint:allow lockdiscipline lock handed off by caller via startOp, released in finishOp
+	m.sessions["x"] = 4
+}
+
+func (m *Mgr) switchMerge(n int) {
+	switch n {
+	case 0:
+		m.mu.Lock()
+	default:
+		m.mu.Lock()
+	}
+	m.sessions["x"] = 5
+	m.mu.Unlock()
+}
+
+func (m *Mgr) switchPartial(n int) {
+	switch n {
+	case 0:
+		m.mu.Lock()
+	}
+	m.sessions["x"] = 6 // want "guarded by m.mu, which is not held"
+}
+
+// Package-level function literals are analyzed too, starting unlocked.
+var crashHook = func(m *Mgr) {
+	m.closed = true // want "guarded by m.mu, which is not held"
+}
+
+func (m *Mgr) closureInCondition() {
+	if func() bool { return m.closed }() { // want "guarded by m.mu, which is not held"
+		return
+	}
+}
+
+func (m *Mgr) panicBranchOK(ready bool) {
+	m.mu.Lock()
+	if !ready {
+		panic("not ready")
+	}
+	m.sessions["x"] = 7
+	m.mu.Unlock()
+}
+
+func (m *Mgr) labeledLoopOK() {
+	m.mu.Lock()
+retry:
+	for i := 0; i < 2; i++ {
+		if i == 1 {
+			break retry
+		}
+	}
+	m.sessions["x"] = 8
+	m.mu.Unlock()
+}
+
+func (m *Mgr) noop() {}
+
+// A local mutex and an unrelated method call are noise the lock
+// tracker must step over without confusing them for m.mu.
+func (m *Mgr) localMutexNoiseOK() int {
+	var mu sync.Mutex
+	mu.Lock()
+	m.noop()
+	n := m.plain
+	mu.Unlock()
+	return n
+}
+
+// The annotation names a sibling that is not a mutex, so it is
+// ignored rather than enforced.
+type notReally struct {
+	guard int
+	// guarded by guard
+	data int
+}
+
+func (n *notReally) free() int {
+	return n.data
+}
+
+// A *sync.Mutex sibling is an acceptable guard.
+type ptrMu struct {
+	mu *sync.Mutex
+	// guarded by mu
+	v int
+}
+
+func (p *ptrMu) lockedOK() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.v
+}
+
+func (p *ptrMu) bare() int {
+	return p.v // want "guarded by p.mu, which is not held"
+}

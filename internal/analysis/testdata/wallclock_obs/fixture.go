@@ -1,0 +1,31 @@
+// Fixture for the wallclock analyzer's obs-side rules, type-checked
+// as factcheck/internal/obs: the observability layer is passive and
+// must not draw inference randomness.
+package obs
+
+import (
+	"math/rand"
+	"time"
+
+	"factcheck/internal/stats"
+)
+
+func randInObs() int {
+	return rand.Intn(6) // want "must not use math/rand"
+}
+
+func sessionRNGInObs() {
+	_ = stats.NewRNG(1) // want "session RNG"
+}
+
+func streamSeedInObs() {
+	_ = stats.StreamSeed // want "session RNG"
+}
+
+func histogramOK() *stats.LogHist {
+	return stats.NewLogHist()
+}
+
+func wallClockOK() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,56 @@
+// Fixture for the wallclock analyzer's serving-side rules,
+// type-checked as factcheck/internal/service: span timestamps come
+// from time.Now, never the injectable test clock.
+package service
+
+import (
+	"time"
+
+	"factcheck/internal/obs"
+)
+
+type mgr struct {
+	nowFn  func() time.Time
+	stages *obs.Stages
+}
+
+func (m *mgr) observeSpan(stage string, start time.Time) {
+	m.stages.Observe(stage, time.Since(start).Seconds())
+}
+
+func (m *mgr) wallClockedOK() {
+	start := time.Now()
+	m.observeSpan("answer", start)
+}
+
+func (m *mgr) inlineWallClockOK() {
+	m.observeSpan("answer", time.Now())
+}
+
+func (m *mgr) injectedDirect() {
+	m.observeSpan("answer", m.nowFn()) // want "injectable clock"
+}
+
+func (m *mgr) injectedViaLocal() {
+	start := m.nowFn()
+	m.observeSpan("answer", start) // want "injectable clock"
+}
+
+func (m *mgr) spanLiteralInjected() obs.Span {
+	return obs.Span{
+		Stage: "answer",
+		Start: m.nowFn().UnixNano(), // want "injectable clock"
+	}
+}
+
+func (m *mgr) spanLiteralOK() obs.Span {
+	return obs.Span{
+		Stage: "answer",
+		Start: time.Now().UnixNano(),
+	}
+}
+
+func (m *mgr) allowedInjected() {
+	//lint:allow wallclock deterministic replay harness compares span fields, not durations
+	m.observeSpan("answer", m.nowFn())
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "pkg/file.go", Line: 12, Column: 3},
+		Analyzer: "detrand",
+		Message:  "global math/rand",
+	}
+	want := "pkg/file.go:12:3: [detrand] global math/rand"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRunReportsAnalyzerError(t *testing.T) {
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "always fails",
+		Run:  func(*Pass) error { return errors.New("exploded") },
+	}
+	diags := Run([]*Analyzer{boom}, &Package{Fset: token.NewFileSet()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "boom" || !strings.Contains(diags[0].Message, "internal error: exploded") {
+		t.Errorf("unexpected diagnostic: %v", diags[0])
+	}
+}
+
+func TestRootIdent(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // "" means nil
+	}{
+		{"m", "m"},
+		{"m.sessions", "m"},
+		{"m.sessions[id].x", "m"},
+		{"(*p).f", "p"},
+		{"s[1:2]", "s"},
+		{"&x.y", "x"},
+		{"f().y", ""},
+		{"map[string]int{}", ""},
+	}
+	for _, tc := range cases {
+		e, err := parser.ParseExpr(tc.expr)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", tc.expr, err)
+		}
+		id := rootIdent(e)
+		got := ""
+		if id != nil {
+			got = id.Name
+		}
+		if got != tc.want {
+			t.Errorf("rootIdent(%q) = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestEnclosingFuncName(t *testing.T) {
+	src := `package p
+func named() {
+	_ = 1
+}
+var lit = func() {
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inNamed, inLit, atTop string
+	seen := 0
+	withStack(f, func(n ast.Node, stack []ast.Node) {
+		if _, ok := n.(*ast.AssignStmt); ok {
+			seen++
+			if seen == 1 {
+				inNamed = enclosingFuncName(stack)
+			} else {
+				inLit = enclosingFuncName(stack)
+			}
+		}
+		if _, ok := n.(*ast.File); ok {
+			atTop = enclosingFuncName(stack)
+		}
+	})
+	if inNamed != "named" {
+		t.Errorf("inside func named: got %q, want %q", inNamed, "named")
+	}
+	if inLit != "" {
+		t.Errorf("inside func literal: got %q, want %q", inLit, "")
+	}
+	if atTop != "" {
+		t.Errorf("at file scope: got %q, want %q", atTop, "")
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	suf := []string{"internal/gibbs", "internal/core"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"internal/gibbs", true},
+		{"factcheck/internal/gibbs", true},
+		{"factcheck/internal/core", true},
+		{"notinternal/gibbs", false},
+		{"factcheck/internal/gibbs/sub", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		if got := pathHasSuffix(tc.path, suf); got != tc.want {
+			t.Errorf("pathHasSuffix(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestUsesAnyEdgeCases(t *testing.T) {
+	if usesAny(nil, nil, map[types.Object]bool{}) {
+		t.Error("usesAny(nil node) = true, want false")
+	}
+	e, err := parser.ParseExpr("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usesAny(nil, e, nil) {
+		t.Error("usesAny with no objects = true, want false")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(root, "./does-not-exist-xyzzy"); err == nil {
+		t.Error("Load with a bad pattern succeeded, want error")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing"), "x"); err == nil {
+		t.Error("LoadDir on a missing dir succeeded, want error")
+	}
+
+	empty := t.TempDir()
+	if _, err := LoadDir(empty, "x"); err == nil || !strings.Contains(err.Error(), "no .go files") {
+		t.Errorf("LoadDir on an empty dir: got %v, want a no-.go-files error", err)
+	}
+
+	// A directory outside any module: moduleRoot must fail.
+	noMod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(noMod, "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(noMod, "a"); err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Errorf("LoadDir outside a module: got %v, want a no-go.mod error", err)
+	}
+
+	// A syntax error in the full parse (past the imports-only prepass).
+	// The fixture must live inside the module so moduleRoot succeeds;
+	// testdata is invisible to go list, so the self-scan never sees it.
+	bad, err := os.MkdirTemp("testdata", "broken-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(bad) })
+	src := "package b\n\nfunc broken() {\n"
+	if err := os.WriteFile(filepath.Join(bad, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad, "b"); err == nil {
+		t.Error("LoadDir on a syntactically broken file succeeded, want error")
+	}
+}

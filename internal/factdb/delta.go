@@ -302,6 +302,7 @@ func (db *DB) Extend(delta Delta) (ExtendResult, error) {
 	// component gets a fresh slot. Components() orders sets by smallest
 	// node index — deterministic.
 	byKind := make([][2]int, len(nodeOf))
+	//lint:allow detrand inverse permutation: nodeOf is a bijection, every n written exactly once, so the result is iteration-order independent
 	for key, n := range nodeOf {
 		byKind[n] = key
 	}

@@ -225,11 +225,7 @@ func setsToSlices(sets []map[int32]struct{}) [][]int32 {
 			s = append(s, v)
 		}
 		// Insertion order of map iteration is random; sort for determinism.
-		for a := 1; a < len(s); a++ {
-			for b := a; b > 0 && s[b-1] > s[b]; b-- {
-				s[b-1], s[b] = s[b], s[b-1]
-			}
-		}
+		sortInt32s(s)
 		out[i] = s
 	}
 	return out

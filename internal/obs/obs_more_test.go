@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"factcheck/internal/stats"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || !ValidTraceID(a) {
+		t.Fatalf("trace id %q not 16 hex chars", a)
+	}
+	if a == b {
+		t.Fatal("two trace ids collided")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "factcheck-test", slog.LevelInfo)
+	l.Debug("dropped")
+	l.Info("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("debug record leaked through an info-level logger")
+	}
+	for _, want := range []string{`"component":"factcheck-test"`, `"msg":"kept"`, `"k":"v"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	l := Discard()
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	l.Error("nobody hears this")
+}
+
+func TestDebugServer(t *testing.T) {
+	addr, err := DebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+	if _, err := DebugServer("definitely-not-an-address:xyz"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestHistogramMapSortedKeys(t *testing.T) {
+	var e Expo
+	buckets := map[string][]stats.HistBucket{
+		"rank":  {{Lo: 0, Hi: 1, Count: 2}},
+		"gibbs": {{Lo: 0, Hi: 1, Count: 5}},
+	}
+	sums := map[string]stats.Summary{
+		"rank":  {Count: 2, Mean: 0.5},
+		"gibbs": {Count: 5, Mean: 0.5},
+	}
+	e.HistogramMap("factcheck_stage_latency_seconds", "Stage latency.", "stage", nil, buckets, sums)
+	out := string(e.Bytes())
+	gi := strings.Index(out, `stage="gibbs"`)
+	ri := strings.Index(out, `stage="rank"`)
+	if gi < 0 || ri < 0 {
+		t.Fatalf("missing per-stage series:\n%s", out)
+	}
+	if gi > ri {
+		t.Error("keys not emitted in sorted order")
+	}
+}
+
+func TestNewRingClampsAndLen(t *testing.T) {
+	r := NewRing(0)
+	r.Append(Span{Stage: "a"})
+	r.Append(Span{Stage: "b"})
+	if r.Len() != 1 {
+		t.Fatalf("ring of clamp-to-1 capacity holds %d spans", r.Len())
+	}
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].Stage != "b" {
+		t.Fatalf("newest span should win: %+v", got)
+	}
+}

@@ -84,11 +84,17 @@ type Router struct {
 	// migration plans. The data plane only takes mu.
 	opMu sync.Mutex
 
-	mu        sync.Mutex
-	ring      *Ring
-	backends  map[string]*backend
+	mu sync.Mutex
+	// ring is the consistent-hash placement function over the live
+	// member set. guarded by mu
+	ring *Ring
+	// guarded by mu
+	backends map[string]*backend
+	// migrating flags session ids whose export/import is in flight, so
+	// the data plane 503s them instead of racing the move. guarded by mu
 	migrating map[string]bool
-	closed    bool
+	// guarded by mu
+	closed bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup

@@ -451,27 +451,30 @@ type Manager struct {
 	// contends with the telemetry mutex or mu.
 	stages *obs.Stages
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// sessions is the live-session table. guarded by mu
 	sessions map[string]*Session
 	// reviving counts in-flight revivals per id; tombstoned marks ids
 	// deleted while a revival was in flight, so the revival discards its
 	// replay instead of resurrecting the session. Entries live only as
-	// long as some revival for the id is running.
-	reviving   map[string]int
+	// long as some revival for the id is running. guarded by mu
+	reviving map[string]int
+	// guarded by mu
 	tombstoned map[string]bool
 	// exported marks sessions frozen by Export: the durable record is
 	// retained (so a failed migration can be rolled back by importing
 	// the payload right back), but requests refuse to revive the local
 	// copy — the session's owner is another backend now. Cleared by
-	// Import (rollback) or Delete (migration confirmed).
+	// Import (rollback) or Delete (migration confirmed). guarded by mu
 	exported map[string]bool
 	// opening marks ids reserved by an in-flight open/import, so a
 	// racing open of the same id (or a revival of its just-written
-	// checkpoint) cannot publish a second copy.
+	// checkpoint) cannot publish a second copy. guarded by mu
 	opening map[string]bool
-	closed  bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	// guarded by mu
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewManager creates a manager and, when cfg.IdleTTL > 0, starts its

@@ -60,6 +60,7 @@ func Subset(c *Corpus, claims []int) (*Corpus, []int) {
 		truth[newID] = c.Truth[orig]
 	}
 	srcTrust := make([]float64, len(db.Sources))
+	//lint:allow detrand inverse permutation: srcMap is a bijection, every newSrc written exactly once, so the result is iteration-order independent
 	for orig, newSrc := range srcMap {
 		srcTrust[newSrc] = c.SourceTrust[orig]
 	}

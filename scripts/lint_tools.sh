@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the third-party linters behind `make lint`: staticcheck and
+# govulncheck, version-pinned via `go run tool@version` so no tool
+# binary or go.mod dependency is committed.
+#
+# Both tools live outside the module and need the Go proxy (or a warm
+# module cache) to materialize, and govulncheck additionally fetches
+# the vulnerability database. On an offline workstation that would turn
+# `make lint` into a hard failure unrelated to the code, so network
+# unavailability downgrades to a loud skip — unless LINT_TOOLS_STRICT=1
+# (set in CI, where the proxy is reachable and a fetch failure is a
+# real failure).
+set -u
+
+STATICCHECK=honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK=golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+cd "$(dirname "$0")/.."
+
+# run_tool <label> <module@version> [args...]
+# Propagates real findings; downgrades fetch failures to a skip when
+# not strict.
+run_tool() {
+    local label=$1 tool=$2
+    shift 2
+    local out rc
+    out=$(go run "$tool" "$@" 2>&1)
+    rc=$?
+    if [ $rc -ne 0 ] && [ "${LINT_TOOLS_STRICT:-0}" != "1" ]; then
+        if printf '%s' "$out" | grep -qiE 'no such host|dial tcp|connection refused|i/o timeout|proxy.golang.org|vuln database|TLS handshake'; then
+            echo "lint_tools: SKIP $label ($tool): network unavailable; set LINT_TOOLS_STRICT=1 to fail instead" >&2
+            return 0
+        fi
+    fi
+    if [ -n "$out" ]; then
+        printf '%s\n' "$out"
+    fi
+    return $rc
+}
+
+fail=0
+run_tool staticcheck "$STATICCHECK" ./... || fail=1
+run_tool govulncheck "$GOVULNCHECK" ./... || fail=1
+exit $fail
